@@ -1,0 +1,42 @@
+# Convenience targets for the webcache reproduction.
+
+GO ?= go
+
+.PHONY: all build vet test test-short race bench report examples clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# Skips the full-scale workload calibration and live HTTP replays.
+test-short:
+	$(GO) test -short ./...
+
+race:
+	$(GO) test -race ./internal/proxy/ ./internal/origin/ ./cmd/livebench/
+
+# One benchmark per paper table/figure, plus ablations.
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# Full-scale paper-vs-measured numbers (the EXPERIMENTS.md data).
+report:
+	$(GO) run ./internal/tools/report
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/policycompare
+	$(GO) run ./examples/partitioned
+	$(GO) run ./examples/capturepipeline
+	$(GO) run ./examples/liveproxy
+	$(GO) run ./examples/siblings
+
+clean:
+	$(GO) clean ./...

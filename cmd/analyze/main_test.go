@@ -1,0 +1,57 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"webcache/internal/trace"
+	"webcache/internal/workload"
+)
+
+func TestLoadWorkload(t *testing.T) {
+	tr, err := load("", "G", 0.01, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Requests) == 0 {
+		t.Fatal("empty workload")
+	}
+}
+
+func TestLoadFile(t *testing.T) {
+	cfg := workload.G(3)
+	cfg.Scale = 0.01
+	raw, err := workload.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "g.log")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := trace.WriteCLF(f, raw, false); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	tr, err := load(path, "", 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Requests) == 0 {
+		t.Fatal("empty file trace")
+	}
+}
+
+func TestLoadNeither(t *testing.T) {
+	if _, err := load("", "", 1, 1); err == nil {
+		t.Fatal("missing inputs accepted")
+	}
+}
+
+func TestLoadUnknownWorkload(t *testing.T) {
+	if _, err := load("", "ZZ", 1, 1); err == nil {
+		t.Fatal("unknown workload accepted")
+	}
+}

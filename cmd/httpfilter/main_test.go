@@ -1,0 +1,50 @@
+package main
+
+import (
+	"bufio"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"webcache/internal/httpstream"
+)
+
+func TestSynthesizeAndFilter(t *testing.T) {
+	pcapPath := filepath.Join(t.TempDir(), "c.pcap")
+	if err := synthesize("C", pcapPath, 0.002, 7); err != nil {
+		t.Fatal(err)
+	}
+	st, err := os.Stat(pcapPath)
+	if err != nil || st.Size() == 0 {
+		t.Fatalf("capture file: %v, %v", st, err)
+	}
+
+	f, err := os.Open(pcapPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	flt := httpstream.NewFilter()
+	tr, err := flt.Run(bufio.NewReader(f), "c")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Requests) == 0 {
+		t.Fatal("filter reconstructed nothing")
+	}
+	if flt.Packets == 0 || flt.Decoded == 0 {
+		t.Fatalf("filter stats %+v", flt)
+	}
+}
+
+func TestSynthesizeUnknownWorkload(t *testing.T) {
+	if err := synthesize("ZZ", filepath.Join(t.TempDir(), "x.pcap"), 0.01, 1); err == nil {
+		t.Fatal("unknown workload accepted")
+	}
+}
+
+func TestFilterMissingFile(t *testing.T) {
+	if err := filter("/nonexistent/file.pcap", 80); err == nil {
+		t.Fatal("missing pcap accepted")
+	}
+}

@@ -1,0 +1,162 @@
+// Command livebench validates the simulator against the real system: it
+// replays a synthetic workload twice — once through the trace-driven
+// simulator and once over actual HTTP through the live caching proxy
+// against a synthetic origin server — with the same removal policy and
+// capacity, and compares the measured hit rates.
+//
+// Usage:
+//
+//	livebench -workload BL -scale 0.01 -policy SIZE -fraction 0.1
+//
+// The workload is generated without size changes so both systems see the
+// same consistency picture; the proxy's freshness window is effectively
+// infinite, making its hit rule (URL cached) coincide with the
+// simulator's (URL+size match); and the live store is seeded with the
+// simulated cache's tiebreak stream, so even tie-heavy policies (LRU at
+// one-second resolution, LFU) evict identically. The expected delta is
+// exactly zero.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"os"
+	"time"
+
+	"webcache/internal/core"
+	"webcache/internal/origin"
+	"webcache/internal/policy"
+	"webcache/internal/proxy"
+	"webcache/internal/sim"
+	"webcache/internal/trace"
+	"webcache/internal/workload"
+)
+
+func main() {
+	var (
+		wl       = flag.String("workload", "BL", "workload: U, G, C, BR, BL")
+		scale    = flag.Float64("scale", 0.01, "workload scale (live replay is one HTTP request per trace line)")
+		polSpec  = flag.String("policy", "SIZE", "removal policy for both systems")
+		fraction = flag.Float64("fraction", 0.10, "cache size as a fraction of MaxNeeded")
+		seed     = flag.Uint64("seed", 42, "workload seed")
+	)
+	flag.Parse()
+	if err := run(*wl, *scale, *polSpec, *fraction, *seed, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "livebench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(wl string, scale float64, polSpec string, fraction float64, seed uint64, out io.Writer) error {
+	cfg, err := workload.ByName(wl, seed)
+	if err != nil {
+		return err
+	}
+	cfg.Scale = scale
+	// Align consistency semantics between the two systems: no document
+	// modifications, no zero-size log noise.
+	cfg.SizeChangeProb = 0
+	cfg.ZeroSizeProb = 0
+	tr, _, err := workload.GenerateValidated(cfg)
+	if err != nil {
+		return err
+	}
+
+	base := sim.Experiment1(tr, seed+1)
+	capacity := int64(fraction * float64(base.MaxNeeded))
+	fmt.Fprintf(out, "workload %s: %d requests, MaxNeeded %.1f MB, cache %.1f MB, policy %s\n",
+		tr.Name, len(tr.Requests), float64(base.MaxNeeded)/1e6, float64(capacity)/1e6, polSpec)
+
+	// --- Simulated run (the proxy never caches dynamic documents, so
+	// the simulator must not either).
+	simPol, err := policy.Parse(polSpec, tr.Start)
+	if err != nil {
+		return err
+	}
+	simCache := core.New(core.Config{
+		Capacity:       capacity,
+		Policy:         simPol,
+		Seed:           seed + 2,
+		ExcludeDynamic: true,
+	})
+	for i := range tr.Requests {
+		simCache.Access(&tr.Requests[i])
+	}
+	simStats := simCache.Stats()
+	fmt.Fprintf(out, "simulated: HR %6.2f%%  WHR %6.2f%%  (%d evictions)\n",
+		100*simStats.HitRate(), 100*simStats.WeightedHitRate(), simStats.Evictions)
+
+	// --- Live run, with the same tiebreak stream as the simulated cache.
+	liveHits, liveBytesHit, liveBytes, err := replayLive(tr, polSpec, capacity, seed+2, out)
+	if err != nil {
+		return err
+	}
+	liveHR := float64(liveHits) / float64(len(tr.Requests))
+	liveWHR := float64(liveBytesHit) / float64(liveBytes)
+	fmt.Fprintf(out, "live:      HR %6.2f%%  WHR %6.2f%%\n", 100*liveHR, 100*liveWHR)
+	fmt.Fprintf(out, "delta:     HR %+.2f points  WHR %+.2f points\n",
+		100*(liveHR-simStats.HitRate()), 100*(liveWHR-simStats.WeightedHitRate()))
+	return nil
+}
+
+// replayLive drives every trace request through a real proxy + origin.
+// cacheSeed matches the simulated cache's seed so per-entry tiebreak
+// values coincide and tie-heavy policies (LRU, LFU) evict identically.
+func replayLive(tr *trace.Trace, polSpec string, capacity int64, cacheSeed uint64, out io.Writer) (hits, bytesHit, bytesTotal int64, err error) {
+	org := origin.FromTrace(tr)
+	originTS := httptest.NewServer(org)
+	defer originTS.Close()
+
+	livePol, err := policy.Parse(polSpec, tr.Start)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	store := proxy.NewStore(capacity, livePol)
+	// Mirror core.New's internal seed derivation so the per-entry random
+	// tiebreak sequences of the two systems are identical.
+	store.SetSeed(cacheSeed ^ 0x9e3779b97f4a7c15)
+	// Drive the store's clock from the trace so time-based policies see
+	// simulation time, not wall time.
+	var simNow int64
+	store.SetClock(func() time.Time { return time.Unix(simNow, 0) })
+
+	srv := proxy.New(store)
+	srv.FreshFor = 100 * 365 * 24 * time.Hour // never revalidate
+	srv.MaxObjectBytes = 64 << 20
+	srv.Transport = origin.RewriteTransport(originTS.Listener.Addr().String())
+	proxyTS := httptest.NewServer(srv)
+	defer proxyTS.Close()
+
+	proxyURL, err := url.Parse(proxyTS.URL)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	client := &http.Client{Transport: &http.Transport{
+		Proxy:               http.ProxyURL(proxyURL),
+		MaxIdleConnsPerHost: 16,
+	}}
+
+	for i := range tr.Requests {
+		req := &tr.Requests[i]
+		simNow = req.Time
+		resp, err := client.Get(req.URL)
+		if err != nil {
+			return 0, 0, 0, fmt.Errorf("request %d (%s): %w", i, req.URL, err)
+		}
+		n, _ := io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		bytesTotal += n
+		if v := resp.Header.Get("X-Cache"); v == "HIT" || v == "REVALIDATED" {
+			hits++
+			bytesHit += n
+		}
+	}
+	fetches, originBytes := org.Fetches()
+	fmt.Fprintf(out, "origin:    %d fetches, %.1f MB sent (of %.1f MB requested)\n",
+		fetches, float64(originBytes)/1e6, float64(bytesTotal)/1e6)
+	return hits, bytesHit, bytesTotal, nil
+}

@@ -1,0 +1,57 @@
+package main
+
+import (
+	"bytes"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// TestLiveMatchesSimulated is the validation this command exists for:
+// the live proxy replay must agree with the simulator exactly when the
+// semantics are aligned.
+func TestLiveMatchesSimulated(t *testing.T) {
+	if testing.Short() {
+		t.Skip("live HTTP replay in -short mode")
+	}
+	for _, polSpec := range []string{"SIZE", "LRU", "LFU"} {
+		var out bytes.Buffer
+		if err := run("C", 0.005, polSpec, 0.10, 7, &out); err != nil {
+			t.Fatalf("%s: %v", polSpec, err)
+		}
+		text := out.String()
+		if !strings.Contains(text, "delta:     HR +0.00 points  WHR +0.00 points") {
+			t.Errorf("%s: live and simulated disagree:\n%s", polSpec, text)
+		}
+	}
+}
+
+func TestRunRejectsBadInputs(t *testing.T) {
+	var out bytes.Buffer
+	if err := run("ZZ", 0.01, "SIZE", 0.1, 1, &out); err == nil {
+		t.Error("unknown workload accepted")
+	}
+	if err := run("C", 0.005, "NOPE", 0.1, 1, &out); err == nil {
+		t.Error("unknown policy accepted")
+	}
+}
+
+func TestOutputShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("live HTTP replay in -short mode")
+	}
+	var out bytes.Buffer
+	if err := run("BL", 0.003, "SIZE", 0.10, 3, &out); err != nil {
+		t.Fatal(err)
+	}
+	for _, pat := range []string{
+		`workload BL: \d+ requests`,
+		`simulated: HR +[0-9.]+%`,
+		`origin: +\d+ fetches`,
+		`live: +HR +[0-9.]+%`,
+	} {
+		if !regexp.MustCompile(pat).MatchString(out.String()) {
+			t.Errorf("output missing /%s/:\n%s", pat, out.String())
+		}
+	}
+}

@@ -1,0 +1,141 @@
+// Command proxy runs the live HTTP caching proxy with a configurable
+// removal policy — the deployable counterpart of the paper's simulator.
+// Point HTTP clients at it as their proxy (http_proxy=http://host:port/)
+// or use it reverse-proxy style with origin-form requests.
+//
+// Usage:
+//
+//	proxy -listen :3128 -capacity 64MiB -policy SIZE
+//	proxy -listen :3128 -parent http://upstream:3128 -policy LRU-MIN
+//	proxy -listen :3128 -icp :3130 -siblings peer:3130=http://peer:3128
+//	proxy -listen :3128 -accesslog /var/log/webcache/access.log
+//
+// GET /._webcache/stats on the listen address reports statistics.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"net/url"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"webcache/internal/policy"
+	"webcache/internal/proxy"
+)
+
+func main() {
+	var (
+		listen   = flag.String("listen", ":3128", "address to listen on")
+		capFlag  = flag.String("capacity", "64MiB", "cache capacity (bytes, or with KiB/MiB/GiB suffix)")
+		polSpec  = flag.String("policy", "SIZE", "removal policy (SIZE, LRU, LFU, LRU-MIN, Hyper-G, key1/key2, ...)")
+		parent   = flag.String("parent", "", "optional parent proxy URL (second-level cache)")
+		freshFor = flag.Duration("fresh", 5*time.Minute, "serve cached objects this long before revalidating")
+		icpAddr  = flag.String("icp", "", "UDP address to answer ICP sibling queries on (e.g. :3130)")
+		siblings = flag.String("siblings", "", "comma-separated sibling list as icpHost:port=httpURL pairs")
+		logPath  = flag.String("accesslog", "", "write a common-log-format access log to this file")
+	)
+	flag.Parse()
+
+	capacity, err := parseBytes(*capFlag)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "proxy:", err)
+		os.Exit(2)
+	}
+	pol, err := policy.Parse(*polSpec, time.Now().Unix()/86400*86400)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "proxy:", err)
+		os.Exit(2)
+	}
+
+	store := proxy.NewStore(capacity, pol)
+	srv := proxy.New(store)
+	srv.FreshFor = *freshFor
+	if *parent != "" {
+		pu, err := url.Parse(*parent)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "proxy: bad parent URL:", err)
+			os.Exit(2)
+		}
+		srv.Transport = &http.Transport{Proxy: http.ProxyURL(pu)}
+		log.Printf("chaining to parent proxy %s", pu)
+	}
+
+	if *icpAddr != "" {
+		responder, err := proxy.NewICPResponder(store, *icpAddr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "proxy:", err)
+			os.Exit(2)
+		}
+		defer responder.Close()
+		log.Printf("answering ICP queries on %s", responder.Addr())
+	}
+	if *siblings != "" {
+		for _, pair := range strings.Split(*siblings, ",") {
+			icpPart, httpPart, ok := strings.Cut(strings.TrimSpace(pair), "=")
+			if !ok {
+				fmt.Fprintf(os.Stderr, "proxy: bad sibling %q (want icpHost:port=httpURL)\n", pair)
+				os.Exit(2)
+			}
+			srv.Siblings = append(srv.Siblings, proxy.Sibling{ICPAddr: icpPart, Proxy: httpPart})
+		}
+		srv.ICP.Timeout = 100 * time.Millisecond
+		log.Printf("querying %d ICP siblings before origin fetches", len(srv.Siblings))
+	}
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("/._webcache/stats", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(map[string]any{
+			"proxy": srv.Stats(),
+			"store": store.Stats(),
+		})
+	})
+	var root http.Handler = srv
+	if *logPath != "" {
+		f, err := os.OpenFile(*logPath, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "proxy:", err)
+			os.Exit(2)
+		}
+		defer f.Close()
+		logger := proxy.NewAccessLogger(srv, f)
+		defer logger.Flush()
+		root = logger
+		log.Printf("writing access log to %s", *logPath)
+	}
+	mux.Handle("/", root)
+
+	log.Printf("caching proxy on %s: capacity=%s policy=%s", *listen, *capFlag, pol.Name())
+	if err := http.ListenAndServe(*listen, mux); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// parseBytes parses "1048576", "64MiB", "1.5GiB", etc.
+func parseBytes(s string) (int64, error) {
+	s = strings.TrimSpace(s)
+	mult := int64(1)
+	for suffix, m := range map[string]int64{
+		"KiB": 1 << 10, "MiB": 1 << 20, "GiB": 1 << 30,
+		"KB": 1000, "MB": 1000_000, "GB": 1000_000_000,
+	} {
+		if strings.HasSuffix(s, suffix) {
+			mult = m
+			s = strings.TrimSuffix(s, suffix)
+			break
+		}
+	}
+	v, err := strconv.ParseFloat(strings.TrimSpace(s), 64)
+	if err != nil || v <= 0 {
+		return 0, fmt.Errorf("bad capacity %q", s)
+	}
+	return int64(v * float64(mult)), nil
+}

@@ -1,0 +1,26 @@
+package main
+
+import "testing"
+
+func TestParseBytes(t *testing.T) {
+	good := map[string]int64{
+		"1048576": 1048576,
+		"64MiB":   64 << 20,
+		"1.5GiB":  3 << 29,
+		"10KiB":   10 << 10,
+		"2GB":     2_000_000_000,
+		"500KB":   500_000,
+		" 3MB ":   3_000_000,
+	}
+	for in, want := range good {
+		got, err := parseBytes(in)
+		if err != nil || got != want {
+			t.Errorf("parseBytes(%q) = %d, %v; want %d", in, got, err, want)
+		}
+	}
+	for _, in := range []string{"", "abc", "-5", "0", "MiB"} {
+		if _, err := parseBytes(in); err == nil {
+			t.Errorf("parseBytes(%q) accepted", in)
+		}
+	}
+}

@@ -1,0 +1,178 @@
+// Command websim runs the paper's experiments on the synthetic workloads
+// (or on a real common-log-format trace) and prints the corresponding
+// tables and figure series.
+//
+// Usage:
+//
+//	websim -exp 1 -workload BL                 # Experiment 1 (Figs. 3-7)
+//	websim -exp 2 -workload U -fraction 0.1    # Experiment 2 (Figs. 8-12)
+//	websim -exp 2s -workload G                 # secondary keys (Fig. 15)
+//	websim -exp 2all -workload BL              # the full 36-policy design
+//	websim -exp classics -workload BR          # FIFO/LRU/LFU/LRU-MIN/...
+//	websim -exp 3 -workload BR                 # two-level cache (Figs. 16-18)
+//	websim -exp 4 -workload BR                 # partitioned cache (Figs. 19-20)
+//	websim -exp 5 -workload BL                 # shared L2 across client groups (§5)
+//	websim -exp 6 -workload BL                 # latency saved per policy (§1/§5)
+//	websim -exp tables                         # Tables 1 and 3
+//	websim -exp 4 -trace access.log            # run on a real CLF trace
+//
+// -scale shrinks the synthetic workloads for quick runs; -series prints
+// the full per-day figure series instead of summaries.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"webcache/internal/policy"
+	"webcache/internal/sim"
+	"webcache/internal/stats"
+	"webcache/internal/trace"
+	"webcache/internal/workload"
+)
+
+func main() {
+	var (
+		exp       = flag.String("exp", "1", "experiment: 1, 2, 2s, 2all, classics, 3, 4, 5, 6, table4, tables, all")
+		wl        = flag.String("workload", "BL", "workload: U, G, C, BR, BL")
+		traceFile = flag.String("trace", "", "run on this common-log-format file instead of a synthetic workload")
+		fraction  = flag.Float64("fraction", 0.10, "cache size as a fraction of MaxNeeded")
+		scale     = flag.Float64("scale", 1.0, "synthetic workload scale (1.0 = paper volume)")
+		seed      = flag.Uint64("seed", 42, "workload generation seed")
+		series    = flag.Bool("series", false, "print full per-day series where applicable")
+		plot      = flag.Bool("plot", false, "draw ASCII figures for per-day series")
+	)
+	flag.Parse()
+
+	if err := run(*exp, *wl, *traceFile, *fraction, *scale, *seed, *series, *plot); err != nil {
+		fmt.Fprintln(os.Stderr, "websim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(exp, wl, traceFile string, fraction, scale float64, seed uint64, series, plot bool) error {
+	if exp == "tables" {
+		fmt.Println("Table 1 — sorting keys")
+		fmt.Println(sim.RenderTable1())
+		fmt.Println("Table 3 — literature policies")
+		fmt.Println(sim.RenderTable3())
+		return nil
+	}
+
+	tr, err := loadTrace(wl, traceFile, scale, seed)
+	if err != nil {
+		return err
+	}
+
+	if exp == "table4" {
+		fmt.Printf("Table 4 — file type distribution, workload %s\n", tr.Name)
+		fmt.Println(sim.RenderTypeMix(tr))
+		return nil
+	}
+
+	base := sim.Experiment1(tr, seed+1)
+	switch exp {
+	case "1":
+		fmt.Println(sim.RenderExp1(base, series))
+		if plot {
+			fmt.Println(stats.PlotPercentSeries("Figs. 3-7: infinite-cache hit rates, 7-day moving average (%)",
+				map[string][]stats.DayPoint{
+					"HR":  base.Rates.HR.MovingAverage(),
+					"WHR": base.Rates.WHR.MovingAverage(),
+				}))
+		}
+	case "2":
+		res := sim.Experiment2(tr, base, policy.PrimaryCombos(), fraction, seed+2)
+		fmt.Println(sim.RenderExp2(res))
+		if plot {
+			named := map[string][]stats.DayPoint{}
+			for _, run := range res.Runs {
+				switch run.Policy {
+				case "SIZE/RANDOM", "ETIME/RANDOM", "ATIME/RANDOM", "NREF/RANDOM":
+					named[run.Policy] = run.Rates.HR.RatioTo(base.Rates.HR)
+				}
+			}
+			fmt.Println(stats.PlotPercentSeries("Figs. 8-12: % of infinite-cache HR", named))
+		}
+		if series {
+			for _, name := range []string{"SIZE/RANDOM", "ETIME/RANDOM", "ATIME/RANDOM", "NREF/RANDOM"} {
+				fmt.Println(sim.RenderExp2Series(res, name))
+			}
+		}
+	case "2all":
+		res := sim.Experiment2(tr, base, policy.AllCombos(), fraction, seed+2)
+		fmt.Println(sim.RenderExp2(res))
+	case "2s":
+		res := sim.Experiment2Secondary(tr, base, fraction, seed+3)
+		fmt.Println(sim.RenderExp2Secondary(res))
+	case "classics":
+		res := sim.ExperimentClassics(tr, base, fraction, seed+4)
+		fmt.Println(sim.RenderExp2(res))
+	case "3":
+		res3 := sim.Experiment3(tr, base, fraction, seed+5)
+		fmt.Println(sim.RenderExp3(res3, series))
+		if plot {
+			fmt.Println(stats.PlotPercentSeries("Figs. 16-18: second-level cache rates over all requests (%)",
+				map[string][]stats.DayPoint{
+					"L2 HR":  res3.L2HR.MovingAverage(),
+					"L2 WHR": res3.L2WHR.MovingAverage(),
+				}))
+		}
+	case "4":
+		fmt.Println(sim.RenderExp4(sim.Experiment4(tr, base, fraction, seed+6)))
+	case "5":
+		fmt.Println(sim.RenderExp5(sim.Experiment5(tr, base, 4, fraction, seed+7)))
+	case "6":
+		res, err := sim.Experiment6(tr, base,
+			[]string{"SIZE", "LATENCY", "LRU", "NREF", "GD-Size(1)", "GD-Latency"},
+			fraction, nil, seed+8)
+		if err != nil {
+			return err
+		}
+		fmt.Println(sim.RenderExp6(res))
+	case "all":
+		fmt.Println(sim.RenderExp1(base, false))
+		fmt.Println(sim.RenderExp2(sim.Experiment2(tr, base, policy.PrimaryCombos(), fraction, seed+2)))
+		fmt.Println(sim.RenderExp2Secondary(sim.Experiment2Secondary(tr, base, fraction, seed+3)))
+		fmt.Println(sim.RenderExp3(sim.Experiment3(tr, base, fraction, seed+5), false))
+		fmt.Println(sim.RenderExp4(sim.Experiment4(tr, base, fraction, seed+6)))
+		fmt.Println(sim.RenderExp5(sim.Experiment5(tr, base, 4, fraction, seed+7)))
+		res6, err := sim.Experiment6(tr, base,
+			[]string{"SIZE", "LATENCY", "LRU", "NREF", "GD-Size(1)", "GD-Latency"},
+			fraction, nil, seed+8)
+		if err != nil {
+			return err
+		}
+		fmt.Println(sim.RenderExp6(res6))
+	default:
+		return fmt.Errorf("unknown experiment %q", exp)
+	}
+	return nil
+}
+
+// loadTrace returns the validated trace from a file or a synthetic
+// workload.
+func loadTrace(wl, traceFile string, scale float64, seed uint64) (*trace.Trace, error) {
+	if traceFile != "" {
+		raw, stats, err := trace.ReadCLFFile(traceFile, traceFile)
+		if err != nil {
+			return nil, err
+		}
+		if stats.Malformed > 0 {
+			fmt.Fprintf(os.Stderr, "websim: skipped %d malformed lines (first: %v)\n",
+				stats.Malformed, stats.FirstError)
+		}
+		valid, vstats := trace.Validate(raw)
+		fmt.Fprintf(os.Stderr, "websim: %d of %d log lines valid (%.1f%% size changes among re-references)\n",
+			vstats.Kept, vstats.Input, 100*vstats.SizeChangeFraction())
+		return valid, nil
+	}
+	cfg, err := workload.ByName(wl, seed)
+	if err != nil {
+		return nil, err
+	}
+	cfg.Scale = scale
+	tr, _, err := workload.GenerateValidated(cfg)
+	return tr, err
+}

@@ -1,0 +1,72 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"webcache/internal/trace"
+	"webcache/internal/workload"
+)
+
+func TestRunAllExperiments(t *testing.T) {
+	for _, exp := range []string{"tables", "table4", "1", "2", "2s", "classics", "3", "4", "5", "6"} {
+		if err := run(exp, "C", "", 0.10, 0.02, 7, true, true); err != nil {
+			t.Errorf("run(%q): %v", exp, err)
+		}
+	}
+}
+
+func TestRunUnknownExperiment(t *testing.T) {
+	if err := run("bogus", "C", "", 0.1, 0.02, 7, false, false); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+}
+
+func TestRunUnknownWorkload(t *testing.T) {
+	if err := run("1", "ZZ", "", 0.1, 0.02, 7, false, false); err == nil {
+		t.Fatal("unknown workload accepted")
+	}
+}
+
+func TestLoadTraceFromFile(t *testing.T) {
+	cfg := workload.C(3)
+	cfg.Scale = 0.01
+	raw, err := workload.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "c.log")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := trace.WriteCLF(f, raw, true); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	tr, err := loadTrace("", path, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Requests) == 0 {
+		t.Fatal("file trace empty after validation")
+	}
+	// The file path wins over the workload name, and validation is
+	// applied: every request is status 200.
+	for i := range tr.Requests {
+		if tr.Requests[i].Status != 200 {
+			t.Fatal("validation not applied to file trace")
+		}
+	}
+	if err := run("1", "", path, 0.1, 1, 1, false, false); err != nil {
+		t.Fatalf("run on file trace: %v", err)
+	}
+}
+
+func TestLoadTraceMissingFile(t *testing.T) {
+	if _, err := loadTrace("", "/nonexistent/nope.log", 1, 1); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}

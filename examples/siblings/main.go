@@ -1,0 +1,102 @@
+// Siblings demonstrates the Harvest-style cooperative arrangement of the
+// paper's reference [8]: two peer caching proxies that ask each other
+// over ICP (a tiny UDP protocol) before going to the origin server. A
+// document fetched by one lab's proxy is then served to the other lab
+// from the sibling, not from the origin.
+package main
+
+import (
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"strings"
+	"time"
+
+	"webcache"
+)
+
+func main() {
+	var originFetches int
+	origin := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		originFetches++
+		w.Header().Set("Last-Modified", "Mon, 17 Sep 1995 14:00:00 GMT")
+		io.WriteString(w, strings.Repeat(r.URL.Path[1:], 200))
+	}))
+	defer origin.Close()
+
+	// Two peer proxies, one per "lab", each with its own ICP responder.
+	mkProxy := func() (*webcache.ProxyServer, *httptest.Server, *webcache.ICPResponder) {
+		pol, err := webcache.NewPolicy("SIZE", 0)
+		if err != nil {
+			log.Fatal(err)
+		}
+		store := webcache.NewProxyStore(4<<20, pol)
+		srv := webcache.NewProxy(store)
+		ts := httptest.NewServer(srv)
+		icp, err := webcache.NewICPResponder(store, "127.0.0.1:0")
+		if err != nil {
+			log.Fatal(err)
+		}
+		return srv, ts, icp
+	}
+	labA, labATS, labAICP := mkProxy()
+	labB, labBTS, labBICP := mkProxy()
+	defer labATS.Close()
+	defer labBTS.Close()
+	defer labAICP.Close()
+	defer labBICP.Close()
+
+	// Peer them.
+	labA.Siblings = []webcache.ICPSibling{{ICPAddr: labBICP.Addr(), Proxy: labBTS.URL}}
+	labB.Siblings = []webcache.ICPSibling{{ICPAddr: labAICP.Addr(), Proxy: labATS.URL}}
+	labA.ICP.Timeout = 200 * time.Millisecond
+	labB.ICP.Timeout = 200 * time.Millisecond
+
+	client := func(proxyURL string) *http.Client {
+		pu, err := url.Parse(proxyURL)
+		if err != nil {
+			log.Fatal(err)
+		}
+		return &http.Client{Transport: &http.Transport{Proxy: http.ProxyURL(pu)}}
+	}
+	clientA := client(labATS.URL)
+	clientB := client(labBTS.URL)
+
+	get := func(c *http.Client, who, path string) {
+		resp, err := c.Get(origin.URL + path)
+		if err != nil {
+			log.Fatal(err)
+		}
+		body, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-6s GET %-12s %-5s  %5d bytes (origin fetches so far: %d)\n",
+			who, path, resp.Header.Get("X-Cache"), len(body), originFetches)
+	}
+
+	// Lab A's users read the course notes first.
+	get(clientA, "lab A", "/notes.html")
+	get(clientA, "lab A", "/slides.ps")
+	// Lab B's users request the same documents: its proxy misses, asks
+	// its sibling over ICP, and fetches from lab A — no origin traffic.
+	get(clientB, "lab B", "/notes.html")
+	get(clientB, "lab B", "/slides.ps")
+	// Now both labs have local copies.
+	get(clientB, "lab B", "/notes.html")
+	get(clientA, "lab A", "/slides.ps")
+
+	fmt.Println()
+	sa, sb := labA.Stats(), labB.Stats()
+	qa, ha := labAICP.Stats()
+	fmt.Printf("lab A proxy: %d requests, %d local hits; answered %d of %d ICP queries with HIT\n",
+		sa.Requests, sa.Hits, ha, qa)
+	fmt.Printf("lab B proxy: %d requests, %d local hits, %d served via the sibling\n",
+		sb.Requests, sb.Hits, sb.SiblingHits)
+	fmt.Printf("origin server: %d fetches for %d client requests\n",
+		originFetches, sa.Requests+sb.Requests)
+}

@@ -1,0 +1,227 @@
+// Package analysis characterizes Web request traces the way §2.2 of the
+// paper does (using the authors' Chitra95 toolset): file-type mixes,
+// popularity concentration, size distributions and temporal locality.
+// Its report reproduces the quantities behind Figures 1, 2, 13 and 14
+// for any common-log-format trace, synthetic or real.
+package analysis
+
+import (
+	"math"
+	"sort"
+
+	"webcache/internal/stats"
+	"webcache/internal/trace"
+)
+
+// TypeRow is one row of the Table 4 view.
+type TypeRow struct {
+	Type      trace.DocType
+	Refs      int64
+	Bytes     int64
+	RefShare  float64
+	ByteShare float64
+}
+
+// Report is a full trace characterization.
+type Report struct {
+	Name     string
+	Requests int
+	Days     int
+	Bytes    int64
+
+	// Table 4 view.
+	Types []TypeRow
+
+	// Concentration (Figs. 1-2).
+	UniqueURLs      int
+	UniqueServers   int
+	UniqueClients   int
+	OneTimerFrac    float64 // URLs referenced exactly once
+	Top10URLShare   float64 // fraction of requests going to the 10 hottest URLs
+	URLsForHalf     int     // URLs covering 50% of bytes (Fig. 2)
+	ServerZipf      stats.ZipfFit
+	URLZipf         stats.ZipfFit
+	MaxTheoreticalH float64 // 1 - uniques/requests: the infinite-cache HR bound
+
+	// Size distribution (Fig. 13), request weighted.
+	SizeSummary    stats.Summary
+	ReqUnder1KB    float64
+	ReqUnder10KB   float64
+	SizeHist       *stats.Histogram
+	UniqueDocBytes int64 // the MaxNeeded approximation
+
+	// Request rate (§2.2: "average request rates under 2000 per day").
+	ActiveDays   int
+	DailyReqRate stats.Summary
+
+	// Temporal locality (Fig. 14).
+	InterrefCount   int
+	InterrefCenterX float64 // bytes
+	InterrefCenterY float64 // seconds
+	InterrefSummary stats.Summary
+}
+
+// Analyze characterizes a (validated) trace.
+func Analyze(tr *trace.Trace) *Report {
+	r := &Report{
+		Name:     tr.Name,
+		Requests: len(tr.Requests),
+		Days:     tr.Days(),
+	}
+	if len(tr.Requests) == 0 {
+		return r
+	}
+
+	var typeRefs [trace.NumDocTypes]int64
+	var typeBytes [trace.NumDocTypes]int64
+	urlCount := map[string]int64{}
+	urlBytes := map[string]int64{}
+	serverCount := map[string]int64{}
+	clientSet := map[string]struct{}{}
+	lastSeen := map[string]int64{}
+	uniqueSize := map[string]int64{}
+
+	dayCounts := map[int]float64{}
+
+	hist, _ := stats.NewHistogram(0, 20480, 40)
+	var pts []stats.ScatterPoint
+	var interref []float64
+	var under1k, under10k int
+
+	for i := range tr.Requests {
+		req := &tr.Requests[i]
+		r.Bytes += req.Size
+		typeRefs[req.Type]++
+		typeBytes[req.Type] += req.Size
+		dayCounts[req.Day(tr.Start)]++
+		urlCount[req.URL]++
+		urlBytes[req.URL] += req.Size
+		serverCount[hostOf(req.URL)]++
+		clientSet[req.Client] = struct{}{}
+		uniqueSize[req.URL] = req.Size
+
+		hist.Add(float64(req.Size))
+		if req.Size < 1024 {
+			under1k++
+		}
+		if req.Size < 10240 {
+			under10k++
+		}
+		if prev, ok := lastSeen[req.URL]; ok && req.Time > prev {
+			dt := float64(req.Time - prev)
+			pts = append(pts, stats.ScatterPoint{X: float64(req.Size), Y: dt})
+			interref = append(interref, dt)
+		}
+		lastSeen[req.URL] = req.Time
+	}
+
+	for dt := trace.DocType(0); dt < trace.NumDocTypes; dt++ {
+		if typeRefs[dt] == 0 {
+			continue
+		}
+		r.Types = append(r.Types, TypeRow{
+			Type:      dt,
+			Refs:      typeRefs[dt],
+			Bytes:     typeBytes[dt],
+			RefShare:  float64(typeRefs[dt]) / float64(r.Requests),
+			ByteShare: float64(typeBytes[dt]) / float64(r.Bytes),
+		})
+	}
+
+	r.UniqueURLs = len(urlCount)
+	r.UniqueServers = len(serverCount)
+	r.UniqueClients = len(clientSet)
+	r.MaxTheoreticalH = 1 - float64(r.UniqueURLs)/float64(r.Requests)
+
+	oneTimers := 0
+	counts := make([]int64, 0, len(urlCount))
+	for _, c := range urlCount {
+		if c == 1 {
+			oneTimers++
+		}
+		counts = append(counts, c)
+	}
+	r.OneTimerFrac = float64(oneTimers) / float64(r.UniqueURLs)
+	sort.Slice(counts, func(i, j int) bool { return counts[i] > counts[j] })
+	var top10 int64
+	for i := 0; i < len(counts) && i < 10; i++ {
+		top10 += counts[i]
+	}
+	r.Top10URLShare = float64(top10) / float64(r.Requests)
+
+	rfBytes := stats.RankFrequency(urlBytes)
+	var cum int64
+	r.URLsForHalf = len(rfBytes)
+	for i, p := range rfBytes {
+		cum += p.Count
+		if cum >= r.Bytes/2 {
+			r.URLsForHalf = i + 1
+			break
+		}
+	}
+	r.ServerZipf = stats.FitZipf(stats.RankFrequency(serverCount))
+	r.URLZipf = stats.FitZipf(stats.RankFrequency(urlCount))
+
+	sizes := make([]float64, 0, len(tr.Requests))
+	for i := range tr.Requests {
+		sizes = append(sizes, float64(tr.Requests[i].Size))
+	}
+	r.SizeSummary = stats.Summarize(sizes)
+	r.ReqUnder1KB = float64(under1k) / float64(r.Requests)
+	r.ReqUnder10KB = float64(under10k) / float64(r.Requests)
+	r.SizeHist = hist
+	for _, s := range uniqueSize {
+		r.UniqueDocBytes += s
+	}
+
+	r.ActiveDays = len(dayCounts)
+	perDay := make([]float64, 0, len(dayCounts))
+	for _, c := range dayCounts {
+		perDay = append(perDay, c)
+	}
+	r.DailyReqRate = stats.Summarize(perDay)
+
+	r.InterrefCount = len(pts)
+	r.InterrefCenterX, r.InterrefCenterY = stats.CenterOfMass(pts)
+	r.InterrefSummary = stats.Summarize(interref)
+	return r
+}
+
+// hostOf extracts the server from an absolute URL.
+func hostOf(url string) string {
+	s := url
+	for i := 0; i+3 <= len(s); i++ {
+		if s[i:i+3] == "://" {
+			s = s[i+3:]
+			break
+		}
+	}
+	for i := 0; i < len(s); i++ {
+		if s[i] == '/' {
+			return s[:i]
+		}
+	}
+	return s
+}
+
+// TemporalLocalityWeak reports whether the trace exhibits the paper's
+// §4.3 finding: the median inter-reference time exceeds the given
+// threshold (the paper reads ~4 hours off Fig. 14 and concludes LRU
+// keys poorly).
+func (r *Report) TemporalLocalityWeak(thresholdSeconds float64) bool {
+	return r.InterrefSummary.Median >= thresholdSeconds
+}
+
+// ZipfLike reports whether server popularity follows a Zipf law with a
+// respectable fit, the Fig. 1 observation.
+func (r *Report) ZipfLike() bool {
+	return r.ServerZipf.N >= 10 && r.ServerZipf.R2 >= 0.8 &&
+		r.ServerZipf.Slope > 0.5 && r.ServerZipf.Slope < 2.5
+}
+
+// ConcentrationSummary quantifies the paper's closing observation that
+// "users do not aimlessly and randomly request Web pages": the expected
+// hit rate a cache could reach purely from re-references.
+func (r *Report) ConcentrationSummary() float64 {
+	return math.Max(0, r.MaxTheoreticalH)
+}

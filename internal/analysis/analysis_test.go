@@ -1,0 +1,130 @@
+package analysis
+
+import (
+	"strings"
+	"testing"
+
+	"webcache/internal/trace"
+	"webcache/internal/workload"
+)
+
+func blTrace(t *testing.T) *trace.Trace {
+	t.Helper()
+	cfg := workload.BL(42)
+	cfg.Scale = 0.1
+	tr, _, err := workload.GenerateValidated(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+func TestAnalyzeEmpty(t *testing.T) {
+	r := Analyze(&trace.Trace{Name: "empty"})
+	if r.Requests != 0 || r.Bytes != 0 {
+		t.Fatalf("empty report %+v", r)
+	}
+	if out := r.Render(); !strings.Contains(out, "empty") {
+		t.Fatal("render lost the trace name")
+	}
+}
+
+func TestAnalyzeHandBuilt(t *testing.T) {
+	tr := &trace.Trace{Name: "hand", Start: 0, Requests: []trace.Request{
+		{Time: 10, Client: "c1", URL: "http://s1/a.gif", Status: 200, Size: 500, Type: trace.Graphics},
+		{Time: 20, Client: "c2", URL: "http://s1/b.html", Status: 200, Size: 2000, Type: trace.Text},
+		{Time: 3630, Client: "c1", URL: "http://s1/a.gif", Status: 200, Size: 500, Type: trace.Graphics},
+		{Time: 4000, Client: "c1", URL: "http://s2/c.au", Status: 200, Size: 9000, Type: trace.Audio},
+	}}
+	r := Analyze(tr)
+	if r.Requests != 4 || r.Bytes != 12000 {
+		t.Fatalf("requests/bytes %d/%d", r.Requests, r.Bytes)
+	}
+	if r.UniqueURLs != 3 || r.UniqueServers != 2 || r.UniqueClients != 2 {
+		t.Fatalf("uniques %d/%d/%d", r.UniqueURLs, r.UniqueServers, r.UniqueClients)
+	}
+	if r.InterrefCount != 1 {
+		t.Fatalf("interref count %d", r.InterrefCount)
+	}
+	if r.InterrefSummary.Median != 3620 {
+		t.Fatalf("interref median %v", r.InterrefSummary.Median)
+	}
+	// a.gif: one re-reference; one-timers are b and c -> 2/3.
+	if got := r.OneTimerFrac; got < 0.66 || got > 0.67 {
+		t.Fatalf("one-timer fraction %v", got)
+	}
+	if r.ReqUnder1KB != 0.5 {
+		t.Fatalf("under-1KB %v", r.ReqUnder1KB)
+	}
+	// MaxTheoreticalH = 1 - 3/4.
+	if got := r.ConcentrationSummary(); got != 0.25 {
+		t.Fatalf("concentration %v", got)
+	}
+	if len(r.Types) != 3 {
+		t.Fatalf("%d type rows", len(r.Types))
+	}
+}
+
+func TestAnalyzeBLMatchesPaperShape(t *testing.T) {
+	r := Analyze(blTrace(t))
+	if !r.ZipfLike() {
+		t.Errorf("server popularity not Zipf-like: %+v", r.ServerZipf)
+	}
+	if !r.TemporalLocalityWeak(3600) {
+		t.Errorf("temporal locality unexpectedly strong: median %v s", r.InterrefSummary.Median)
+	}
+	if r.ReqUnder10KB < 0.5 {
+		t.Errorf("only %.2f of requests under 10KB; Fig. 13 mass should be small", r.ReqUnder10KB)
+	}
+	if r.URLsForHalf > r.UniqueURLs/10 {
+		t.Errorf("byte concentration too weak: %d of %d URLs for half the bytes",
+			r.URLsForHalf, r.UniqueURLs)
+	}
+	// The type table must cover all requests.
+	var refs int64
+	for _, row := range r.Types {
+		refs += row.Refs
+	}
+	if int(refs) != r.Requests {
+		t.Errorf("type rows cover %d of %d requests", refs, r.Requests)
+	}
+}
+
+func TestRenderContainsSections(t *testing.T) {
+	out := Analyze(blTrace(t)).Render()
+	for _, want := range []string{
+		"File type distribution", "Concentration", "Document sizes",
+		"Temporal locality", "Zipf slope", "MaxNeeded",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q", want)
+		}
+	}
+}
+
+func TestHostOf(t *testing.T) {
+	if got := hostOf("http://a.b/x"); got != "a.b" {
+		t.Fatalf("hostOf = %q", got)
+	}
+	if got := hostOf("noscheme/path"); got != "noscheme" {
+		t.Fatalf("hostOf = %q", got)
+	}
+}
+
+func TestRequestRateStats(t *testing.T) {
+	tr := &trace.Trace{Name: "rate", Start: 0, Requests: []trace.Request{
+		{Time: 10, URL: "http://s/a.html", Status: 200, Size: 1},
+		{Time: 20, URL: "http://s/b.html", Status: 200, Size: 1},
+		{Time: 86400 + 10, URL: "http://s/c.html", Status: 200, Size: 1},
+	}}
+	r := Analyze(tr)
+	if r.ActiveDays != 2 {
+		t.Fatalf("ActiveDays = %d", r.ActiveDays)
+	}
+	if r.DailyReqRate.Mean != 1.5 || r.DailyReqRate.Max != 2 {
+		t.Fatalf("daily rate %+v", r.DailyReqRate)
+	}
+	if out := r.Render(); !strings.Contains(out, "Request rate") {
+		t.Fatal("render missing request rate")
+	}
+}

@@ -1,0 +1,64 @@
+package analysis
+
+import (
+	"fmt"
+	"strings"
+
+	"webcache/internal/stats"
+)
+
+// Render prints the report as a §2.2-style characterization.
+func (r *Report) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Trace %s: %d requests, %.2f MB, %d days\n",
+		r.Name, r.Requests, float64(r.Bytes)/1e6, r.Days)
+	if r.Requests == 0 {
+		return b.String()
+	}
+
+	fmt.Fprintf(&b, "\nFile type distribution (Table 4 view)\n")
+	t := stats.NewTable("File type", "%Refs", "%Bytes", "Refs", "MB")
+	for _, row := range r.Types {
+		t.AddRow(row.Type.String(),
+			fmt.Sprintf("%.2f", 100*row.RefShare),
+			fmt.Sprintf("%.2f", 100*row.ByteShare),
+			row.Refs,
+			fmt.Sprintf("%.1f", float64(row.Bytes)/1e6))
+	}
+	b.WriteString(t.String())
+
+	fmt.Fprintf(&b, "\nRequest rate: mean %.0f/day, peak %.0f/day over %d active days\n",
+		r.DailyReqRate.Mean, r.DailyReqRate.Max, r.ActiveDays)
+
+	fmt.Fprintf(&b, "\nConcentration (Figs. 1-2)\n")
+	fmt.Fprintf(&b, "  unique URLs %d (one-timers %.1f%%), servers %d, clients %d\n",
+		r.UniqueURLs, 100*r.OneTimerFrac, r.UniqueServers, r.UniqueClients)
+	fmt.Fprintf(&b, "  top 10 URLs draw %.1f%% of requests; %d URLs return 50%% of bytes\n",
+		100*r.Top10URLShare, r.URLsForHalf)
+	fmt.Fprintf(&b, "  server popularity: Zipf slope %.2f (R² %.2f over %d servers)\n",
+		r.ServerZipf.Slope, r.ServerZipf.R2, r.ServerZipf.N)
+	fmt.Fprintf(&b, "  infinite-cache HR bound (1 - uniques/requests): %.1f%%\n",
+		100*r.ConcentrationSummary())
+
+	fmt.Fprintf(&b, "\nDocument sizes (Fig. 13), request weighted\n")
+	fmt.Fprintf(&b, "  mean %.0f B, median %.0f B, p75 %.0f B, max %.0f B\n",
+		r.SizeSummary.Mean, r.SizeSummary.Median, r.SizeSummary.P75, r.SizeSummary.Max)
+	fmt.Fprintf(&b, "  %.1f%% of requests under 1 KB, %.1f%% under 10 KB\n",
+		100*r.ReqUnder1KB, 100*r.ReqUnder10KB)
+	fmt.Fprintf(&b, "  unique-document bytes (≈MaxNeeded): %.1f MB\n", float64(r.UniqueDocBytes)/1e6)
+	if r.SizeHist != nil {
+		b.WriteString(r.SizeHist.Render(50))
+	}
+
+	fmt.Fprintf(&b, "\nTemporal locality (Fig. 14)\n")
+	fmt.Fprintf(&b, "  %d re-references; center of mass %.0f B × %.1f h\n",
+		r.InterrefCount, r.InterrefCenterX, r.InterrefCenterY/3600)
+	fmt.Fprintf(&b, "  inter-reference time: median %.1f h, p25 %.1f h, p75 %.1f h\n",
+		r.InterrefSummary.Median/3600, r.InterrefSummary.P25/3600, r.InterrefSummary.P75/3600)
+	if r.TemporalLocalityWeak(3600) {
+		fmt.Fprintf(&b, "  -> weak temporal locality: LRU-style keys will perform poorly (§4.3)\n")
+	} else {
+		fmt.Fprintf(&b, "  -> strong temporal locality: recency keys are viable on this trace\n")
+	}
+	return b.String()
+}

@@ -1,0 +1,325 @@
+package capture
+
+import (
+	"bytes"
+	"io"
+	"net/netip"
+	"testing"
+
+	"webcache/internal/rng"
+	"webcache/internal/trace"
+)
+
+func TestPcapRoundTrip(t *testing.T) {
+	r := rng.New(1)
+	var recs []PacketRecord
+	for i := 0; i < 200; i++ {
+		data := make([]byte, 14+r.Intn(200))
+		for j := range data {
+			data[j] = byte(r.Uint64())
+		}
+		recs = append(recs, PacketRecord{
+			TimeSec:  800000000 + int64(i),
+			TimeUsec: int32(r.Intn(1000000)),
+			Data:     data,
+		})
+	}
+	var buf bytes.Buffer
+	w := NewWriter(&buf, 0)
+	for _, rec := range recs {
+		if err := w.WritePacket(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rd := NewReader(&buf)
+	for i, want := range recs {
+		got, err := rd.Next()
+		if err != nil {
+			t.Fatalf("packet %d: %v", i, err)
+		}
+		if got.TimeSec != want.TimeSec || got.TimeUsec != want.TimeUsec || !bytes.Equal(got.Data, want.Data) {
+			t.Fatalf("packet %d differs", i)
+		}
+	}
+	if _, err := rd.Next(); err != io.EOF {
+		t.Fatalf("expected EOF, got %v", err)
+	}
+}
+
+func TestPcapSnapLenTruncates(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf, 64)
+	big := make([]byte, 500)
+	if err := w.WritePacket(PacketRecord{TimeSec: 1, Data: big}); err != nil {
+		t.Fatal(err)
+	}
+	rec, err := NewReader(&buf).Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rec.Data) != 64 {
+		t.Fatalf("captured %d bytes, want 64", len(rec.Data))
+	}
+}
+
+func TestPcapBadMagic(t *testing.T) {
+	buf := bytes.NewBuffer(make([]byte, 24))
+	if _, err := NewReader(buf).Next(); err == nil {
+		t.Fatal("bad magic accepted")
+	}
+}
+
+func TestEthernetRoundTrip(t *testing.T) {
+	e := Ethernet{EtherType: EtherTypeIPv4}
+	e.Src = [6]byte{1, 2, 3, 4, 5, 6}
+	e.Dst = [6]byte{9, 8, 7, 6, 5, 4}
+	raw := e.AppendTo(nil)
+	raw = append(raw, 0xde, 0xad)
+	var got Ethernet
+	payload, err := got.DecodeFrom(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != e {
+		t.Fatalf("ethernet %+v != %+v", got, e)
+	}
+	if len(payload) != 2 || payload[0] != 0xde {
+		t.Fatalf("payload %x", payload)
+	}
+	if _, err := got.DecodeFrom(raw[:10]); err == nil {
+		t.Fatal("short frame accepted")
+	}
+}
+
+func TestIPv4RoundTrip(t *testing.T) {
+	ip := IPv4{
+		TTL: 63, Protocol: ProtocolTCP,
+		Src: netip.AddrFrom4([4]byte{10, 1, 2, 3}),
+		Dst: netip.AddrFrom4([4]byte{172, 16, 0, 9}),
+		ID:  4242,
+	}
+	payload := []byte("hello ipv4")
+	raw := ip.AppendTo(nil, len(payload))
+	raw = append(raw, payload...)
+	var got IPv4
+	gotPayload, err := got.DecodeFrom(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Src != ip.Src || got.Dst != ip.Dst || got.TTL != ip.TTL || got.Protocol != ip.Protocol || got.ID != ip.ID {
+		t.Fatalf("ipv4 %+v != %+v", got, ip)
+	}
+	if !bytes.Equal(gotPayload, payload) {
+		t.Fatalf("payload %q", gotPayload)
+	}
+	// The checksum must validate: re-summing the header yields zero.
+	var sum uint32
+	for i := 0; i+1 < 20; i += 2 {
+		sum += uint32(raw[i])<<8 | uint32(raw[i+1])
+	}
+	for sum > 0xffff {
+		sum = (sum >> 16) + (sum & 0xffff)
+	}
+	if uint16(sum) != 0xffff {
+		t.Fatalf("header checksum does not validate (folded sum %#x)", sum)
+	}
+}
+
+func TestIPv4HonorsTotalLen(t *testing.T) {
+	ip := IPv4{TTL: 1, Protocol: ProtocolTCP,
+		Src: netip.AddrFrom4([4]byte{1, 1, 1, 1}), Dst: netip.AddrFrom4([4]byte{2, 2, 2, 2})}
+	raw := ip.AppendTo(nil, 4)
+	raw = append(raw, 'a', 'b', 'c', 'd')
+	raw = append(raw, 0, 0, 0, 0, 0, 0) // Ethernet padding
+	var got IPv4
+	payload, err := got.DecodeFrom(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(payload) != "abcd" {
+		t.Fatalf("payload %q includes padding", payload)
+	}
+}
+
+func TestTCPRoundTrip(t *testing.T) {
+	tcp := TCP{SrcPort: 3456, DstPort: 80, Seq: 1e9, Ack: 77, Flags: FlagACK | FlagPSH, Window: 4096}
+	raw := tcp.AppendTo(nil)
+	raw = append(raw, []byte("GET / HTTP/1.0\r\n")...)
+	var got TCP
+	payload, err := got.DecodeFrom(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.SrcPort != tcp.SrcPort || got.DstPort != tcp.DstPort || got.Seq != tcp.Seq ||
+		got.Ack != tcp.Ack || got.Flags != tcp.Flags || got.Window != tcp.Window {
+		t.Fatalf("tcp %+v != %+v", got, tcp)
+	}
+	if string(payload[:3]) != "GET" {
+		t.Fatalf("payload %q", payload)
+	}
+}
+
+func TestDecodeFullPacket(t *testing.T) {
+	eth := Ethernet{EtherType: EtherTypeIPv4}
+	ip := IPv4{TTL: 60, Protocol: ProtocolTCP,
+		Src: netip.AddrFrom4([4]byte{10, 0, 0, 1}), Dst: netip.AddrFrom4([4]byte{10, 0, 0, 2})}
+	tcp := TCP{SrcPort: 1024, DstPort: 80, Seq: 1, Flags: FlagSYN}
+	payload := []byte("x")
+	buf := eth.AppendTo(nil)
+	buf = ip.AppendTo(buf, 20+len(payload))
+	buf = tcp.AppendTo(buf)
+	buf = append(buf, payload...)
+
+	pkt, err := Decode(PacketRecord{TimeSec: 5, Data: buf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pkt.TCP.DstPort != 80 || pkt.IP.Src.String() != "10.0.0.1" || string(pkt.Payload) != "x" {
+		t.Fatalf("decoded %+v payload %q", pkt, pkt.Payload)
+	}
+}
+
+func TestDecodeNonIPv4(t *testing.T) {
+	eth := Ethernet{EtherType: 0x0806} // ARP
+	buf := eth.AppendTo(nil)
+	buf = append(buf, make([]byte, 28)...)
+	if _, err := Decode(PacketRecord{Data: buf}); err != ErrNotTCP {
+		t.Fatalf("err = %v, want ErrNotTCP", err)
+	}
+}
+
+func TestSynthesizerDeterminism(t *testing.T) {
+	tr := &trace.Trace{Start: 811296000, Requests: []trace.Request{
+		{Time: 811296010, Client: "c1", URL: "http://s1.vt.edu/a.gif", Status: 200, Size: 5000, Type: trace.Graphics},
+		{Time: 811296020, Client: "c2", URL: "http://s2.vt.edu/b.html", Status: 200, Size: 123, Type: trace.Text},
+	}}
+	render := func() []byte {
+		var buf bytes.Buffer
+		w := NewWriter(&buf, 0)
+		if err := NewSynthesizer(9).WriteTrace(tr, w); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	if !bytes.Equal(render(), render()) {
+		t.Fatal("synthesizer is not deterministic")
+	}
+}
+
+func TestSynthesizerSnapBody(t *testing.T) {
+	tr := &trace.Trace{Start: 0, Requests: []trace.Request{
+		{Time: 10, Client: "c", URL: "http://s.x/big.dat", Status: 200, Size: 1 << 20, Type: trace.Unknown},
+	}}
+	var buf bytes.Buffer
+	w := NewWriter(&buf, 0)
+	syn := NewSynthesizer(1)
+	syn.SnapBody = 4096
+	if err := syn.WriteTrace(tr, w); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() > 64*1024 {
+		t.Fatalf("capture is %d bytes; SnapBody did not cap the body", buf.Len())
+	}
+}
+
+func TestAddrForStable(t *testing.T) {
+	a1 := addrFor("client1.vt.edu", 10)
+	a2 := addrFor("client1.vt.edu", 10)
+	b := addrFor("client2.vt.edu", 10)
+	if a1 != a2 {
+		t.Fatal("addrFor not stable")
+	}
+	if a1 == b {
+		t.Fatal("distinct names mapped to the same address")
+	}
+	if a1.As4()[0] != 10 {
+		t.Fatalf("wrong /8: %v", a1)
+	}
+}
+
+func TestHostOf(t *testing.T) {
+	cases := map[string]string{
+		"http://a.b.c/x/y.gif": "a.b.c",
+		"http://host":          "host",
+		"/no/host.gif":         "unknown.host",
+	}
+	for url, want := range cases {
+		if got := hostOf(url); got != want {
+			t.Errorf("hostOf(%q) = %q, want %q", url, got, want)
+		}
+	}
+}
+
+func TestSynthesizerNon200NoBody(t *testing.T) {
+	// Non-200 responses carry no body; the capture stays tiny and the
+	// status text covers the error-code table.
+	tr := &trace.Trace{Start: 0, Requests: []trace.Request{
+		{Time: 10, Client: "c", URL: "http://s.x/gone.html", Status: 404, Size: 999999, Type: trace.Text},
+		{Time: 20, Client: "c", URL: "http://s.x/moved.html", Status: 302, Size: 10, Type: trace.Text},
+		{Time: 30, Client: "c", URL: "http://s.x/cold.html", Status: 304, Size: 0, Type: trace.Text},
+		{Time: 40, Client: "c", URL: "http://s.x/err.html", Status: 500, Size: 0, Type: trace.Text},
+		{Time: 50, Client: "c", URL: "http://s.x/deny.html", Status: 403, Size: 0, Type: trace.Text},
+		{Time: 60, Client: "c", URL: "http://s.x/odd.html", Status: 299, Size: 0, Type: trace.Text},
+	}}
+	var buf bytes.Buffer
+	w := NewWriter(&buf, 0)
+	if err := NewSynthesizer(1).WriteTrace(tr, w); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() > 8192 {
+		t.Fatalf("non-200 capture unexpectedly large: %d bytes", buf.Len())
+	}
+}
+
+func TestContentTypes(t *testing.T) {
+	want := map[trace.DocType]string{
+		trace.Graphics: "image/gif",
+		trace.Text:     "text/html",
+		trace.Audio:    "audio/basic",
+		trace.Video:    "video/mpeg",
+		trace.Unknown:  "application/octet-stream",
+	}
+	for dt, ct := range want {
+		if got := contentType(dt); got != ct {
+			t.Errorf("contentType(%v) = %q, want %q", dt, got, ct)
+		}
+	}
+}
+
+func TestStatusTexts(t *testing.T) {
+	for code, want := range map[int]string{
+		200: "OK", 302: "Found", 304: "Not Modified", 403: "Forbidden",
+		404: "Not Found", 500: "Internal Server Error", 999: "Unknown",
+	} {
+		if got := statusText(code); got != want {
+			t.Errorf("statusText(%d) = %q, want %q", code, got, want)
+		}
+	}
+}
+
+func TestSynthesizerTinyMSS(t *testing.T) {
+	// MSS below the floor is clamped; the request still reconstructs
+	// into many small segments without error.
+	tr := &trace.Trace{Start: 0, Requests: []trace.Request{
+		{Time: 10, Client: "c", URL: "http://s.x/a.html", Status: 200, Size: 5000, Type: trace.Text},
+	}}
+	var buf bytes.Buffer
+	w := NewWriter(&buf, 0)
+	syn := NewSynthesizer(1)
+	syn.MSS = 1 // clamped to 64
+	syn.SnapBody = 0
+	if err := syn.WriteTrace(tr, w); err != nil {
+		t.Fatal(err)
+	}
+	rd := NewReader(&buf)
+	n := 0
+	for {
+		if _, err := rd.Next(); err != nil {
+			break
+		}
+		n++
+	}
+	if n < 80 {
+		t.Fatalf("only %d packets with a 64-byte MSS and 5000-byte body", n)
+	}
+}

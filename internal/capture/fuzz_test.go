@@ -1,0 +1,21 @@
+package capture
+
+import "testing"
+
+// FuzzDecode: arbitrary frame bytes must decode or error, never panic.
+func FuzzDecode(f *testing.F) {
+	eth := Ethernet{EtherType: EtherTypeIPv4}
+	buf := eth.AppendTo(nil)
+	ip := IPv4{TTL: 1, Protocol: ProtocolTCP}
+	buf = ip.AppendTo(buf, 20)
+	buf = (&TCP{SrcPort: 1, DstPort: 80}).AppendTo(buf)
+	f.Add(buf)
+	f.Add([]byte{})
+	f.Add(make([]byte, 14))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		pkt, err := Decode(PacketRecord{TimeSec: 1, Data: data})
+		if err == nil && pkt == nil {
+			t.Fatal("nil packet without error")
+		}
+	})
+}

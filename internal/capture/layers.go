@@ -1,0 +1,215 @@
+package capture
+
+import (
+	"encoding/binary"
+	"fmt"
+	"net/netip"
+)
+
+// This file decodes and encodes the three layers the §2.1 filter needs:
+// Ethernet II, IPv4 and TCP. Each layer follows the gopacket idiom of a
+// typed struct with DecodeFrom returning the payload it carries.
+
+// EtherTypeIPv4 is the Ethernet II type for IPv4.
+const EtherTypeIPv4 = 0x0800
+
+// Ethernet is an Ethernet II frame header.
+type Ethernet struct {
+	Dst, Src  [6]byte
+	EtherType uint16
+}
+
+// DecodeFrom parses the header from data and returns the payload.
+func (e *Ethernet) DecodeFrom(data []byte) ([]byte, error) {
+	if len(data) < 14 {
+		return nil, fmt.Errorf("capture: ethernet frame too short (%d bytes)", len(data))
+	}
+	copy(e.Dst[:], data[0:6])
+	copy(e.Src[:], data[6:12])
+	e.EtherType = binary.BigEndian.Uint16(data[12:14])
+	return data[14:], nil
+}
+
+// AppendTo appends the encoded header to buf and returns the result.
+func (e *Ethernet) AppendTo(buf []byte) []byte {
+	buf = append(buf, e.Dst[:]...)
+	buf = append(buf, e.Src[:]...)
+	return binary.BigEndian.AppendUint16(buf, e.EtherType)
+}
+
+// ProtocolTCP is the IPv4 protocol number for TCP.
+const ProtocolTCP = 6
+
+// IPv4 is an IPv4 header (options unsupported on encode, skipped on
+// decode).
+type IPv4 struct {
+	TTL      uint8
+	Protocol uint8
+	Src, Dst netip.Addr
+	// TotalLen is the datagram length from the header; payload slicing
+	// honors it so Ethernet padding is not mistaken for data.
+	TotalLen uint16
+	ID       uint16
+}
+
+// DecodeFrom parses the header from data and returns the IP payload.
+func (ip *IPv4) DecodeFrom(data []byte) ([]byte, error) {
+	if len(data) < 20 {
+		return nil, fmt.Errorf("capture: IPv4 header too short (%d bytes)", len(data))
+	}
+	if v := data[0] >> 4; v != 4 {
+		return nil, fmt.Errorf("capture: IP version %d (want 4)", v)
+	}
+	ihl := int(data[0]&0x0f) * 4
+	if ihl < 20 || len(data) < ihl {
+		return nil, fmt.Errorf("capture: bad IPv4 header length %d", ihl)
+	}
+	ip.TotalLen = binary.BigEndian.Uint16(data[2:4])
+	ip.ID = binary.BigEndian.Uint16(data[4:6])
+	ip.TTL = data[8]
+	ip.Protocol = data[9]
+	var src, dst [4]byte
+	copy(src[:], data[12:16])
+	copy(dst[:], data[16:20])
+	ip.Src = netip.AddrFrom4(src)
+	ip.Dst = netip.AddrFrom4(dst)
+	end := int(ip.TotalLen)
+	if end > len(data) || end < ihl {
+		end = len(data)
+	}
+	return data[ihl:end], nil
+}
+
+// AppendTo appends the encoded header (20 bytes, checksum filled) with
+// the given payload length recorded, and returns the result.
+func (ip *IPv4) AppendTo(buf []byte, payloadLen int) []byte {
+	start := len(buf)
+	total := 20 + payloadLen
+	buf = append(buf,
+		0x45, 0, // version+IHL, DSCP
+		byte(total>>8), byte(total),
+		byte(ip.ID>>8), byte(ip.ID),
+		0x40, 0, // flags: don't fragment
+		ip.TTL, ip.Protocol,
+		0, 0, // checksum placeholder
+	)
+	src := addr4(ip.Src)
+	dst := addr4(ip.Dst)
+	buf = append(buf, src[:]...)
+	buf = append(buf, dst[:]...)
+	sum := ipChecksum(buf[start : start+20])
+	buf[start+10] = byte(sum >> 8)
+	buf[start+11] = byte(sum)
+	return buf
+}
+
+// addr4 returns the address's 4-byte form, mapping invalid or non-IPv4
+// addresses to 0.0.0.0 so encoding never panics on zero values.
+func addr4(a netip.Addr) [4]byte {
+	if !a.IsValid() || !a.Is4() {
+		return [4]byte{}
+	}
+	return a.As4()
+}
+
+// ipChecksum computes the RFC 1071 ones-complement checksum of hdr.
+func ipChecksum(hdr []byte) uint16 {
+	var sum uint32
+	for i := 0; i+1 < len(hdr); i += 2 {
+		sum += uint32(hdr[i])<<8 | uint32(hdr[i+1])
+	}
+	if len(hdr)%2 == 1 {
+		sum += uint32(hdr[len(hdr)-1]) << 8
+	}
+	for sum > 0xffff {
+		sum = (sum >> 16) + (sum & 0xffff)
+	}
+	return ^uint16(sum)
+}
+
+// TCP header flags.
+const (
+	FlagFIN = 1 << 0
+	FlagSYN = 1 << 1
+	FlagRST = 1 << 2
+	FlagPSH = 1 << 3
+	FlagACK = 1 << 4
+)
+
+// TCP is a TCP header (options skipped on decode, none on encode).
+type TCP struct {
+	SrcPort, DstPort uint16
+	Seq, Ack         uint32
+	Flags            uint8
+	Window           uint16
+}
+
+// DecodeFrom parses the header from data and returns the TCP payload.
+func (t *TCP) DecodeFrom(data []byte) ([]byte, error) {
+	if len(data) < 20 {
+		return nil, fmt.Errorf("capture: TCP header too short (%d bytes)", len(data))
+	}
+	t.SrcPort = binary.BigEndian.Uint16(data[0:2])
+	t.DstPort = binary.BigEndian.Uint16(data[2:4])
+	t.Seq = binary.BigEndian.Uint32(data[4:8])
+	t.Ack = binary.BigEndian.Uint32(data[8:12])
+	off := int(data[12]>>4) * 4
+	if off < 20 || len(data) < off {
+		return nil, fmt.Errorf("capture: bad TCP data offset %d", off)
+	}
+	t.Flags = data[13]
+	t.Window = binary.BigEndian.Uint16(data[14:16])
+	return data[off:], nil
+}
+
+// AppendTo appends the encoded 20-byte header (checksum left zero: the
+// synthetic captures are not fed to real stacks) and returns the result.
+func (t *TCP) AppendTo(buf []byte) []byte {
+	buf = binary.BigEndian.AppendUint16(buf, t.SrcPort)
+	buf = binary.BigEndian.AppendUint16(buf, t.DstPort)
+	buf = binary.BigEndian.AppendUint32(buf, t.Seq)
+	buf = binary.BigEndian.AppendUint32(buf, t.Ack)
+	buf = append(buf, 5<<4, t.Flags)
+	buf = binary.BigEndian.AppendUint16(buf, t.Window)
+	buf = append(buf, 0, 0, 0, 0) // checksum, urgent pointer
+	return buf
+}
+
+// Packet is a fully decoded Ethernet/IPv4/TCP packet.
+type Packet struct {
+	TimeSec  int64
+	TimeUsec int32
+	Eth      Ethernet
+	IP       IPv4
+	TCP      TCP
+	Payload  []byte
+}
+
+// Decode parses rec as Ethernet/IPv4/TCP. Non-IPv4 or non-TCP packets
+// return ErrNotTCP so callers can skip them cheaply.
+func Decode(rec PacketRecord) (*Packet, error) {
+	p := &Packet{TimeSec: rec.TimeSec, TimeUsec: rec.TimeUsec}
+	rest, err := p.Eth.DecodeFrom(rec.Data)
+	if err != nil {
+		return nil, err
+	}
+	if p.Eth.EtherType != EtherTypeIPv4 {
+		return nil, ErrNotTCP
+	}
+	rest, err = p.IP.DecodeFrom(rest)
+	if err != nil {
+		return nil, err
+	}
+	if p.IP.Protocol != ProtocolTCP {
+		return nil, ErrNotTCP
+	}
+	p.Payload, err = p.TCP.DecodeFrom(rest)
+	if err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// ErrNotTCP marks packets that are not IPv4/TCP; the §2.1 filter skips
+// them (tcpdump filtered to TCP port 80 already, but robustness first).
+var ErrNotTCP = fmt.Errorf("capture: not an IPv4/TCP packet")

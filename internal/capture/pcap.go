@@ -1,0 +1,155 @@
+// Package capture implements the paper's §2.1 packet-collection
+// substrate: a libpcap-format file reader and writer, Ethernet/IPv4/TCP
+// frame decoding, and a synthesizer that renders a Web request trace as
+// the packet stream a tcpdump monitor on the department backbone would
+// have seen. The decoding API follows the layered style of gopacket
+// (typed layers, explicit decode errors, no global state) using only the
+// standard library.
+package capture
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// Pcap file constants (classic pcap, not pcapng).
+const (
+	pcapMagic        = 0xa1b2c3d4 // microsecond timestamps, our byte order
+	pcapMagicSwapped = 0xd4c3b2a1
+	pcapVersionMajor = 2
+	pcapVersionMinor = 4
+	// LinkTypeEthernet is the only link type this package emits or
+	// decodes.
+	LinkTypeEthernet = 1
+	maxSnapLen       = 1 << 18
+)
+
+// PacketRecord is one captured packet: its timestamp and raw bytes
+// starting at the Ethernet header.
+type PacketRecord struct {
+	TimeSec  int64 // Unix seconds
+	TimeUsec int32
+	Data     []byte
+}
+
+// Writer writes a pcap file.
+type Writer struct {
+	w       io.Writer
+	snapLen uint32
+	started bool
+}
+
+// NewWriter returns a pcap writer with the given snap length (0 means
+// capture whole packets up to the format maximum).
+func NewWriter(w io.Writer, snapLen uint32) *Writer {
+	if snapLen == 0 || snapLen > maxSnapLen {
+		snapLen = maxSnapLen
+	}
+	return &Writer{w: w, snapLen: snapLen}
+}
+
+// writeHeader emits the pcap global header.
+func (w *Writer) writeHeader() error {
+	var hdr [24]byte
+	binary.LittleEndian.PutUint32(hdr[0:], pcapMagic)
+	binary.LittleEndian.PutUint16(hdr[4:], pcapVersionMajor)
+	binary.LittleEndian.PutUint16(hdr[6:], pcapVersionMinor)
+	// thiszone and sigfigs are zero.
+	binary.LittleEndian.PutUint32(hdr[16:], w.snapLen)
+	binary.LittleEndian.PutUint32(hdr[20:], LinkTypeEthernet)
+	if _, err := w.w.Write(hdr[:]); err != nil {
+		return fmt.Errorf("capture: writing pcap header: %w", err)
+	}
+	w.started = true
+	return nil
+}
+
+// WritePacket appends one packet record.
+func (w *Writer) WritePacket(rec PacketRecord) error {
+	if !w.started {
+		if err := w.writeHeader(); err != nil {
+			return err
+		}
+	}
+	data := rec.Data
+	capLen := uint32(len(data))
+	if capLen > w.snapLen {
+		capLen = w.snapLen
+		data = data[:capLen]
+	}
+	var hdr [16]byte
+	binary.LittleEndian.PutUint32(hdr[0:], uint32(rec.TimeSec))
+	binary.LittleEndian.PutUint32(hdr[4:], uint32(rec.TimeUsec))
+	binary.LittleEndian.PutUint32(hdr[8:], capLen)
+	binary.LittleEndian.PutUint32(hdr[12:], uint32(len(rec.Data)))
+	if _, err := w.w.Write(hdr[:]); err != nil {
+		return fmt.Errorf("capture: writing packet header: %w", err)
+	}
+	if _, err := w.w.Write(data); err != nil {
+		return fmt.Errorf("capture: writing packet data: %w", err)
+	}
+	return nil
+}
+
+// Reader reads a pcap file.
+type Reader struct {
+	r       io.Reader
+	order   binary.ByteOrder
+	snapLen uint32
+	started bool
+}
+
+// NewReader returns a pcap reader; the global header is read lazily on
+// the first Next call.
+func NewReader(r io.Reader) *Reader { return &Reader{r: r} }
+
+func (r *Reader) readHeader() error {
+	var hdr [24]byte
+	if _, err := io.ReadFull(r.r, hdr[:]); err != nil {
+		return fmt.Errorf("capture: reading pcap header: %w", err)
+	}
+	switch binary.LittleEndian.Uint32(hdr[0:]) {
+	case pcapMagic:
+		r.order = binary.LittleEndian
+	case pcapMagicSwapped:
+		r.order = binary.BigEndian
+	default:
+		return fmt.Errorf("capture: bad pcap magic %#x", binary.LittleEndian.Uint32(hdr[0:]))
+	}
+	if lt := r.order.Uint32(hdr[20:]); lt != LinkTypeEthernet {
+		return fmt.Errorf("capture: unsupported link type %d (want Ethernet)", lt)
+	}
+	r.snapLen = r.order.Uint32(hdr[16:])
+	r.started = true
+	return nil
+}
+
+// Next returns the next packet record, or io.EOF at the end of the file.
+func (r *Reader) Next() (PacketRecord, error) {
+	if !r.started {
+		if err := r.readHeader(); err != nil {
+			return PacketRecord{}, err
+		}
+	}
+	var hdr [16]byte
+	if _, err := io.ReadFull(r.r, hdr[:]); err != nil {
+		if err == io.EOF {
+			return PacketRecord{}, io.EOF
+		}
+		return PacketRecord{}, fmt.Errorf("capture: reading packet header: %w", err)
+	}
+	capLen := r.order.Uint32(hdr[8:])
+	if capLen > maxSnapLen {
+		return PacketRecord{}, fmt.Errorf("capture: packet capture length %d exceeds limit", capLen)
+	}
+	data := make([]byte, capLen)
+	if _, err := io.ReadFull(r.r, data); err != nil {
+		return PacketRecord{}, fmt.Errorf("capture: reading %d packet bytes: %w", capLen, err)
+	}
+	return PacketRecord{
+		TimeSec:  int64(r.order.Uint32(hdr[0:])),
+		TimeUsec: int32(r.order.Uint32(hdr[4:])),
+		Data:     data,
+	}, nil
+}

@@ -1,0 +1,91 @@
+package capture
+
+import (
+	"bytes"
+	"io"
+	"testing"
+
+	"webcache/internal/rng"
+)
+
+// TestDecodeNeverPanics feeds random byte soup to the packet decoder;
+// every input must produce a value or an error, never a panic or an
+// out-of-bounds access.
+func TestDecodeNeverPanics(t *testing.T) {
+	r := rng.New(555)
+	for trial := 0; trial < 20000; trial++ {
+		n := r.Intn(120)
+		data := make([]byte, n)
+		for i := range data {
+			data[i] = byte(r.Uint64())
+		}
+		// Bias some packets toward being plausibly IPv4/TCP so the
+		// deeper decode paths are exercised too.
+		if n >= 34 && trial%3 == 0 {
+			data[12], data[13] = 0x08, 0x00 // EtherType IPv4
+			data[14] = 0x45                 // version 4, IHL 5
+			data[23] = 6                    // protocol TCP
+		}
+		func() {
+			defer func() {
+				if p := recover(); p != nil {
+					t.Fatalf("trial %d: Decode panicked on %x: %v", trial, data, p)
+				}
+			}()
+			Decode(PacketRecord{TimeSec: 1, Data: data})
+		}()
+	}
+}
+
+// TestReaderNeverPanics feeds random streams to the pcap reader.
+func TestReaderNeverPanics(t *testing.T) {
+	r := rng.New(777)
+	for trial := 0; trial < 2000; trial++ {
+		n := r.Intn(200)
+		data := make([]byte, n)
+		for i := range data {
+			data[i] = byte(r.Uint64())
+		}
+		if trial%2 == 0 && n >= 4 {
+			// Valid magic, garbage after.
+			data[0], data[1], data[2], data[3] = 0xd4, 0xc3, 0xb2, 0xa1
+		}
+		rd := NewReader(bytes.NewReader(data))
+		for {
+			_, err := rd.Next()
+			if err != nil {
+				break
+			}
+		}
+	}
+}
+
+// TestReaderTruncatedPacket: a header announcing more bytes than the
+// stream holds must error cleanly.
+func TestReaderTruncatedPacket(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf, 0)
+	if err := w.WritePacket(PacketRecord{TimeSec: 1, Data: make([]byte, 100)}); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	rd := NewReader(bytes.NewReader(full[:len(full)-40]))
+	if _, err := rd.Next(); err == nil || err == io.EOF {
+		t.Fatalf("truncated packet returned %v", err)
+	}
+}
+
+// TestReaderRejectsHugeCapLen guards the allocation path.
+func TestReaderRejectsHugeCapLen(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf, 0)
+	if err := w.WritePacket(PacketRecord{TimeSec: 1, Data: []byte{1}}); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	// Inflate the caplen field of the first packet header (offset 24+8).
+	raw[32], raw[33], raw[34], raw[35] = 0xff, 0xff, 0xff, 0x7f
+	if _, err := NewReader(bytes.NewReader(raw)).Next(); err == nil {
+		t.Fatal("absurd capture length accepted")
+	}
+}

@@ -1,0 +1,289 @@
+package capture
+
+import (
+	"fmt"
+	"hash/fnv"
+	"net/netip"
+	"strings"
+
+	"webcache/internal/rng"
+	"webcache/internal/trace"
+)
+
+// Synthesizer renders Web requests as the Ethernet/IPv4/TCP packet
+// exchanges a backbone monitor would capture: TCP handshake, HTTP
+// request, segmented response, and connection teardown, one HTTP/1.0
+// connection per request. It exists to exercise the §2.1 collection
+// pipeline (tcpdump → filter → common log format) end to end.
+type Synthesizer struct {
+	// MSS bounds TCP payload per segment.
+	MSS int
+	// SnapBody caps the response body bytes actually emitted per
+	// transaction; the real monitor captured packet prefixes, and the
+	// filter recovers the full size from Content-Length. Zero emits
+	// whole bodies.
+	SnapBody int64
+	// Shuffle reorders data segments within each transaction and
+	// duplicates some, exercising the reassembler. Zero disables.
+	Shuffle float64
+	// Seed drives segment shuffling and port assignment.
+	Seed uint64
+
+	rnd      *rng.Rand
+	nextPort uint16
+}
+
+// NewSynthesizer returns a synthesizer with sensible defaults
+// (MSS 1460, bodies capped at 8 KiB, no shuffling).
+func NewSynthesizer(seed uint64) *Synthesizer {
+	return &Synthesizer{MSS: 1460, SnapBody: 8192, Seed: seed}
+}
+
+// WriteTrace renders every request of tr into w.
+func (s *Synthesizer) WriteTrace(tr *trace.Trace, w *Writer) error {
+	if s.rnd == nil {
+		s.rnd = rng.New(s.Seed)
+		s.nextPort = 1024
+	}
+	for i := range tr.Requests {
+		if err := s.WriteRequest(&tr.Requests[i], w); err != nil {
+			return fmt.Errorf("capture: synthesizing request %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// WriteRequest renders one request's connection into w.
+func (s *Synthesizer) WriteRequest(req *trace.Request, w *Writer) error {
+	if s.rnd == nil {
+		s.rnd = rng.New(s.Seed)
+		s.nextPort = 1024
+	}
+	clientIP := addrFor(req.Client, 10)
+	serverIP := addrFor(hostOf(req.URL), 172)
+	s.nextPort++
+	if s.nextPort < 1024 {
+		s.nextPort = 1024
+	}
+	conn := &connSynth{
+		s: s, w: w,
+		client: clientIP, server: serverIP,
+		clientPort: s.nextPort, serverPort: 80,
+		timeSec: req.Time,
+	}
+
+	reqLine := fmt.Sprintf("GET %s HTTP/1.0\r\nHost: %s\r\nUser-Agent: Mosaic/2.6\r\n\r\n", req.URL, hostOf(req.URL))
+	respHdr := fmt.Sprintf("HTTP/1.0 %d %s\r\nContent-Length: %d\r\nContent-Type: %s\r\n",
+		req.Status, statusText(req.Status), req.Size, contentType(req.Type))
+	if req.LastModified != 0 {
+		respHdr += fmt.Sprintf("Last-Modified: %s\r\n", trace.FormatCLFTime(req.LastModified))
+	}
+	respHdr += "\r\n"
+
+	body := req.Size
+	if req.Status != 200 {
+		body = 0
+	}
+	if s.SnapBody > 0 && body > s.SnapBody {
+		body = s.SnapBody
+	}
+	return conn.exchange([]byte(reqLine), []byte(respHdr), body)
+}
+
+// connSynth emits the packets of one connection.
+type connSynth struct {
+	s          *Synthesizer
+	w          *Writer
+	client     netip.Addr
+	server     netip.Addr
+	clientPort uint16
+	serverPort uint16
+	timeSec    int64
+	usec       int32
+	ipID       uint16
+	cliSeq     uint32
+	srvSeq     uint32
+}
+
+func (c *connSynth) exchange(request, respHdr []byte, bodyLen int64) error {
+	c.cliSeq = 1000
+	c.srvSeq = 5000
+
+	// Handshake.
+	if err := c.emit(true, FlagSYN, nil); err != nil {
+		return err
+	}
+	c.cliSeq++
+	if err := c.emit(false, FlagSYN|FlagACK, nil); err != nil {
+		return err
+	}
+	c.srvSeq++
+	if err := c.emit(true, FlagACK, nil); err != nil {
+		return err
+	}
+
+	// Request (client to server), segmented.
+	if err := c.sendData(true, request); err != nil {
+		return err
+	}
+
+	// Response: headers then body pattern, segmented, optionally
+	// shuffled and duplicated to exercise reassembly.
+	resp := make([]byte, 0, len(respHdr)+int(bodyLen))
+	resp = append(resp, respHdr...)
+	for i := int64(0); i < bodyLen; i++ {
+		resp = append(resp, byte('a'+i%26))
+	}
+	if err := c.sendData(false, resp); err != nil {
+		return err
+	}
+
+	// Teardown.
+	if err := c.emit(false, FlagFIN|FlagACK, nil); err != nil {
+		return err
+	}
+	c.srvSeq++
+	if err := c.emit(true, FlagFIN|FlagACK, nil); err != nil {
+		return err
+	}
+	c.cliSeq++
+	return c.emit(false, FlagACK, nil)
+}
+
+// sendData segments payload and emits it, shuffling if configured.
+func (c *connSynth) sendData(fromClient bool, payload []byte) error {
+	mss := c.s.MSS
+	if mss < 64 {
+		mss = 64
+	}
+	type seg struct {
+		seq  uint32
+		data []byte
+	}
+	seq := c.srvSeq
+	if fromClient {
+		seq = c.cliSeq
+	}
+	var segs []seg
+	for off := 0; off < len(payload); off += mss {
+		end := off + mss
+		if end > len(payload) {
+			end = len(payload)
+		}
+		segs = append(segs, seg{seq: seq + uint32(off), data: payload[off:end]})
+	}
+	if fromClient {
+		c.cliSeq += uint32(len(payload))
+	} else {
+		c.srvSeq += uint32(len(payload))
+	}
+	if p := c.s.Shuffle; p > 0 && len(segs) > 1 {
+		// Duplicate a few segments, then shuffle.
+		n := len(segs)
+		for i := 0; i < n; i++ {
+			if c.s.rnd.Float64() < p/2 {
+				segs = append(segs, segs[i])
+			}
+		}
+		c.s.rnd.Shuffle(len(segs), func(i, j int) { segs[i], segs[j] = segs[j], segs[i] })
+	}
+	for _, sg := range segs {
+		if err := c.emitSeq(fromClient, FlagACK|FlagPSH, sg.seq, sg.data); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// emit sends a packet with the current direction sequence number.
+func (c *connSynth) emit(fromClient bool, flags uint8, payload []byte) error {
+	seq := c.srvSeq
+	if fromClient {
+		seq = c.cliSeq
+	}
+	return c.emitSeq(fromClient, flags, seq, payload)
+}
+
+func (c *connSynth) emitSeq(fromClient bool, flags uint8, seq uint32, payload []byte) error {
+	src, dst := c.server, c.client
+	sport, dport := c.serverPort, c.clientPort
+	if fromClient {
+		src, dst = c.client, c.server
+		sport, dport = c.clientPort, c.serverPort
+	}
+	c.ipID++
+	c.usec += 40 + int32(c.s.rnd.Intn(200))
+	if c.usec >= 1_000_000 {
+		c.usec -= 1_000_000
+		c.timeSec++
+	}
+
+	tcp := TCP{SrcPort: sport, DstPort: dport, Seq: seq, Flags: flags, Window: 8192}
+	eth := Ethernet{EtherType: EtherTypeIPv4}
+	eth.Src[5], eth.Dst[5] = 1, 2
+	ip := IPv4{TTL: 62, Protocol: ProtocolTCP, Src: src, Dst: dst, ID: c.ipID}
+
+	buf := make([]byte, 0, 14+20+20+len(payload))
+	buf = eth.AppendTo(buf)
+	buf = ip.AppendTo(buf, 20+len(payload))
+	buf = tcp.AppendTo(buf)
+	buf = append(buf, payload...)
+	return c.w.WritePacket(PacketRecord{TimeSec: c.timeSec, TimeUsec: c.usec, Data: buf})
+}
+
+// addrFor derives a stable IPv4 address from a name within the given /8.
+func addrFor(name string, firstOctet byte) netip.Addr {
+	h := fnv.New32a()
+	h.Write([]byte(name))
+	v := h.Sum32()
+	return netip.AddrFrom4([4]byte{firstOctet, byte(v >> 16), byte(v >> 8), byte(v | 1)})
+}
+
+// hostOf extracts the host from an absolute URL.
+func hostOf(url string) string {
+	s := url
+	if i := strings.Index(s, "://"); i >= 0 {
+		s = s[i+3:]
+	}
+	if i := strings.IndexByte(s, '/'); i >= 0 {
+		s = s[:i]
+	}
+	if s == "" {
+		return "unknown.host"
+	}
+	return s
+}
+
+func statusText(code int) string {
+	switch code {
+	case 200:
+		return "OK"
+	case 302:
+		return "Found"
+	case 304:
+		return "Not Modified"
+	case 403:
+		return "Forbidden"
+	case 404:
+		return "Not Found"
+	case 500:
+		return "Internal Server Error"
+	default:
+		return "Unknown"
+	}
+}
+
+func contentType(t trace.DocType) string {
+	switch t {
+	case trace.Graphics:
+		return "image/gif"
+	case trace.Text:
+		return "text/html"
+	case trace.Audio:
+		return "audio/basic"
+	case trace.Video:
+		return "video/mpeg"
+	default:
+		return "application/octet-stream"
+	}
+}

@@ -1,0 +1,290 @@
+// Package core implements the paper's trace-driven proxy cache: a
+// finite- or infinite-capacity document store whose removals are chosen
+// by a pluggable policy (internal/policy), with the exact hit and
+// consistency semantics of §1.1 of the paper.
+//
+// A request is a hit iff the cache holds a copy matching the requested
+// URL *and* size; a size mismatch means the origin document changed, so
+// the stale copy is invalidated and the request is a miss. Removal is
+// on-demand: when a miss must store a document and free space is
+// insufficient, victims are removed from the head of the policy's sorted
+// order until the document fits (§1.2). A periodic sweep to a comfort
+// level (the Pitkow/Recker variant of §1.3) is available as an option.
+package core
+
+import (
+	"fmt"
+
+	"webcache/internal/policy"
+	"webcache/internal/rng"
+	"webcache/internal/trace"
+)
+
+// Stats accumulates the simulator's response variables: hit rate,
+// weighted (byte) hit rate, and maximum cache size needed, plus
+// bookkeeping useful for analysis. Per-type rows support Experiment 4.
+type Stats struct {
+	Requests       int64
+	Hits           int64
+	BytesRequested int64
+	BytesHit       int64
+
+	Evictions    int64
+	EvictedBytes int64
+	Inserted     int64
+	Bypassed     int64 // documents larger than the whole cache, never stored
+	SizeChanges  int64 // cached copies invalidated by a size change
+
+	Used    int64 // bytes currently cached
+	MaxUsed int64 // peak bytes cached (MaxNeeded when capacity is infinite)
+	Docs    int64 // documents currently cached
+
+	ByType [trace.NumDocTypes]TypeStats
+}
+
+// TypeStats is the per-media-type slice of Stats.
+type TypeStats struct {
+	Requests       int64
+	Hits           int64
+	BytesRequested int64
+	BytesHit       int64
+}
+
+// HitRate returns hits/requests (HR), in [0, 1].
+func (s *Stats) HitRate() float64 {
+	if s.Requests == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(s.Requests)
+}
+
+// WeightedHitRate returns bytesHit/bytesRequested (WHR), in [0, 1].
+func (s *Stats) WeightedHitRate() float64 {
+	if s.BytesRequested == 0 {
+		return 0
+	}
+	return float64(s.BytesHit) / float64(s.BytesRequested)
+}
+
+// Config configures a Cache.
+type Config struct {
+	// Capacity is the cache size in bytes; 0 or negative means infinite
+	// (Experiment 1).
+	Capacity int64
+	// Policy selects removal victims. It may be nil for an infinite
+	// cache, which never removes.
+	Policy policy.Policy
+	// Seed derives the per-entry random tiebreak values.
+	Seed uint64
+	// ExcludeDynamic, when set, never caches dynamically generated
+	// documents (CGI paths / query strings). The paper's simulator
+	// cached every valid request, so this defaults to off.
+	ExcludeDynamic bool
+	// LatencyOf, when non-nil, estimates the refetch latency of a URL in
+	// seconds; it feeds the KeyLatency extension key.
+	LatencyOf func(url string, size int64) float64
+	// ExpiresOf, when non-nil, assigns an expiration time (Unix seconds;
+	// 0 = never) to a document inserted at time now; it feeds the
+	// ExpiredFirst policy wrapper (§5 open problem 4).
+	ExpiresOf func(url string, size, now int64) int64
+	// OnEvict, when non-nil, observes every evicted entry (used by
+	// hierarchy experiments and tests).
+	OnEvict func(e *policy.Entry)
+}
+
+// Cache is a simulated proxy cache.
+type Cache struct {
+	cfg     Config
+	entries map[string]*policy.Entry
+	rnd     *rng.Rand
+	stats   Stats
+	now     int64
+}
+
+// nowAware is implemented by policies that want the simulation clock
+// (Pitkow/Recker's day test).
+type nowAware interface{ SetNow(int64) }
+
+// New returns a cache with the given configuration.
+func New(cfg Config) *Cache {
+	return &Cache{
+		cfg:     cfg,
+		entries: make(map[string]*policy.Entry, 1024),
+		rnd:     rng.New(cfg.Seed ^ 0x9e3779b97f4a7c15),
+	}
+}
+
+// Infinite reports whether the cache has unbounded capacity.
+func (c *Cache) Infinite() bool { return c.cfg.Capacity <= 0 }
+
+// Capacity returns the configured capacity (0 means infinite).
+func (c *Cache) Capacity() int64 {
+	if c.cfg.Capacity < 0 {
+		return 0
+	}
+	return c.cfg.Capacity
+}
+
+// Stats returns a snapshot of the accumulated statistics.
+func (c *Cache) Stats() Stats { return c.stats }
+
+// Len returns the number of cached documents.
+func (c *Cache) Len() int { return len(c.entries) }
+
+// Used returns the bytes currently cached.
+func (c *Cache) Used() int64 { return c.stats.Used }
+
+// Contains reports whether the cache holds a copy of url with the given
+// size (the §1.1 hit test) without touching any metadata.
+func (c *Cache) Contains(url string, size int64) bool {
+	e, ok := c.entries[url]
+	return ok && e.Size == size
+}
+
+// Access processes one validated trace request and reports whether it
+// hit. All statistics are updated.
+func (c *Cache) Access(req *trace.Request) bool {
+	c.now = req.Time
+	if p, ok := c.cfg.Policy.(nowAware); ok {
+		p.SetNow(req.Time)
+	}
+
+	c.stats.Requests++
+	c.stats.BytesRequested += req.Size
+	ts := &c.stats.ByType[req.Type]
+	ts.Requests++
+	ts.BytesRequested += req.Size
+
+	if e, ok := c.entries[req.URL]; ok {
+		if e.Size == req.Size {
+			e.ATime = req.Time
+			e.NRef++
+			if c.cfg.Policy != nil {
+				c.cfg.Policy.Touch(e)
+			}
+			c.stats.Hits++
+			c.stats.BytesHit += req.Size
+			ts.Hits++
+			ts.BytesHit += req.Size
+			return true
+		}
+		// The document changed on the origin server: the cached copy is
+		// inconsistent and must be replaced (§1.1).
+		c.remove(e)
+		c.stats.SizeChanges++
+	}
+
+	c.insert(req)
+	return false
+}
+
+// insert stores the document named by req, evicting as needed.
+func (c *Cache) insert(req *trace.Request) {
+	if c.cfg.ExcludeDynamic && trace.IsDynamic(req.URL) {
+		return
+	}
+	if !c.Infinite() && req.Size > c.cfg.Capacity {
+		// The document can never fit; serve it without caching. The
+		// paper's traces never trigger this at the studied sizes, but a
+		// robust cache must not empty itself trying.
+		c.stats.Bypassed++
+		return
+	}
+	if !c.Infinite() {
+		for c.stats.Used+req.Size > c.cfg.Capacity {
+			v := c.cfg.Policy.Victim(req.Size)
+			if v == nil {
+				// No removable documents remain; should be impossible
+				// given the capacity check above.
+				c.stats.Bypassed++
+				return
+			}
+			c.evict(v)
+		}
+	}
+	e := policy.NewEntry(req.URL, req.Size, req.Type, req.Time, c.rnd.Uint64())
+	if c.cfg.LatencyOf != nil {
+		e.Latency = c.cfg.LatencyOf(req.URL, req.Size)
+	}
+	if c.cfg.ExpiresOf != nil {
+		e.Expires = c.cfg.ExpiresOf(req.URL, req.Size, req.Time)
+	}
+	c.entries[req.URL] = e
+	c.stats.Used += e.Size
+	c.stats.Docs++
+	c.stats.Inserted++
+	if c.stats.Used > c.stats.MaxUsed {
+		c.stats.MaxUsed = c.stats.Used
+	}
+	if c.cfg.Policy != nil {
+		c.cfg.Policy.Add(e)
+	}
+}
+
+// evict removes a policy-chosen victim and notifies the observer.
+func (c *Cache) evict(e *policy.Entry) {
+	c.remove(e)
+	c.stats.Evictions++
+	c.stats.EvictedBytes += e.Size
+	if c.cfg.OnEvict != nil {
+		c.cfg.OnEvict(e)
+	}
+}
+
+// remove detaches e from the cache and policy without eviction stats.
+func (c *Cache) remove(e *policy.Entry) {
+	delete(c.entries, e.URL)
+	c.stats.Used -= e.Size
+	c.stats.Docs--
+	if c.cfg.Policy != nil {
+		c.cfg.Policy.Remove(e)
+	}
+}
+
+// Sweep removes documents until used space is at most comfort*capacity
+// (the Pitkow/Recker periodic removal of §1.3, run e.g. at the end of
+// each simulated day). It returns the number of documents removed. Sweep
+// on an infinite cache is a no-op.
+func (c *Cache) Sweep(comfort float64) int {
+	if c.Infinite() || c.cfg.Policy == nil {
+		return 0
+	}
+	if comfort < 0 {
+		comfort = 0
+	}
+	target := int64(comfort * float64(c.cfg.Capacity))
+	removed := 0
+	for c.stats.Used > target {
+		v := c.cfg.Policy.Victim(0)
+		if v == nil {
+			break
+		}
+		c.evict(v)
+		removed++
+	}
+	return removed
+}
+
+// CheckInvariants panics if the cache's bookkeeping is inconsistent; it
+// is exercised by the property tests.
+func (c *Cache) CheckInvariants() {
+	var used int64
+	for url, e := range c.entries {
+		if e.URL != url {
+			panic(fmt.Sprintf("core: entry key %q holds entry for %q", url, e.URL))
+		}
+		used += e.Size
+	}
+	if used != c.stats.Used {
+		panic(fmt.Sprintf("core: used bytes %d != recorded %d", used, c.stats.Used))
+	}
+	if int64(len(c.entries)) != c.stats.Docs {
+		panic(fmt.Sprintf("core: %d entries != recorded %d", len(c.entries), c.stats.Docs))
+	}
+	if !c.Infinite() && c.stats.Used > c.cfg.Capacity {
+		panic(fmt.Sprintf("core: used %d exceeds capacity %d", c.stats.Used, c.cfg.Capacity))
+	}
+	if c.cfg.Policy != nil && c.cfg.Policy.Len() != len(c.entries) {
+		panic(fmt.Sprintf("core: policy tracks %d entries, cache holds %d", c.cfg.Policy.Len(), len(c.entries)))
+	}
+}

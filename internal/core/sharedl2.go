@@ -1,0 +1,123 @@
+package core
+
+import (
+	"fmt"
+
+	"webcache/internal/trace"
+)
+
+// SharedL2 models §5 open problem 3 of the paper: several first-level
+// caches, each serving its own client population, sharing a single
+// second-level cache. A request enters through its population's L1; an
+// L1 miss consults the shared L2, which answers from the commonality
+// between populations ("how much commonality exists between the
+// workloads if they share a single second level cache?").
+type SharedL2 struct {
+	l1s []*Cache
+	l2  *Cache
+
+	// Per-population accounting.
+	popReqs  []int64
+	popBytes []int64
+	popL2Hit []int64
+	popL2BH  []int64
+
+	// crossHits counts L2 hits where the document was first brought into
+	// L2 by a *different* population — the commonality the paper asks
+	// about.
+	crossHits  int64
+	crossBytes int64
+	firstBy    map[string]int // URL -> population that first inserted it
+}
+
+// NewSharedL2 builds n first-level caches from l1 configs (one per
+// population) in front of a single cache built from l2.
+func NewSharedL2(l1s []Config, l2 Config) *SharedL2 {
+	s := &SharedL2{
+		l2:       New(l2),
+		popReqs:  make([]int64, len(l1s)),
+		popBytes: make([]int64, len(l1s)),
+		popL2Hit: make([]int64, len(l1s)),
+		popL2BH:  make([]int64, len(l1s)),
+		firstBy:  make(map[string]int),
+	}
+	for _, cfg := range l1s {
+		s.l1s = append(s.l1s, New(cfg))
+	}
+	return s
+}
+
+// Populations returns the number of first-level caches.
+func (s *SharedL2) Populations() int { return len(s.l1s) }
+
+// L1 returns population i's first-level cache.
+func (s *SharedL2) L1(i int) *Cache { return s.l1s[i] }
+
+// L2 returns the shared second-level cache.
+func (s *SharedL2) L2() *Cache { return s.l2 }
+
+// Access processes a request from population pop and reports where it
+// hit. It panics on an out-of-range population, which is a programming
+// error in the caller.
+func (s *SharedL2) Access(pop int, req *trace.Request) (l1Hit, l2Hit bool) {
+	if pop < 0 || pop >= len(s.l1s) {
+		panic(fmt.Sprintf("core: population %d out of range [0,%d)", pop, len(s.l1s)))
+	}
+	s.popReqs[pop]++
+	s.popBytes[pop] += req.Size
+	if s.l1s[pop].Access(req) {
+		return true, false
+	}
+	hit := s.l2.Access(req)
+	if hit {
+		s.popL2Hit[pop]++
+		s.popL2BH[pop] += req.Size
+		if first, ok := s.firstBy[req.URL]; ok && first != pop {
+			s.crossHits++
+			s.crossBytes += req.Size
+		}
+	} else if _, ok := s.firstBy[req.URL]; !ok {
+		s.firstBy[req.URL] = pop
+	}
+	return false, hit
+}
+
+// SharedL2Stats summarizes a shared-hierarchy run.
+type SharedL2Stats struct {
+	// PopL2HR and PopL2WHR report, per population, the fraction of its
+	// requests (bytes) answered by the shared second level.
+	PopL2HR  []float64
+	PopL2WHR []float64
+	// CrossHitFraction is the fraction of all L2 hits that were served
+	// from a document a *different* population brought in — the
+	// inter-workload commonality.
+	CrossHitFraction  float64
+	CrossByteFraction float64
+	L2                Stats
+}
+
+// Stats computes the run summary.
+func (s *SharedL2) Stats() SharedL2Stats {
+	out := SharedL2Stats{L2: s.l2.Stats()}
+	var totalL2Hits, totalL2BH int64
+	for i := range s.l1s {
+		hr, whr := 0.0, 0.0
+		if s.popReqs[i] > 0 {
+			hr = float64(s.popL2Hit[i]) / float64(s.popReqs[i])
+		}
+		if s.popBytes[i] > 0 {
+			whr = float64(s.popL2BH[i]) / float64(s.popBytes[i])
+		}
+		out.PopL2HR = append(out.PopL2HR, hr)
+		out.PopL2WHR = append(out.PopL2WHR, whr)
+		totalL2Hits += s.popL2Hit[i]
+		totalL2BH += s.popL2BH[i]
+	}
+	if totalL2Hits > 0 {
+		out.CrossHitFraction = float64(s.crossHits) / float64(totalL2Hits)
+	}
+	if totalL2BH > 0 {
+		out.CrossByteFraction = float64(s.crossBytes) / float64(totalL2BH)
+	}
+	return out
+}

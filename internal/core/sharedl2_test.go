@@ -1,0 +1,111 @@
+package core
+
+import (
+	"testing"
+
+	"webcache/internal/policy"
+	"webcache/internal/trace"
+)
+
+func newSharedL2ForTest(pops int, l1Cap int64) *SharedL2 {
+	cfgs := make([]Config, pops)
+	for i := range cfgs {
+		cfgs[i] = Config{
+			Capacity: l1Cap,
+			Policy:   policy.NewSorted([]policy.Key{policy.KeySize}, 0),
+			Seed:     uint64(i + 1),
+		}
+	}
+	return NewSharedL2(cfgs, Config{Capacity: 0, Seed: 99})
+}
+
+func TestSharedL2CrossPopulationHit(t *testing.T) {
+	s := newSharedL2ForTest(2, 10000)
+	r := req("http://a/shared.html", 500, 1)
+
+	// Population 0 brings the document in.
+	h1, h2 := s.Access(0, r)
+	if h1 || h2 {
+		t.Fatal("cold access hit")
+	}
+	// Population 1 misses its own L1 but hits the shared L2 — a
+	// cross-population hit.
+	r2 := *r
+	r2.Time = 2
+	h1, h2 = s.Access(1, &r2)
+	if h1 || !h2 {
+		t.Fatalf("population 1: l1=%v l2=%v, want shared L2 hit", h1, h2)
+	}
+	st := s.Stats()
+	if st.CrossHitFraction != 1.0 {
+		t.Fatalf("cross-hit fraction %v, want 1", st.CrossHitFraction)
+	}
+	if st.PopL2HR[1] == 0 {
+		t.Fatal("population 1's L2 hit rate is zero")
+	}
+	if st.PopL2HR[0] != 0 {
+		t.Fatal("population 0 credited with an L2 hit it never had")
+	}
+}
+
+func TestSharedL2SamePopulationHitNotCross(t *testing.T) {
+	s := newSharedL2ForTest(2, 600)
+	// Two alternating large docs in population 0: L1 can hold only one,
+	// so the second access of each hits L2 — but within one population.
+	for i := 0; i < 6; i++ {
+		u := "http://a/a.dat"
+		if i%2 == 1 {
+			u = "http://a/b.dat"
+		}
+		s.Access(0, req(u, 500, int64(i)))
+	}
+	st := s.Stats()
+	if st.CrossHitFraction != 0 {
+		t.Fatalf("cross-hit fraction %v for single-population traffic", st.CrossHitFraction)
+	}
+	if st.PopL2HR[0] == 0 {
+		t.Fatal("population 0 never hit L2 despite thrashing")
+	}
+}
+
+func TestSharedL2PanicsOnBadPopulation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-range population accepted")
+		}
+	}()
+	s := newSharedL2ForTest(2, 100)
+	s.Access(5, req("http://a/x.html", 10, 1))
+}
+
+func TestSharedL2Accessors(t *testing.T) {
+	s := newSharedL2ForTest(3, 100)
+	if s.Populations() != 3 {
+		t.Fatalf("Populations = %d", s.Populations())
+	}
+	if s.L1(0) == nil || s.L2() == nil {
+		t.Fatal("nil caches")
+	}
+	if s.L2().Capacity() != 0 {
+		t.Fatal("L2 should be infinite")
+	}
+}
+
+func TestSharedL2InclusionInvariant(t *testing.T) {
+	// Every document present in any L1 must also be in the shared L2.
+	s := newSharedL2ForTest(3, 2000)
+	urls := []string{"http://a/1.gif", "http://a/2.gif", "http://a/3.gif", "http://a/4.gif"}
+	sizes := []int64{400, 700, 900, 300}
+	for i := 0; i < 300; i++ {
+		k := i % len(urls)
+		s.Access(i%3, &trace.Request{Time: int64(i), URL: urls[k], Status: 200, Size: sizes[k]})
+	}
+	for p := 0; p < 3; p++ {
+		for k, u := range urls {
+			if s.L1(p).Contains(u, sizes[k]) && !s.L2().Contains(u, sizes[k]) {
+				t.Fatalf("population %d holds %s but shared L2 does not", p, u)
+			}
+		}
+	}
+	s.L2().CheckInvariants()
+}

@@ -1,0 +1,121 @@
+package httpstream
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"webcache/internal/capture"
+	"webcache/internal/trace"
+)
+
+// Filter converts a packet capture into a common-log-format request
+// trace: the Go equivalent of the PERL filter the paper ran over its
+// tcpdump output (§2.1).
+type Filter struct {
+	// Port restricts processing to connections with this server port
+	// (default 80, matching the paper's tcpdump filter).
+	Port uint16
+
+	conns map[FlowKey]*conn // keyed by the client→server direction
+	out   []trace.Request
+
+	// Stats.
+	Packets    int
+	NonTCP     int
+	Decoded    int
+	Transacted int
+}
+
+// NewFilter returns a filter for server port 80.
+func NewFilter() *Filter {
+	return &Filter{Port: 80, conns: make(map[FlowKey]*conn)}
+}
+
+// FeedRecord ingests one captured packet record.
+func (f *Filter) FeedRecord(rec capture.PacketRecord) {
+	f.Packets++
+	pkt, err := capture.Decode(rec)
+	if err != nil {
+		f.NonTCP++
+		return
+	}
+	f.FeedPacket(pkt)
+}
+
+// FeedPacket ingests one decoded packet.
+func (f *Filter) FeedPacket(pkt *capture.Packet) {
+	if pkt.TCP.SrcPort != f.Port && pkt.TCP.DstPort != f.Port {
+		return
+	}
+	f.Decoded++
+
+	toServer := pkt.TCP.DstPort == f.Port
+	key := FlowKey{SrcAddr: pkt.IP.Src, DstAddr: pkt.IP.Dst, SrcPort: pkt.TCP.SrcPort, DstPort: pkt.TCP.DstPort}
+	clientKey := key
+	if !toServer {
+		clientKey = key.Reverse()
+	}
+	c, ok := f.conns[clientKey]
+	if !ok {
+		c = &conn{clientKey: clientKey, toServer: newStream(), toClient: newStream()}
+		f.conns[clientKey] = c
+	}
+	c.setTime(pkt.TimeSec)
+
+	dir := c.toClient
+	if toServer {
+		dir = c.toServer
+	}
+	if pkt.TCP.Flags&capture.FlagSYN != 0 {
+		dir.syn(pkt.TCP.Seq)
+	}
+	if len(pkt.Payload) > 0 {
+		dir.data(pkt.TCP.Seq, pkt.Payload)
+	}
+	if pkt.TCP.Flags&(capture.FlagFIN|capture.FlagRST) != 0 {
+		dir.fin()
+	}
+
+	before := len(f.out)
+	f.out = c.extract(f.out)
+	f.Transacted += len(f.out) - before
+}
+
+// Run reads an entire pcap stream and returns the reconstructed trace,
+// sorted by request time. name labels the trace.
+func (f *Filter) Run(r io.Reader, name string) (*trace.Trace, error) {
+	pr := capture.NewReader(r)
+	for {
+		rec, err := pr.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("httpstream: reading capture: %w", err)
+		}
+		f.FeedRecord(rec)
+	}
+	return f.Finish(name), nil
+}
+
+// Finish flushes connections that ended without FIN processing (e.g.
+// truncated captures) and returns the accumulated trace.
+func (f *Filter) Finish(name string) *trace.Trace {
+	// Final extraction pass for connections whose close-delimited bodies
+	// are complete only now.
+	for _, c := range f.conns {
+		c.toClient.fin()
+		c.toServer.fin()
+		before := len(f.out)
+		f.out = c.extract(f.out)
+		f.Transacted += len(f.out) - before
+	}
+	sort.SliceStable(f.out, func(i, j int) bool { return f.out[i].Time < f.out[j].Time })
+	tr := &trace.Trace{Name: name, Requests: f.out}
+	if len(tr.Requests) > 0 {
+		first := tr.Requests[0].Time
+		tr.Start = first - first%86400
+	}
+	return tr
+}

@@ -1,0 +1,203 @@
+package httpstream
+
+import (
+	"bytes"
+	"strconv"
+	"strings"
+	"time"
+
+	"webcache/internal/trace"
+)
+
+// conn tracks one TCP connection's two directions and the HTTP
+// transaction state machine over them. HTTP/1.0 semantics with serial
+// keep-alive are supported, which covers 1995-era Web traffic.
+type conn struct {
+	clientKey FlowKey
+	toServer  *stream
+	toClient  *stream
+	// lastTime is the most recent packet timestamp on the connection,
+	// used to stamp requests with their arrival time.
+	lastTime int64
+
+	// Pending requests awaiting their responses, in order.
+	requests []pendingRequest
+	// Response parsing state.
+	respHeaderDone bool
+	respStatus     int
+	respLength     int64 // -1 when unknown (read until close)
+	respLastMod    int64
+	respBodySeen   int64
+}
+
+type pendingRequest struct {
+	url     string
+	client  string
+	timeSec int64
+	valid   bool // GET with parseable request line
+	aborted bool
+}
+
+// extract parses as many complete transactions as possible, appending
+// them to out, and returns the updated slice.
+func (c *conn) extract(out []trace.Request) []trace.Request {
+	c.parseRequests()
+	return c.parseResponses(out)
+}
+
+// parseRequests consumes request lines + headers from the client stream.
+func (c *conn) parseRequests() {
+	for {
+		data := c.toServer.available()
+		idx := bytes.Index(data, []byte("\r\n\r\n"))
+		if idx < 0 {
+			return
+		}
+		head := data[:idx]
+		c.toServer.consume(idx + 4)
+		line := head
+		if i := bytes.IndexByte(line, '\r'); i >= 0 {
+			line = line[:i]
+		}
+		fields := strings.Fields(string(line))
+		pr := pendingRequest{timeSec: c.lastTime, client: c.clientKey.SrcAddr.String()}
+		if len(fields) >= 2 && fields[0] == "GET" {
+			pr.valid = true
+			pr.url = fields[1]
+			if !strings.Contains(pr.url, "://") {
+				// Origin-form request: reconstruct the absolute URL from
+				// the Host header, as the paper's filter did from the
+				// packet's destination.
+				host := headerValue(head, "Host")
+				if host == "" {
+					host = c.clientKey.DstAddr.String()
+				}
+				pr.url = "http://" + host + pr.url
+			}
+		}
+		c.requests = append(c.requests, pr)
+	}
+}
+
+// parseResponses consumes responses from the server stream, pairing them
+// with pending requests in order.
+func (c *conn) parseResponses(out []trace.Request) []trace.Request {
+	for {
+		if !c.respHeaderDone {
+			data := c.toClient.available()
+			idx := bytes.Index(data, []byte("\r\n\r\n"))
+			if idx < 0 {
+				return out
+			}
+			head := data[:idx]
+			c.toClient.consume(idx + 4)
+			c.respStatus = parseStatus(head)
+			c.respLength = -1
+			if v := headerValue(head, "Content-Length"); v != "" {
+				if n, err := strconv.ParseInt(v, 10, 64); err == nil && n >= 0 {
+					c.respLength = n
+				}
+			}
+			c.respLastMod = 0
+			if v := headerValue(head, "Last-Modified"); v != "" {
+				if t, err := time.Parse("02/Jan/2006:15:04:05 -0700", v); err == nil {
+					c.respLastMod = t.Unix()
+				} else if t, err := time.Parse(time.RFC1123, v); err == nil {
+					c.respLastMod = t.Unix()
+				}
+			}
+			c.respBodySeen = 0
+			c.respHeaderDone = true
+		}
+		// Swallow body bytes. When Content-Length is known we only need
+		// to skip what was actually captured (the monitor may truncate
+		// bodies); the logged size comes from the header.
+		if c.respLength >= 0 {
+			data := c.toClient.available()
+			want := c.respLength - c.respBodySeen
+			take := int64(len(data))
+			if take > want {
+				take = want
+			}
+			c.toClient.consume(int(take))
+			c.respBodySeen += take
+			if c.respBodySeen < c.respLength && !c.toClient.finSeen {
+				// More body may arrive; but if the capture truncates
+				// bodies, the next response header signals completion.
+				if next := bytes.Index(c.toClient.available(), []byte("HTTP/")); next != 0 {
+					if next < 0 {
+						return out
+					}
+					c.toClient.consume(next)
+				}
+			}
+		} else {
+			// No Content-Length: body runs to connection close.
+			if !c.toClient.finSeen {
+				return out
+			}
+			c.respBodySeen += int64(len(c.toClient.available()))
+			c.toClient.consume(len(c.toClient.available()))
+		}
+
+		// Transaction complete: pair with the oldest pending request.
+		size := c.respLength
+		if size < 0 {
+			size = c.respBodySeen
+		}
+		if len(c.requests) == 0 {
+			// Response with no captured request (capture started mid
+			// connection); drop it.
+			c.respHeaderDone = false
+			continue
+		}
+		pr := c.requests[0]
+		c.requests = c.requests[1:]
+		c.respHeaderDone = false
+		if !pr.valid || pr.aborted {
+			continue
+		}
+		out = append(out, trace.Request{
+			Time:         pr.timeSec,
+			Client:       pr.client,
+			URL:          pr.url,
+			Status:       c.respStatus,
+			Size:         size,
+			Type:         trace.ClassifyURL(pr.url),
+			LastModified: c.respLastMod,
+		})
+	}
+}
+
+// setTime records the most recent packet timestamp on the connection.
+func (c *conn) setTime(sec int64) { c.lastTime = sec }
+
+// parseStatus extracts the status code from a response status line.
+func parseStatus(head []byte) int {
+	line := head
+	if i := bytes.IndexByte(line, '\r'); i >= 0 {
+		line = line[:i]
+	}
+	fields := strings.Fields(string(line))
+	if len(fields) < 2 || !strings.HasPrefix(fields[0], "HTTP/") {
+		return 0
+	}
+	code, err := strconv.Atoi(fields[1])
+	if err != nil {
+		return 0
+	}
+	return code
+}
+
+// headerValue finds a header's value (case-insensitive) in a raw header
+// block.
+func headerValue(head []byte, name string) string {
+	for _, line := range strings.Split(string(head), "\r\n") {
+		if i := strings.IndexByte(line, ':'); i > 0 {
+			if strings.EqualFold(strings.TrimSpace(line[:i]), name) {
+				return strings.TrimSpace(line[i+1:])
+			}
+		}
+	}
+	return ""
+}

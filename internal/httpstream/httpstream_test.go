@@ -1,0 +1,346 @@
+package httpstream
+
+import (
+	"bytes"
+	"fmt"
+	"net/netip"
+	"testing"
+
+	"webcache/internal/capture"
+	"webcache/internal/rng"
+	"webcache/internal/trace"
+	"webcache/internal/workload"
+)
+
+// TestStreamInOrder: contiguous segments reassemble directly.
+func TestStreamInOrder(t *testing.T) {
+	s := newStream()
+	s.syn(999)
+	s.data(1000, []byte("hello "))
+	s.data(1006, []byte("world"))
+	if got := string(s.available()); got != "hello world" {
+		t.Fatalf("reassembled %q", got)
+	}
+}
+
+// TestStreamOutOfOrder: segments arriving in any order reassemble.
+func TestStreamOutOfOrder(t *testing.T) {
+	s := newStream()
+	s.syn(0)
+	s.data(7, []byte("cde"))
+	s.data(4, []byte("abc")) // still a gap: seq 1..3 missing
+	if got := string(s.available()); got != "" {
+		t.Fatalf("premature data %q", got)
+	}
+	s.data(1, []byte("xyz"))
+	if got := string(s.available()); got != "xyzabccde" {
+		t.Fatalf("reassembled %q", got)
+	}
+}
+
+// TestStreamDuplicatesAndOverlap: retransmissions are deduplicated.
+func TestStreamDuplicatesAndOverlap(t *testing.T) {
+	s := newStream()
+	s.syn(0)
+	s.data(1, []byte("abcdef"))
+	s.data(1, []byte("abcdef")) // exact duplicate
+	s.data(4, []byte("defghi")) // overlapping extension
+	if got := string(s.available()); got != "abcdefghi" {
+		t.Fatalf("reassembled %q", got)
+	}
+}
+
+// TestStreamRandomized: random segmentations with shuffling and
+// duplication always reconstruct the original byte string.
+func TestStreamRandomized(t *testing.T) {
+	r := rng.New(21)
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + r.Intn(5000)
+		payload := make([]byte, n)
+		for i := range payload {
+			payload[i] = byte(r.Uint64())
+		}
+		type seg struct {
+			seq  uint32
+			data []byte
+		}
+		var segs []seg
+		isn := uint32(r.Uint64())
+		for off := 0; off < n; {
+			l := 1 + r.Intn(700)
+			if off+l > n {
+				l = n - off
+			}
+			segs = append(segs, seg{seq: isn + 1 + uint32(off), data: payload[off : off+l]})
+			off += l
+		}
+		// Duplicate ~20% of segments and shuffle everything.
+		for i := 0; i < len(segs); i++ {
+			if r.Float64() < 0.2 {
+				segs = append(segs, segs[i])
+			}
+		}
+		r.Shuffle(len(segs), func(i, j int) { segs[i], segs[j] = segs[j], segs[i] })
+
+		s := newStream()
+		s.syn(isn)
+		for _, sg := range segs {
+			s.data(sg.seq, sg.data)
+		}
+		if !bytes.Equal(s.available(), payload) {
+			t.Fatalf("trial %d: reassembly mismatch (%d bytes in, %d out)", trial, n, len(s.available()))
+		}
+	}
+}
+
+func TestStreamMidConnectionAdoption(t *testing.T) {
+	s := newStream() // no SYN seen
+	s.data(5000, []byte("late capture"))
+	if got := string(s.available()); got != "late capture" {
+		t.Fatalf("adopted %q", got)
+	}
+}
+
+func TestStreamConsumeCompaction(t *testing.T) {
+	s := newStream()
+	s.syn(0)
+	big := bytes.Repeat([]byte("x"), 200*1024)
+	s.data(1, big)
+	s.consume(150 * 1024)
+	if got := len(s.available()); got != 50*1024 {
+		t.Fatalf("available %d after consume", got)
+	}
+}
+
+func TestSeqLessWraparound(t *testing.T) {
+	if !seqLess(0xfffffff0, 0x10) {
+		t.Fatal("sequence wraparound not handled")
+	}
+	if seqLess(0x10, 0xfffffff0) {
+		t.Fatal("sequence comparison inverted at wrap")
+	}
+}
+
+func TestParseStatus(t *testing.T) {
+	if got := parseStatus([]byte("HTTP/1.0 404 Not Found\r\nX: y")); got != 404 {
+		t.Fatalf("status %d", got)
+	}
+	if got := parseStatus([]byte("garbage")); got != 0 {
+		t.Fatalf("garbage status %d", got)
+	}
+}
+
+func TestHeaderValue(t *testing.T) {
+	head := []byte("HTTP/1.0 200 OK\r\nContent-Length: 123\r\ncontent-type:  text/html \r\n")
+	if v := headerValue(head, "Content-Length"); v != "123" {
+		t.Fatalf("Content-Length %q", v)
+	}
+	if v := headerValue(head, "CONTENT-TYPE"); v != "text/html" {
+		t.Fatalf("Content-Type %q", v)
+	}
+	if v := headerValue(head, "Missing"); v != "" {
+		t.Fatalf("missing header %q", v)
+	}
+}
+
+// makeTrace builds a small deterministic trace for pipeline tests.
+func makeTrace(n int) *trace.Trace {
+	tr := &trace.Trace{Name: "t", Start: 811296000}
+	for i := 0; i < n; i++ {
+		tr.Requests = append(tr.Requests, trace.Request{
+			Time:   811296000 + int64(i*3),
+			Client: fmt.Sprintf("client%d.vt.edu", i%7),
+			URL:    fmt.Sprintf("http://s%d.cs.vt.edu/doc/t%d.html", i%3+1, i),
+			Status: 200,
+			Size:   int64(100 + i*37),
+			Type:   trace.Text,
+		})
+	}
+	return tr
+}
+
+// runPipeline synthesizes packets for tr and filters them back.
+func runPipeline(t *testing.T, tr *trace.Trace, mutate func(*capture.Synthesizer)) *trace.Trace {
+	t.Helper()
+	var buf bytes.Buffer
+	w := capture.NewWriter(&buf, 0)
+	syn := capture.NewSynthesizer(5)
+	if mutate != nil {
+		mutate(syn)
+	}
+	if err := syn.WriteTrace(tr, w); err != nil {
+		t.Fatal(err)
+	}
+	got, err := NewFilter().Run(&buf, "reconstructed")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return got
+}
+
+func TestFilterReconstructsTrace(t *testing.T) {
+	tr := makeTrace(60)
+	got := runPipeline(t, tr, nil)
+	if len(got.Requests) != len(tr.Requests) {
+		t.Fatalf("reconstructed %d of %d requests", len(got.Requests), len(tr.Requests))
+	}
+	for i := range tr.Requests {
+		a, b := tr.Requests[i], got.Requests[i]
+		if a.URL != b.URL || a.Size != b.Size || a.Status != b.Status || a.Time != b.Time {
+			t.Fatalf("request %d: want %+v, got %+v", i, a, b)
+		}
+	}
+}
+
+func TestFilterWithShuffledSegments(t *testing.T) {
+	tr := makeTrace(40)
+	got := runPipeline(t, tr, func(s *capture.Synthesizer) { s.Shuffle = 0.8; s.MSS = 256 })
+	if len(got.Requests) != len(tr.Requests) {
+		t.Fatalf("reconstructed %d of %d requests under shuffle", len(got.Requests), len(tr.Requests))
+	}
+	for i := range tr.Requests {
+		if tr.Requests[i].Size != got.Requests[i].Size {
+			t.Fatalf("request %d size %d != %d", i, got.Requests[i].Size, tr.Requests[i].Size)
+		}
+	}
+}
+
+func TestFilterTruncatedBodies(t *testing.T) {
+	// Bodies capped at 1 KiB: sizes must still come from Content-Length.
+	tr := makeTrace(20)
+	for i := range tr.Requests {
+		tr.Requests[i].Size = int64(50_000 + i)
+	}
+	got := runPipeline(t, tr, func(s *capture.Synthesizer) { s.SnapBody = 1024 })
+	if len(got.Requests) != len(tr.Requests) {
+		t.Fatalf("reconstructed %d of %d with truncated bodies", len(got.Requests), len(tr.Requests))
+	}
+	for i := range tr.Requests {
+		if got.Requests[i].Size != tr.Requests[i].Size {
+			t.Fatalf("request %d: size %d, want %d (from Content-Length)",
+				i, got.Requests[i].Size, tr.Requests[i].Size)
+		}
+	}
+}
+
+func TestFilterIgnoresOtherPorts(t *testing.T) {
+	f := NewFilter()
+	// A TCP packet on port 443 must be skipped.
+	eth := capture.Ethernet{EtherType: capture.EtherTypeIPv4}
+	ip := capture.IPv4{TTL: 3, Protocol: capture.ProtocolTCP,
+		Src: netip.AddrFrom4([4]byte{1, 2, 3, 4}), Dst: netip.AddrFrom4([4]byte{5, 6, 7, 8})}
+	tcp := capture.TCP{SrcPort: 5555, DstPort: 443, Seq: 1}
+	buf := eth.AppendTo(nil)
+	buf = ip.AppendTo(buf, 20)
+	buf = tcp.AppendTo(buf)
+	f.FeedRecord(capture.PacketRecord{TimeSec: 1, Data: buf})
+	if f.Decoded != 0 {
+		t.Fatalf("port-443 packet processed (Decoded=%d)", f.Decoded)
+	}
+	out := f.Finish("x")
+	if len(out.Requests) != 0 {
+		t.Fatalf("phantom transactions: %d", len(out.Requests))
+	}
+}
+
+func TestFilterEndToEndWorkload(t *testing.T) {
+	cfg := workload.BL(77)
+	cfg.Scale = 0.003
+	raw, err := workload.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	w := capture.NewWriter(&buf, 0)
+	syn := capture.NewSynthesizer(3)
+	syn.Shuffle = 0.4
+	if err := syn.WriteTrace(raw, w); err != nil {
+		t.Fatal(err)
+	}
+	got, err := NewFilter().Run(&buf, "BL")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Requests) != len(raw.Requests) {
+		t.Fatalf("pipeline reconstructed %d of %d requests", len(got.Requests), len(raw.Requests))
+	}
+	// The reconstructed trace validates identically to the original:
+	// same kept count, same hit/miss-relevant fields.
+	v1, s1 := trace.Validate(raw)
+	v2, s2 := trace.Validate(got)
+	if s1.Kept != s2.Kept {
+		t.Fatalf("validation kept %d vs %d", s1.Kept, s2.Kept)
+	}
+	for i := range v1.Requests {
+		if v1.Requests[i].URL != v2.Requests[i].URL || v1.Requests[i].Size != v2.Requests[i].Size {
+			t.Fatalf("validated request %d differs", i)
+		}
+	}
+}
+
+// TestCloseDelimitedBody: HTTP/1.0 responses without Content-Length run
+// to connection close; the filter must size them by observed bytes.
+func TestCloseDelimitedBody(t *testing.T) {
+	c := &conn{toServer: newStream(), toClient: newStream()}
+	c.setTime(42)
+	c.toServer.syn(0)
+	c.toClient.syn(0)
+	c.toServer.data(1, []byte("GET http://s.vt.edu/old.html HTTP/1.0\r\n\r\n"))
+	c.toClient.data(1, []byte("HTTP/1.0 200 OK\r\nServer: CERN/3.0\r\n\r\nbody-without-length"))
+	var out []trace.Request
+	out = c.extract(out)
+	if len(out) != 0 {
+		t.Fatal("transaction completed before FIN")
+	}
+	c.toClient.fin()
+	out = c.extract(out)
+	if len(out) != 1 {
+		t.Fatalf("%d transactions after FIN", len(out))
+	}
+	if out[0].Size != int64(len("body-without-length")) {
+		t.Fatalf("size %d, want observed body length", out[0].Size)
+	}
+	if out[0].Time != 42 {
+		t.Fatalf("time %d", out[0].Time)
+	}
+}
+
+// TestKeepAliveSequentialTransactions: two requests on one connection
+// pair with their responses in order.
+func TestKeepAliveSequentialTransactions(t *testing.T) {
+	c := &conn{toServer: newStream(), toClient: newStream()}
+	c.setTime(1)
+	c.toServer.syn(0)
+	c.toClient.syn(0)
+	c.toServer.data(1, []byte(
+		"GET http://s.vt.edu/a.html HTTP/1.0\r\n\r\nGET http://s.vt.edu/b.gif HTTP/1.0\r\n\r\n"))
+	c.toClient.data(1, []byte(
+		"HTTP/1.0 200 OK\r\nContent-Length: 2\r\n\r\naaHTTP/1.0 404 Not Found\r\nContent-Length: 3\r\n\r\nbbb"))
+	var out []trace.Request
+	out = c.extract(out)
+	if len(out) != 2 {
+		t.Fatalf("%d transactions", len(out))
+	}
+	if out[0].URL != "http://s.vt.edu/a.html" || out[0].Status != 200 || out[0].Size != 2 {
+		t.Fatalf("first transaction %+v", out[0])
+	}
+	if out[1].URL != "http://s.vt.edu/b.gif" || out[1].Status != 404 || out[1].Size != 3 {
+		t.Fatalf("second transaction %+v", out[1])
+	}
+}
+
+// TestOriginFormHostReconstruction: origin-form requests get their URL
+// rebuilt from the Host header.
+func TestOriginFormHostReconstruction(t *testing.T) {
+	c := &conn{toServer: newStream(), toClient: newStream()}
+	c.setTime(1)
+	c.toServer.syn(0)
+	c.toClient.syn(0)
+	c.toServer.data(1, []byte("GET /p/q.html HTTP/1.0\r\nHost: www.vt.edu\r\n\r\n"))
+	c.toClient.data(1, []byte("HTTP/1.0 200 OK\r\nContent-Length: 1\r\n\r\nx"))
+	var out []trace.Request
+	out = c.extract(out)
+	if len(out) != 1 || out[0].URL != "http://www.vt.edu/p/q.html" {
+		t.Fatalf("reconstructed %+v", out)
+	}
+}

@@ -1,0 +1,141 @@
+// Package httpstream reconstructs HTTP transactions from captured TCP
+// segments and emits them as common-log-format requests — the filter of
+// §2.1 of the paper ("this trace is then passed through a filter that
+// decodes the HTTP packet headers and generates a log file of all
+// non-aborted document requests in the common log format").
+package httpstream
+
+import (
+	"fmt"
+	"net/netip"
+	"sort"
+)
+
+// FlowKey identifies one direction of a TCP connection.
+type FlowKey struct {
+	SrcAddr netip.Addr
+	DstAddr netip.Addr
+	SrcPort uint16
+	DstPort uint16
+}
+
+// Reverse returns the opposite direction's key.
+func (k FlowKey) Reverse() FlowKey {
+	return FlowKey{SrcAddr: k.DstAddr, DstAddr: k.SrcAddr, SrcPort: k.DstPort, DstPort: k.SrcPort}
+}
+
+func (k FlowKey) String() string {
+	return fmt.Sprintf("%s:%d->%s:%d", k.SrcAddr, k.SrcPort, k.DstAddr, k.DstPort)
+}
+
+// stream reassembles one direction of a connection from TCP segments,
+// tolerating out-of-order delivery, duplicates and overlaps.
+type stream struct {
+	established bool
+	nextSeq     uint32
+	buf         []byte            // contiguous reassembled data not yet consumed
+	consumed    int               // bytes of buf already consumed by the parser
+	pending     map[uint32][]byte // out-of-order segments keyed by sequence number
+	finSeen     bool
+	bytesHeld   int
+}
+
+// maxPendingBytes bounds out-of-order buffering per direction so a
+// malformed capture cannot exhaust memory.
+const maxPendingBytes = 4 << 20
+
+func newStream() *stream { return &stream{pending: map[uint32][]byte{}} }
+
+// syn records the ISN from a SYN segment.
+func (s *stream) syn(seq uint32) {
+	s.established = true
+	s.nextSeq = seq + 1
+}
+
+// seqLess reports a < b in 32-bit sequence space.
+func seqLess(a, b uint32) bool { return int32(a-b) < 0 }
+
+// data ingests one data segment.
+func (s *stream) data(seq uint32, payload []byte) {
+	if len(payload) == 0 {
+		return
+	}
+	if !s.established {
+		// Capture started mid-connection; adopt this segment's sequence.
+		s.established = true
+		s.nextSeq = seq
+	}
+	if seqLess(seq, s.nextSeq) {
+		// Retransmission or partial overlap: trim the already-seen prefix.
+		skip := s.nextSeq - seq
+		if uint32(len(payload)) <= skip {
+			return
+		}
+		payload = payload[skip:]
+		seq = s.nextSeq
+	}
+	if seq == s.nextSeq {
+		s.buf = append(s.buf, payload...)
+		s.nextSeq += uint32(len(payload))
+		s.drain()
+		return
+	}
+	// Out of order: hold for later, bounded.
+	if s.bytesHeld+len(payload) > maxPendingBytes {
+		return
+	}
+	if old, ok := s.pending[seq]; !ok || len(payload) > len(old) {
+		s.bytesHeld += len(payload) - len(s.pending[seq])
+		cp := make([]byte, len(payload))
+		copy(cp, payload)
+		s.pending[seq] = cp
+	}
+}
+
+// drain moves now-contiguous pending segments into buf.
+func (s *stream) drain() {
+	for len(s.pending) > 0 {
+		// Find a pending segment that starts at or before nextSeq.
+		var keys []uint32
+		for k := range s.pending {
+			keys = append(keys, k)
+		}
+		sort.Slice(keys, func(i, j int) bool { return seqLess(keys[i], keys[j]) })
+		progressed := false
+		for _, k := range keys {
+			seg := s.pending[k]
+			if seqLess(s.nextSeq, k) {
+				break // gap remains
+			}
+			delete(s.pending, k)
+			s.bytesHeld -= len(seg)
+			if skip := s.nextSeq - k; skip > 0 {
+				if uint32(len(seg)) <= skip {
+					continue
+				}
+				seg = seg[skip:]
+			}
+			s.buf = append(s.buf, seg...)
+			s.nextSeq += uint32(len(seg))
+			progressed = true
+		}
+		if !progressed {
+			return
+		}
+	}
+}
+
+// fin marks the stream closed.
+func (s *stream) fin() { s.finSeen = true }
+
+// available returns unconsumed reassembled bytes.
+func (s *stream) available() []byte { return s.buf[s.consumed:] }
+
+// consume marks n bytes as consumed and compacts occasionally.
+func (s *stream) consume(n int) {
+	s.consumed += n
+	if s.consumed > 64*1024 && s.consumed*2 > len(s.buf) {
+		s.buf = append([]byte(nil), s.buf[s.consumed:]...)
+		s.consumed = 0
+	}
+}

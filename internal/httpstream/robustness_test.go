@@ -1,0 +1,116 @@
+package httpstream
+
+import (
+	"net/netip"
+	"testing"
+
+	"webcache/internal/capture"
+	"webcache/internal/rng"
+)
+
+// TestFilterSurvivesGarbagePayloads throws random TCP payloads at the
+// filter: whatever arrives on port 80 must be digested without panics
+// and without unbounded memory (the pending-segment cap).
+func TestFilterSurvivesGarbagePayloads(t *testing.T) {
+	r := rng.New(999)
+	f := NewFilter()
+	src := netip.AddrFrom4([4]byte{10, 0, 0, 1})
+	dst := netip.AddrFrom4([4]byte{172, 16, 0, 1})
+	for i := 0; i < 5000; i++ {
+		payload := make([]byte, r.Intn(400))
+		for j := range payload {
+			payload[j] = byte(r.Uint64())
+		}
+		pkt := &capture.Packet{
+			TimeSec: int64(i),
+			IP:      capture.IPv4{Src: src, Dst: dst, Protocol: capture.ProtocolTCP},
+			TCP: capture.TCP{
+				SrcPort: uint16(1024 + i%7),
+				DstPort: 80,
+				Seq:     uint32(r.Uint64()),
+				Flags:   uint8(r.Uint64()) & (capture.FlagSYN | capture.FlagACK | capture.FlagPSH | capture.FlagFIN),
+			},
+			Payload: payload,
+		}
+		f.FeedPacket(pkt)
+	}
+	f.Finish("garbage")
+}
+
+// TestFilterBoundsPendingMemory: a flood of out-of-order segments that
+// never become contiguous must hit the per-direction cap rather than
+// buffering forever.
+func TestFilterBoundsPendingMemory(t *testing.T) {
+	s := newStream()
+	s.syn(0)
+	// Never send seq 1, so nothing drains; offer far more than the cap.
+	seg := make([]byte, 64*1024)
+	for i := 0; i < 200; i++ {
+		s.data(uint32(2+i*70000), seg)
+	}
+	if s.bytesHeld > maxPendingBytes {
+		t.Fatalf("pending buffer grew to %d, cap is %d", s.bytesHeld, maxPendingBytes)
+	}
+}
+
+// TestFilterHalfOpenConnections: requests with no response (aborted
+// transfers) must not produce log lines, matching the paper's
+// "non-aborted document requests" filter.
+func TestFilterHalfOpenConnections(t *testing.T) {
+	f := NewFilter()
+	src := netip.AddrFrom4([4]byte{10, 0, 0, 2})
+	dst := netip.AddrFrom4([4]byte{172, 16, 0, 2})
+	req := []byte("GET http://s.vt.edu/x.html HTTP/1.0\r\n\r\n")
+	f.FeedPacket(&capture.Packet{
+		TimeSec: 1,
+		IP:      capture.IPv4{Src: src, Dst: dst, Protocol: capture.ProtocolTCP},
+		TCP:     capture.TCP{SrcPort: 2000, DstPort: 80, Seq: 1, Flags: capture.FlagPSH | capture.FlagACK},
+		Payload: req,
+	})
+	tr := f.Finish("halfopen")
+	if len(tr.Requests) != 0 {
+		t.Fatalf("aborted request produced %d log lines", len(tr.Requests))
+	}
+}
+
+// TestFilterResponseWithoutRequest: a response seen without its request
+// (capture started mid-connection) is dropped, not mispaired.
+func TestFilterResponseWithoutRequest(t *testing.T) {
+	f := NewFilter()
+	src := netip.AddrFrom4([4]byte{172, 16, 0, 3})
+	dst := netip.AddrFrom4([4]byte{10, 0, 0, 3})
+	resp := []byte("HTTP/1.0 200 OK\r\nContent-Length: 3\r\n\r\nabc")
+	f.FeedPacket(&capture.Packet{
+		TimeSec: 1,
+		IP:      capture.IPv4{Src: src, Dst: dst, Protocol: capture.ProtocolTCP},
+		TCP:     capture.TCP{SrcPort: 80, DstPort: 2000, Seq: 1, Flags: capture.FlagPSH | capture.FlagACK},
+		Payload: resp,
+	})
+	tr := f.Finish("orphan")
+	if len(tr.Requests) != 0 {
+		t.Fatalf("orphan response produced %d log lines", len(tr.Requests))
+	}
+}
+
+// TestFilterNonGETRequests: POSTs complete the transaction pairing but
+// yield no log line (the paper's filter logged document GETs).
+func TestFilterNonGETRequests(t *testing.T) {
+	f := NewFilter()
+	src := netip.AddrFrom4([4]byte{10, 0, 0, 4})
+	dst := netip.AddrFrom4([4]byte{172, 16, 0, 4})
+	feed := func(fromClient bool, seq uint32, payload []byte) {
+		ip := capture.IPv4{Src: src, Dst: dst, Protocol: capture.ProtocolTCP}
+		tcp := capture.TCP{SrcPort: 2001, DstPort: 80, Seq: seq, Flags: capture.FlagPSH | capture.FlagACK}
+		if !fromClient {
+			ip.Src, ip.Dst = dst, src
+			tcp.SrcPort, tcp.DstPort = 80, 2001
+		}
+		f.FeedPacket(&capture.Packet{TimeSec: 2, IP: ip, TCP: tcp, Payload: payload})
+	}
+	feed(true, 1, []byte("POST http://s.vt.edu/form HTTP/1.0\r\n\r\n"))
+	feed(false, 1, []byte("HTTP/1.0 200 OK\r\nContent-Length: 2\r\n\r\nok"))
+	tr := f.Finish("post")
+	if len(tr.Requests) != 0 {
+		t.Fatalf("POST produced %d log lines", len(tr.Requests))
+	}
+}

@@ -1,0 +1,95 @@
+// Package policy implements the paper's taxonomy of cache removal
+// policies as sorting problems (§1.2, Tables 1–3).
+//
+// A removal policy sorts the cached documents by one or more keys and
+// removes documents from the head of the sorted order until enough free
+// space exists for an incoming document. The sorting keys (Table 1) are
+// SIZE, ⌊log2 SIZE⌋, ETIME, ATIME, DAY(ATIME) and NREF, with RANDOM
+// available as a secondary key and always used as the final tiebreak.
+// Classic policies are instances of the taxonomy (Table 3): FIFO ≡ ETIME,
+// LRU ≡ ATIME, LFU ≡ NREF, Hyper-G ≡ (NREF, ATIME, SIZE); LRU-MIN and
+// Pitkow/Recker need small algorithmic extensions and are implemented
+// exactly as the paper describes them.
+package policy
+
+import (
+	"webcache/internal/trace"
+)
+
+// Entry is a cached document copy together with the metadata every
+// sorting key needs. Entries are owned by exactly one cache and one
+// policy at a time.
+type Entry struct {
+	URL  string
+	Size int64
+	Type trace.DocType
+
+	ETime int64 // time the document entered the cache (Unix seconds)
+	ATime int64 // time of last access (Unix seconds)
+	NRef  int64 // number of references to the document while cached
+
+	// Rand is a stable per-entry random value assigned at insertion; it
+	// implements the RANDOM key and the universal final tiebreak.
+	Rand uint64
+
+	// Latency is the estimated time to refetch the document from its
+	// origin server, in seconds. It feeds the KeyLatency extension key
+	// (§5 open problem 1 of the paper).
+	Latency float64
+
+	// Expires is the Unix time after which the cached copy should be
+	// considered expired (0 = never). It feeds the ExpiredFirst wrapper
+	// (§5 open problem 4: Harvest-style expiry-aware removal).
+	Expires int64
+
+	// prio is the floating-point priority used by GreedyDual-Size.
+	prio float64
+
+	heapIdx int
+
+	// prev/next link the entry into a size-class LRU list (LRU-MIN).
+	prev, next *Entry
+	bucket     int
+}
+
+// HeapIndex implements pqueue.Item.
+func (e *Entry) HeapIndex() int { return e.heapIdx }
+
+// SetHeapIndex implements pqueue.Item.
+func (e *Entry) SetHeapIndex(i int) { e.heapIdx = i }
+
+// NewEntry returns an entry for a document inserted at time now.
+func NewEntry(url string, size int64, typ trace.DocType, now int64, rand uint64) *Entry {
+	return &Entry{
+		URL:     url,
+		Size:    size,
+		Type:    typ,
+		ETime:   now,
+		ATime:   now,
+		NRef:    1,
+		Rand:    rand,
+		heapIdx: -1,
+		bucket:  -1,
+	}
+}
+
+// Policy selects removal victims among cached documents. The cache calls
+// Add when a document enters, Touch after updating ATime/NRef on a hit,
+// Remove when a document leaves for any reason, and Victim repeatedly
+// while it needs more free space.
+type Policy interface {
+	// Name identifies the policy in reports, e.g. "SIZE/RANDOM" or "LRU-MIN".
+	Name() string
+	// Add registers a newly cached entry.
+	Add(e *Entry)
+	// Touch re-sorts e after an access updated its ATime and NRef.
+	Touch(e *Entry)
+	// Remove unregisters e (eviction, replacement, or invalidation).
+	Remove(e *Entry)
+	// Victim returns the next document to remove to make room for an
+	// incoming document of the given total size, or nil if no document
+	// is available. It must not itself remove the entry.
+	Victim(incoming int64) *Entry
+	// Len reports how many entries the policy is tracking.
+	Len() int
+}

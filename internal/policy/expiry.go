@@ -1,0 +1,109 @@
+package policy
+
+import "webcache/internal/pqueue"
+
+// ExpiredFirst wraps another policy with the Harvest cache's behaviour
+// cited in §5 open problem 4 of the paper: "the Harvest cache tries to
+// remove expired documents first". Victim selection prefers the cached
+// document whose expiration time is furthest in the past; only when no
+// document has expired does the inner policy choose.
+//
+// Expiration times come from Entry.Expires (Unix seconds; zero means
+// no expiry). The cache drives the clock through SetNow.
+type ExpiredFirst struct {
+	inner Policy
+	now   int64
+	heap  *pqueue.Heap[*expiryNode]
+	nodes map[*Entry]*expiryNode
+}
+
+// expiryNode gives each entry a second heap position independent of the
+// inner policy's.
+type expiryNode struct {
+	e   *Entry
+	idx int
+}
+
+func (n *expiryNode) HeapIndex() int     { return n.idx }
+func (n *expiryNode) SetHeapIndex(i int) { n.idx = i }
+
+// NewExpiredFirst wraps inner.
+func NewExpiredFirst(inner Policy) *ExpiredFirst {
+	p := &ExpiredFirst{inner: inner, nodes: make(map[*Entry]*expiryNode)}
+	p.heap = pqueue.New(func(a, b *expiryNode) bool {
+		if a.e.Expires != b.e.Expires {
+			return a.e.Expires < b.e.Expires
+		}
+		if a.e.Rand != b.e.Rand {
+			return a.e.Rand < b.e.Rand
+		}
+		return a.e.URL < b.e.URL
+	})
+	return p
+}
+
+// Name implements Policy.
+func (p *ExpiredFirst) Name() string { return "ExpiredFirst(" + p.inner.Name() + ")" }
+
+// SetNow advances the policy's clock (called by the cache per request).
+func (p *ExpiredFirst) SetNow(now int64) {
+	p.now = now
+	if inner, ok := p.inner.(interface{ SetNow(int64) }); ok {
+		inner.SetNow(now)
+	}
+}
+
+// Add implements Policy.
+func (p *ExpiredFirst) Add(e *Entry) {
+	p.inner.Add(e)
+	if e.Expires > 0 {
+		n := &expiryNode{e: e, idx: -1}
+		p.nodes[e] = n
+		p.heap.Push(n)
+	}
+}
+
+// Touch implements Policy. A refreshed entry may carry a new expiry.
+func (p *ExpiredFirst) Touch(e *Entry) {
+	p.inner.Touch(e)
+	if n, ok := p.nodes[e]; ok {
+		p.heap.Fix(n)
+	} else if e.Expires > 0 {
+		n := &expiryNode{e: e, idx: -1}
+		p.nodes[e] = n
+		p.heap.Push(n)
+	}
+}
+
+// Remove implements Policy.
+func (p *ExpiredFirst) Remove(e *Entry) {
+	p.inner.Remove(e)
+	if n, ok := p.nodes[e]; ok {
+		p.heap.Remove(n)
+		delete(p.nodes, e)
+	}
+}
+
+// Victim implements Policy: the longest-expired document if any has
+// expired, otherwise the inner policy's choice.
+func (p *ExpiredFirst) Victim(incoming int64) *Entry {
+	if head, ok := p.heap.Peek(); ok && head.e.Expires <= p.now {
+		return head.e
+	}
+	return p.inner.Victim(incoming)
+}
+
+// Len implements Policy.
+func (p *ExpiredFirst) Len() int { return p.inner.Len() }
+
+// ExpiredCount reports how many tracked documents are currently expired
+// (an O(n log n) scan; intended for tests and reports, not hot paths).
+func (p *ExpiredFirst) ExpiredCount() int {
+	n := 0
+	for _, node := range p.nodes {
+		if node.e.Expires <= p.now {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,137 @@
+package policy
+
+import (
+	"testing"
+
+	"webcache/internal/rng"
+)
+
+func TestExpiredFirstPrefersExpired(t *testing.T) {
+	p := NewExpiredFirst(NewSorted([]Key{KeySize}, 0))
+	fresh := entry("fresh-big", 10000, 1, 1, 1, 1)
+	fresh.Expires = 1000
+	stale := entry("stale-small", 10, 2, 2, 1, 2)
+	stale.Expires = 50
+	p.Add(fresh)
+	p.Add(stale)
+
+	p.SetNow(100) // stale has expired, fresh has not
+	if v := p.Victim(0); v == nil || v.URL != "stale-small" {
+		t.Fatalf("victim = %v, want the expired document", v)
+	}
+	if n := p.ExpiredCount(); n != 1 {
+		t.Fatalf("ExpiredCount = %d", n)
+	}
+
+	p.Remove(stale)
+	// Nothing expired now: fall back to the inner SIZE order.
+	if v := p.Victim(0); v == nil || v.URL != "fresh-big" {
+		t.Fatalf("victim = %v, want inner policy's choice", v)
+	}
+}
+
+func TestExpiredFirstOldestExpiryFirst(t *testing.T) {
+	p := NewExpiredFirst(NewLRU())
+	a := entry("a", 10, 1, 9, 1, 1)
+	a.Expires = 30
+	b := entry("b", 10, 2, 1, 1, 2)
+	b.Expires = 10
+	p.Add(a)
+	p.Add(b)
+	p.SetNow(100)
+	// Both expired; b expired first.
+	if v := p.Victim(0); v.URL != "b" {
+		t.Fatalf("victim %s, want the longest-expired", v.URL)
+	}
+}
+
+func TestExpiredFirstNoExpiryEntries(t *testing.T) {
+	p := NewExpiredFirst(NewLRU())
+	a := entry("a", 10, 1, 1, 1, 1) // Expires 0: never
+	p.Add(a)
+	p.SetNow(1 << 40)
+	if v := p.Victim(0); v != a {
+		t.Fatalf("victim %v", v)
+	}
+	if n := p.ExpiredCount(); n != 0 {
+		t.Fatalf("never-expiring entry counted as expired (%d)", n)
+	}
+}
+
+func TestExpiredFirstTouchRefreshesExpiry(t *testing.T) {
+	p := NewExpiredFirst(NewLRU())
+	a := entry("a", 10, 1, 1, 1, 1)
+	a.Expires = 10
+	b := entry("b", 10, 2, 2, 1, 2)
+	b.Expires = 20
+	p.Add(a)
+	p.Add(b)
+	p.SetNow(100)
+	// Refresh a far into the future (a revalidation): b becomes first.
+	a.Expires = 1000
+	p.Touch(a)
+	if v := p.Victim(0); v.URL != "b" {
+		t.Fatalf("victim %s after refresh, want b", v.URL)
+	}
+}
+
+func TestExpiredFirstName(t *testing.T) {
+	p := NewExpiredFirst(NewLRU())
+	if p.Name() != "ExpiredFirst(LRU)" {
+		t.Fatalf("Name = %q", p.Name())
+	}
+}
+
+func TestExpiredFirstRandomOps(t *testing.T) {
+	p := NewExpiredFirst(NewSorted([]Key{KeySize}, 0))
+	r := rng.New(5)
+	live := map[string]*Entry{}
+	seq := 0
+	for op := 0; op < 4000; op++ {
+		p.SetNow(int64(op))
+		switch r.Intn(3) {
+		case 0:
+			seq++
+			e := entry("u"+itoa(seq), int64(1+r.Intn(1000)), int64(op), int64(op), 1, uint64(seq)*777)
+			if r.Float64() < 0.7 {
+				e.Expires = int64(op + r.Intn(100))
+			}
+			p.Add(e)
+			live[e.URL] = e
+		case 1:
+			for _, e := range live {
+				e.ATime = int64(op)
+				if e.Expires > 0 {
+					e.Expires = int64(op + r.Intn(100))
+				}
+				p.Touch(e)
+				break
+			}
+		case 2:
+			v := p.Victim(0)
+			if v == nil {
+				if len(live) != 0 {
+					t.Fatalf("op %d: no victim with %d live entries", op, len(live))
+				}
+				continue
+			}
+			// Invariant: if any entry has expired, the victim must be
+			// an expired one.
+			anyExpired := false
+			for _, e := range live {
+				if e.Expires > 0 && e.Expires <= int64(op) {
+					anyExpired = true
+					break
+				}
+			}
+			if anyExpired && (v.Expires == 0 || v.Expires > int64(op)) {
+				t.Fatalf("op %d: victim %s not expired although expired entries exist", op, v.URL)
+			}
+			p.Remove(v)
+			delete(live, v.URL)
+		}
+		if p.Len() != len(live) {
+			t.Fatalf("op %d: Len %d != %d", op, p.Len(), len(live))
+		}
+	}
+}

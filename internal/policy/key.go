@@ -1,0 +1,227 @@
+package policy
+
+import (
+	"fmt"
+	"math/bits"
+
+	"webcache/internal/trace"
+)
+
+// Key is one sorting key from Table 1 of the paper, plus RANDOM and the
+// two future-work keys from §5 (document type and refetch latency).
+type Key uint8
+
+// Sorting keys. The removal order of each key is built in (Table 1):
+// SIZE and Log2Size remove the largest first; ETIME, ATIME, DAY(ATIME)
+// and NREF remove the smallest first.
+const (
+	KeySize     Key = iota // largest file removed first
+	KeyLog2Size            // one of the largest files removed first
+	KeyETime               // oldest cache entry removed first (FIFO)
+	KeyATime               // least recently used removed first (LRU)
+	KeyDayATime            // last accessed the most days ago removed first
+	KeyNRef                // least referenced removed first (LFU)
+	KeyRandom              // uniformly random
+	// Extension keys (paper §5, open problem 1).
+	KeyType    // least latency-critical document type removed first
+	KeyLatency // cheapest document to refetch removed first
+)
+
+// TableOneKeys are the six keys of Table 1, in the paper's order.
+var TableOneKeys = []Key{KeySize, KeyLog2Size, KeyETime, KeyATime, KeyDayATime, KeyNRef}
+
+// String returns the paper's notation for the key.
+func (k Key) String() string {
+	switch k {
+	case KeySize:
+		return "SIZE"
+	case KeyLog2Size:
+		return "LOG2SIZE"
+	case KeyETime:
+		return "ETIME"
+	case KeyATime:
+		return "ATIME"
+	case KeyDayATime:
+		return "DAY(ATIME)"
+	case KeyNRef:
+		return "NREF"
+	case KeyRandom:
+		return "RANDOM"
+	case KeyType:
+		return "TYPE"
+	case KeyLatency:
+		return "LATENCY"
+	default:
+		return fmt.Sprintf("Key(%d)", uint8(k))
+	}
+}
+
+// Definition returns the Table 1 definition of the key.
+func (k Key) Definition() string {
+	switch k {
+	case KeySize:
+		return "size of a cached document (in bytes)"
+	case KeyLog2Size:
+		return "floor of the log (base 2) of SIZE"
+	case KeyETime:
+		return "time document entered the cache"
+	case KeyATime:
+		return "time of last document access (recency)"
+	case KeyDayATime:
+		return "day of last document access"
+	case KeyNRef:
+		return "number of document references"
+	case KeyRandom:
+		return "uniformly random tiebreak"
+	case KeyType:
+		return "latency priority of the document's media type"
+	case KeyLatency:
+		return "estimated refetch latency of the document"
+	default:
+		return "unknown"
+	}
+}
+
+// SortOrder returns the Table 1 removal-order description.
+func (k Key) SortOrder() string {
+	switch k {
+	case KeySize:
+		return "largest file removed first"
+	case KeyLog2Size:
+		return "one of the largest files removed first"
+	case KeyETime:
+		return "oldest access removed first (FIFO)"
+	case KeyATime:
+		return "least recently used files removed first (LRU)"
+	case KeyDayATime:
+		return "files last accessed the most days ago removed first"
+	case KeyNRef:
+		return "least referenced files removed first (LFU)"
+	case KeyRandom:
+		return "random file removed first"
+	case KeyType:
+		return "lowest-priority media type removed first"
+	case KeyLatency:
+		return "cheapest-to-refetch file removed first"
+	default:
+		return "unknown"
+	}
+}
+
+// log2Floor returns ⌊log2(size)⌋, with sizes below one byte mapped to 0.
+func log2Floor(size int64) int {
+	if size < 1 {
+		return 0
+	}
+	return bits.Len64(uint64(size)) - 1
+}
+
+// typeRemovalRank returns the removal rank of e's type under KeyType:
+// large media (video, audio) are sacrificed before graphics, and text is
+// retained longest so text latency stays low (§5, open problem 1).
+func typeRemovalRank(e *Entry) int {
+	switch e.Type {
+	case trace.Video:
+		return 0
+	case trace.Audio:
+		return 1
+	case trace.Unknown:
+		return 2
+	case trace.CGI:
+		return 3
+	case trace.Graphics:
+		return 4
+	default: // trace.Text
+		return 5
+	}
+}
+
+// compareKey orders a before b (negative result) when a should be
+// removed sooner under key k. dayStart anchors DAY(ATIME) day boundaries.
+func compareKey(k Key, a, b *Entry, dayStart int64) int {
+	switch k {
+	case KeySize:
+		return cmpInt64(b.Size, a.Size) // larger removed first
+	case KeyLog2Size:
+		return cmpInt(log2Floor(b.Size), log2Floor(a.Size))
+	case KeyETime:
+		return cmpInt64(a.ETime, b.ETime)
+	case KeyATime:
+		return cmpInt64(a.ATime, b.ATime)
+	case KeyDayATime:
+		return cmpInt64(dayOf(a.ATime, dayStart), dayOf(b.ATime, dayStart))
+	case KeyNRef:
+		return cmpInt64(a.NRef, b.NRef)
+	case KeyRandom:
+		return cmpUint64(a.Rand, b.Rand)
+	case KeyType:
+		return cmpInt(typeRemovalRank(a), typeRemovalRank(b))
+	case KeyLatency:
+		switch {
+		case a.Latency < b.Latency:
+			return -1
+		case a.Latency > b.Latency:
+			return 1
+		}
+		return 0
+	default:
+		return 0
+	}
+}
+
+func dayOf(t, dayStart int64) int64 {
+	d := t - dayStart
+	if d < 0 {
+		return -1
+	}
+	return d / 86400
+}
+
+func cmpInt64(a, b int64) int {
+	switch {
+	case a < b:
+		return -1
+	case a > b:
+		return 1
+	}
+	return 0
+}
+
+func cmpInt(a, b int) int {
+	switch {
+	case a < b:
+		return -1
+	case a > b:
+		return 1
+	}
+	return 0
+}
+
+func cmpUint64(a, b uint64) int {
+	switch {
+	case a < b:
+		return -1
+	case a > b:
+		return 1
+	}
+	return 0
+}
+
+// Less builds a removal-order comparator over the given key sequence.
+// The RANDOM key followed by URL is always appended as the final
+// tiebreak, making the order total and deterministic.
+func Less(keys []Key, dayStart int64) func(a, b *Entry) bool {
+	ks := make([]Key, len(keys))
+	copy(ks, keys)
+	return func(a, b *Entry) bool {
+		for _, k := range ks {
+			if c := compareKey(k, a, b, dayStart); c != 0 {
+				return c < 0
+			}
+		}
+		if a.Rand != b.Rand {
+			return a.Rand < b.Rand
+		}
+		return a.URL < b.URL
+	}
+}

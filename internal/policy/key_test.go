@@ -1,0 +1,186 @@
+package policy
+
+import (
+	"testing"
+
+	"webcache/internal/trace"
+)
+
+func entry(url string, size, etime, atime, nref int64, rand uint64) *Entry {
+	e := NewEntry(url, size, trace.Unknown, etime, rand)
+	e.ATime = atime
+	e.NRef = nref
+	return e
+}
+
+func TestLog2Floor(t *testing.T) {
+	cases := []struct {
+		size int64
+		want int
+	}{
+		{0, 0}, {-5, 0}, {1, 0}, {2, 1}, {3, 1}, {4, 2}, {1023, 9},
+		{1024, 10}, {8191, 12}, {8192, 13}, {1 << 20, 20},
+	}
+	for _, tc := range cases {
+		if got := log2Floor(tc.size); got != tc.want {
+			t.Errorf("log2Floor(%d) = %d, want %d", tc.size, got, tc.want)
+		}
+	}
+}
+
+func TestKeyDirections(t *testing.T) {
+	big := entry("big", 10000, 5, 50, 7, 1)
+	small := entry("small", 10, 2, 20, 2, 2)
+
+	// SIZE: bigger removed first.
+	if compareKey(KeySize, big, small, 0) >= 0 {
+		t.Error("SIZE should remove the larger document first")
+	}
+	// ETIME: earlier entry removed first.
+	if compareKey(KeyETime, small, big, 0) >= 0 {
+		t.Error("ETIME should remove the older entry first")
+	}
+	// ATIME: least recently used removed first.
+	if compareKey(KeyATime, small, big, 0) >= 0 {
+		t.Error("ATIME should remove the least recently used first")
+	}
+	// NREF: fewest references removed first.
+	if compareKey(KeyNRef, small, big, 0) >= 0 {
+		t.Error("NREF should remove the least referenced first")
+	}
+	// RANDOM: by the entry's Rand value.
+	if compareKey(KeyRandom, big, small, 0) >= 0 {
+		t.Error("RANDOM should order by Rand ascending")
+	}
+}
+
+func TestKeyDayATime(t *testing.T) {
+	dayStart := int64(0)
+	a := entry("a", 10, 0, 86400*2+100, 1, 1)  // day 2
+	b := entry("b", 10, 0, 86400*2+5000, 1, 2) // day 2, later in the day
+	c := entry("c", 10, 0, 86400*5, 1, 3)      // day 5
+	if compareKey(KeyDayATime, a, b, dayStart) != 0 {
+		t.Error("same-day accesses should tie under DAY(ATIME)")
+	}
+	if compareKey(KeyDayATime, a, c, dayStart) >= 0 {
+		t.Error("earlier day should be removed first")
+	}
+}
+
+func TestKeyType(t *testing.T) {
+	mk := func(dt trace.DocType) *Entry {
+		e := NewEntry("x", 10, dt, 1, 1)
+		return e
+	}
+	video, text := mk(trace.Video), mk(trace.Text)
+	if compareKey(KeyType, video, text, 0) >= 0 {
+		t.Error("TYPE should remove video before text")
+	}
+}
+
+func TestKeyLatency(t *testing.T) {
+	cheap := entry("cheap", 10, 1, 1, 1, 1)
+	cheap.Latency = 0.01
+	costly := entry("costly", 10, 1, 1, 1, 2)
+	costly.Latency = 3.0
+	if compareKey(KeyLatency, cheap, costly, 0) >= 0 {
+		t.Error("LATENCY should remove the cheapest-to-refetch first")
+	}
+}
+
+func TestLessTotalOrder(t *testing.T) {
+	// Even fully tied entries must have a strict deterministic order via
+	// Rand then URL.
+	less := Less([]Key{KeySize}, 0)
+	a := entry("a", 10, 1, 1, 1, 5)
+	b := entry("b", 10, 1, 1, 1, 5)
+	if !less(a, b) || less(b, a) {
+		t.Error("URL tiebreak not applied for fully tied entries")
+	}
+	c := entry("c", 10, 1, 1, 1, 1)
+	if !less(c, a) {
+		t.Error("Rand tiebreak not applied")
+	}
+}
+
+func TestKeyStrings(t *testing.T) {
+	for _, k := range []Key{KeySize, KeyLog2Size, KeyETime, KeyATime, KeyDayATime, KeyNRef, KeyRandom, KeyType, KeyLatency} {
+		if k.String() == "" || k.Definition() == "" || k.SortOrder() == "" {
+			t.Errorf("key %d has empty description fields", k)
+		}
+	}
+	if s := Key(99).String(); s != "Key(99)" {
+		t.Errorf("unknown key String = %q", s)
+	}
+}
+
+func TestParseKey(t *testing.T) {
+	good := map[string]Key{
+		"SIZE": KeySize, "size": KeySize, "LOG2SIZE": KeyLog2Size,
+		"ETIME": KeyETime, "ATIME": KeyATime, "DAY(ATIME)": KeyDayATime,
+		"NREF": KeyNRef, "NREFS": KeyNRef, "RANDOM": KeyRandom,
+		"TYPE": KeyType, "LATENCY": KeyLatency,
+	}
+	for s, want := range good {
+		got, err := ParseKey(s)
+		if err != nil || got != want {
+			t.Errorf("ParseKey(%q) = %v, %v; want %v", s, got, err, want)
+		}
+	}
+	if _, err := ParseKey("BOGUS"); err == nil {
+		t.Error("ParseKey accepted BOGUS")
+	}
+}
+
+func TestAllCombosCount(t *testing.T) {
+	combos := AllCombos()
+	if len(combos) != 36 {
+		t.Fatalf("AllCombos returned %d combinations, want the paper's 36", len(combos))
+	}
+	seen := map[string]bool{}
+	for _, c := range combos {
+		if c.Primary == c.Secondary {
+			t.Errorf("combo %v has equal primary and secondary", c)
+		}
+		if seen[c.String()] {
+			t.Errorf("duplicate combo %v", c)
+		}
+		seen[c.String()] = true
+	}
+}
+
+func TestPrimaryAndSecondaryCombos(t *testing.T) {
+	if got := len(PrimaryCombos()); got != 6 {
+		t.Fatalf("PrimaryCombos = %d, want 6", got)
+	}
+	sc := SecondaryCombos()
+	if got := len(sc); got != 6 {
+		t.Fatalf("SecondaryCombos = %d, want 6 (5 keys + random)", got)
+	}
+	for _, c := range sc {
+		if c.Primary != KeyLog2Size {
+			t.Errorf("secondary combo %v does not use LOG2SIZE primary", c)
+		}
+	}
+}
+
+func TestParsePolicySpecs(t *testing.T) {
+	for _, spec := range []string{
+		"FIFO", "LRU", "LFU", "LRU-MIN", "Hyper-G", "Pitkow/Recker",
+		"GD-Size(1)", "GD-Size(SIZE)", "SIZE", "SIZE/NREF", "log2size/atime",
+	} {
+		p, err := Parse(spec, 0)
+		if err != nil {
+			t.Errorf("Parse(%q): %v", spec, err)
+			continue
+		}
+		if p.Name() == "" {
+			t.Errorf("Parse(%q) returned unnamed policy", spec)
+		}
+	}
+	for _, spec := range []string{"", "SIZE/", "NOPE", "SIZE/NOPE"} {
+		if _, err := Parse(spec, 0); err == nil {
+			t.Errorf("Parse(%q) accepted", spec)
+		}
+	}
+}

@@ -1,0 +1,87 @@
+package policy
+
+import (
+	"strings"
+
+	"webcache/internal/pqueue"
+)
+
+// Sorted is the taxonomy's generic policy: documents are kept in a total
+// removal order defined by a sequence of sorting keys, and the head of
+// the order is the next victim. All 36 primary/secondary combinations of
+// the paper, plus FIFO, LRU, LFU and Hyper-G, are Sorted instances.
+type Sorted struct {
+	name string
+	heap *pqueue.Heap[*Entry]
+}
+
+// NewSorted returns a policy ordered by keys (primary first). dayStart
+// anchors the DAY(ATIME) key's day boundaries; pass the trace start.
+// The RANDOM tiebreak is always appended, so a single-key slice yields a
+// "<key> with random secondary" policy as used in Experiment 2.
+func NewSorted(keys []Key, dayStart int64) *Sorted {
+	parts := make([]string, len(keys))
+	for i, k := range keys {
+		parts[i] = k.String()
+	}
+	return &Sorted{
+		name: strings.Join(parts, "/"),
+		heap: pqueue.New(Less(keys, dayStart)),
+	}
+}
+
+// Name implements Policy.
+func (p *Sorted) Name() string { return p.name }
+
+// Add implements Policy.
+func (p *Sorted) Add(e *Entry) { p.heap.Push(e) }
+
+// Touch implements Policy.
+func (p *Sorted) Touch(e *Entry) { p.heap.Fix(e) }
+
+// Remove implements Policy.
+func (p *Sorted) Remove(e *Entry) { p.heap.Remove(e) }
+
+// Victim implements Policy: the head of the removal order, regardless of
+// the incoming document's size.
+func (p *Sorted) Victim(int64) *Entry {
+	head, ok := p.heap.Peek()
+	if !ok {
+		return nil
+	}
+	return head
+}
+
+// Len implements Policy.
+func (p *Sorted) Len() int { return p.heap.Len() }
+
+// Convenience constructors for the literature policies of Table 3.
+
+// NewFIFO returns first-in first-out: primary key ETIME.
+func NewFIFO() *Sorted {
+	p := NewSorted([]Key{KeyETime}, 0)
+	p.name = "FIFO"
+	return p
+}
+
+// NewLRU returns least-recently-used: primary key ATIME.
+func NewLRU() *Sorted {
+	p := NewSorted([]Key{KeyATime}, 0)
+	p.name = "LRU"
+	return p
+}
+
+// NewLFU returns least-frequently-used: primary key NREF.
+func NewLFU() *Sorted {
+	p := NewSorted([]Key{KeyNRef}, 0)
+	p.name = "LFU"
+	return p
+}
+
+// NewHyperG returns the Hyper-G server policy: NREF, then ATIME, then
+// SIZE (largest first), then random (Table 3).
+func NewHyperG() *Sorted {
+	p := NewSorted([]Key{KeyNRef, KeyATime, KeySize}, 0)
+	p.name = "Hyper-G"
+	return p
+}

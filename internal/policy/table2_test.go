@@ -1,0 +1,177 @@
+package policy
+
+import (
+	"strings"
+	"testing"
+
+	"webcache/internal/trace"
+)
+
+// This file encodes the paper's Table 2 worked example as a golden test:
+// a 42.5 kB cache, the 15-request trace over documents A–H, the sorted
+// removal lists for five key combinations, and the documents each policy
+// removes to admit a new 1.5 kB document I.
+//
+// Sizes use 1 kB = 1024 bytes, which is the only interpretation
+// consistent with the paper's ⌊log2 SIZE⌋ row (e.g. E = 8 kB is in class
+// 13, so E must be 8192 bytes, not 8000).
+
+var table2Docs = map[string]int64{
+	"A": 1946,  // 1.9 kB
+	"B": 1229,  // 1.2 kB
+	"C": 9216,  // 9 kB
+	"D": 15360, // 15 kB
+	"E": 8192,  // 8 kB
+	"F": 307,   // 0.3 kB
+	"G": 1946,  // 1.9 kB
+	"H": 5325,  // 5.2 kB
+}
+
+// table2Trace is the upper table: (time, URL) pairs.
+var table2Trace = []struct {
+	time int64
+	url  string
+}{
+	{1, "A"}, {2, "B"}, {3, "C"}, {4, "B"}, {5, "B"}, {6, "A"},
+	{7, "D"}, {8, "E"}, {9, "C"}, {10, "D"}, {11, "F"}, {12, "G"},
+	{13, "A"}, {14, "D"}, {15, "H"},
+}
+
+// replayTable2 feeds the example trace into a fresh policy and returns
+// the entry map. Entries receive distinct Rand values but no two
+// documents tie on all paper keys, so the random tiebreak never decides.
+func replayTable2(p Policy) map[string]*Entry {
+	entries := make(map[string]*Entry)
+	var randSeq uint64
+	for _, step := range table2Trace {
+		if e, ok := entries[step.url]; ok {
+			e.ATime = step.time
+			e.NRef++
+			p.Touch(e)
+			continue
+		}
+		randSeq++
+		e := NewEntry(step.url, table2Docs[step.url], trace.Unknown, step.time, randSeq*0x9e3779b9)
+		entries[step.url] = e
+		p.Add(e)
+	}
+	return entries
+}
+
+// drainOrder destructively extracts the policy's full removal order for
+// a given incoming size.
+func drainOrder(p Policy, incoming int64) string {
+	var order []string
+	for {
+		v := p.Victim(incoming)
+		if v == nil {
+			break
+		}
+		order = append(order, v.URL)
+		p.Remove(v)
+	}
+	return strings.Join(order, " ")
+}
+
+// victimsFor simulates the paper's removal loop: evict from the head of
+// the order until 1.5 kB (1536 bytes) of free space exists in the
+// exactly-full 42.5 kB cache.
+func victimsFor(p Policy, entries map[string]*Entry, need int64) []string {
+	var victims []string
+	freed := int64(0)
+	for freed < need {
+		v := p.Victim(need)
+		if v == nil {
+			break
+		}
+		victims = append(victims, v.URL)
+		freed += v.Size
+		p.Remove(v)
+	}
+	return victims
+}
+
+func TestTable2KeyValues(t *testing.T) {
+	p := NewSorted([]Key{KeyETime}, 0)
+	entries := replayTable2(p)
+
+	wantNRef := map[string]int64{"A": 3, "B": 3, "C": 2, "D": 3, "E": 1, "F": 1, "G": 1, "H": 1}
+	wantATime := map[string]int64{"A": 13, "B": 5, "C": 9, "D": 14, "E": 8, "F": 11, "G": 12, "H": 15}
+	wantETime := map[string]int64{"A": 1, "B": 2, "C": 3, "D": 7, "E": 8, "F": 11, "G": 12, "H": 15}
+	wantLog2 := map[string]int{"A": 10, "B": 10, "C": 13, "D": 13, "E": 13, "F": 8, "G": 10, "H": 12}
+
+	for url, e := range entries {
+		if e.NRef != wantNRef[url] {
+			t.Errorf("%s: NREF = %d, want %d", url, e.NRef, wantNRef[url])
+		}
+		if e.ATime != wantATime[url] {
+			t.Errorf("%s: ATIME = %d, want %d", url, e.ATime, wantATime[url])
+		}
+		if e.ETime != wantETime[url] {
+			t.Errorf("%s: ETIME = %d, want %d", url, e.ETime, wantETime[url])
+		}
+		if got := log2Floor(e.Size); got != wantLog2[url] {
+			t.Errorf("%s: log2(SIZE) = %d, want %d", url, got, wantLog2[url])
+		}
+	}
+}
+
+// TestTable2SortedLists verifies the bottom table's full sorted lists.
+func TestTable2SortedLists(t *testing.T) {
+	cases := []struct {
+		name string
+		keys []Key
+		want string
+	}{
+		{"SIZE/ATIME", []Key{KeySize, KeyATime}, "D C E H G A B F"},
+		{"LOG2SIZE/ATIME", []Key{KeyLog2Size, KeyATime}, "E C D H B G A F"},
+		{"ETIME", []Key{KeyETime}, "A B C D E F G H"},
+		{"ATIME", []Key{KeyATime}, "B E C F G A D H"},
+		{"NREF/ETIME", []Key{KeyNRef, KeyETime}, "E F G H C A B D"},
+	}
+	for _, tc := range cases {
+		p := NewSorted(tc.keys, 0)
+		replayTable2(p)
+		if got := drainOrder(p, 1536); got != tc.want {
+			t.Errorf("%s sorted list = %q, want %q", tc.name, got, tc.want)
+		}
+	}
+}
+
+// TestTable2Victims verifies the asterisked removals: the documents each
+// policy evicts to admit the 1.5 kB document I.
+func TestTable2Victims(t *testing.T) {
+	cases := []struct {
+		name string
+		keys []Key
+		want string
+	}{
+		{"SIZE/ATIME", []Key{KeySize, KeyATime}, "D"},
+		{"LOG2SIZE/ATIME", []Key{KeyLog2Size, KeyATime}, "E"},
+		{"ETIME", []Key{KeyETime}, "A"},
+		{"ATIME", []Key{KeyATime}, "B E"}, // LRU removes B then E, as §1.2 narrates
+		{"NREF/ETIME", []Key{KeyNRef, KeyETime}, "E"},
+	}
+	for _, tc := range cases {
+		p := NewSorted(tc.keys, 0)
+		entries := replayTable2(p)
+		got := strings.Join(victimsFor(p, entries, 1536), " ")
+		if got != tc.want {
+			t.Errorf("%s victims = %q, want %q", tc.name, got, tc.want)
+		}
+	}
+}
+
+// TestTable2CacheExactlyFull checks the example's premise: the eight
+// documents exactly fill the cache.
+func TestTable2CacheExactlyFull(t *testing.T) {
+	var sum int64
+	for _, s := range table2Docs {
+		sum += s
+	}
+	// 42.5 kB at 1024 bytes/kB is 43520; byte rounding of the fractional
+	// sizes puts the exact sum one byte over.
+	if sum != 43521 {
+		t.Fatalf("document sizes sum to %d, want 43521 (~42.5 kB)", sum)
+	}
+}

@@ -1,0 +1,91 @@
+package proxy
+
+// The paper's U, G and C workloads are CERN proxy access logs (§2.1).
+// This file gives the live proxy the same faculty: it can emit a common
+// log format line per request, so a deployment's own traffic can be fed
+// straight back into the simulator and analyzer (cmd/websim -trace,
+// cmd/analyze -trace), exactly the loop the original study ran.
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+)
+
+// AccessLogger wraps an http.Handler (normally the proxy Server) and
+// writes one common-log-format line per completed request.
+type AccessLogger struct {
+	next http.Handler
+
+	mu  sync.Mutex
+	w   *bufio.Writer
+	now func() time.Time
+}
+
+// NewAccessLogger returns the wrapping handler; log lines go to w.
+func NewAccessLogger(next http.Handler, w io.Writer) *AccessLogger {
+	return &AccessLogger{next: next, w: bufio.NewWriterSize(w, 32*1024), now: time.Now}
+}
+
+// SetClock overrides the logger's time source (tests).
+func (l *AccessLogger) SetClock(now func() time.Time) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.now = now
+}
+
+// Flush forces buffered log lines out.
+func (l *AccessLogger) Flush() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.w.Flush()
+}
+
+// statusRecorder captures the response status and body size.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+	bytes  int64
+}
+
+func (r *statusRecorder) WriteHeader(code int) {
+	r.status = code
+	r.ResponseWriter.WriteHeader(code)
+}
+
+func (r *statusRecorder) Write(p []byte) (int, error) {
+	if r.status == 0 {
+		r.status = http.StatusOK
+	}
+	n, err := r.ResponseWriter.Write(p)
+	r.bytes += int64(n)
+	return n, err
+}
+
+// ServeHTTP implements http.Handler.
+func (l *AccessLogger) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	rec := &statusRecorder{ResponseWriter: w}
+	l.next.ServeHTTP(rec, r)
+	if rec.status == 0 {
+		rec.status = http.StatusOK
+	}
+
+	url := r.URL.String()
+	if !r.URL.IsAbs() && r.Host != "" {
+		url = "http://" + r.Host + r.URL.RequestURI()
+	}
+	client := r.RemoteAddr
+	if i := strings.LastIndexByte(client, ':'); i > 0 {
+		client = client[:i]
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	fmt.Fprintf(l.w, "%s - - [%s] \"%s %s HTTP/1.0\" %d %d\n",
+		client,
+		l.now().UTC().Format("02/Jan/2006:15:04:05 -0700"),
+		r.Method, url, rec.status, rec.bytes)
+}

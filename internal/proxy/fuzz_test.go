@@ -1,0 +1,27 @@
+package proxy
+
+import "testing"
+
+// FuzzUnmarshalICP: arbitrary datagrams must decode or error, never
+// panic; decodable messages must re-marshal.
+func FuzzUnmarshalICP(f *testing.F) {
+	if seed, err := MarshalICP(&ICPMessage{Opcode: ICPOpQuery, Version: ICPVersion, ReqNum: 1, URL: "http://x/"}); err == nil {
+		f.Add(seed)
+	}
+	if seed, err := MarshalICP(&ICPMessage{Opcode: ICPOpHit, Version: ICPVersion, URL: ""}); err == nil {
+		f.Add(seed)
+	}
+	f.Add([]byte{})
+	f.Add(make([]byte, 20))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := UnmarshalICP(data)
+		if err != nil {
+			return
+		}
+		if m.Opcode == ICPOpQuery || m.Opcode == ICPOpHit || m.Opcode == ICPOpMiss {
+			if _, err := MarshalICP(m); err != nil && len(m.URL) < 1500 {
+				t.Fatalf("decoded message does not re-marshal: %v", err)
+			}
+		}
+	})
+}

@@ -1,0 +1,301 @@
+package proxy
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strings"
+	"sync/atomic"
+	"time"
+)
+
+// Stats counts proxy-level outcomes.
+type Stats struct {
+	Requests     int64
+	Hits         int64 // served from cache without contacting the origin
+	Revalidated  int64 // served from cache after a 304
+	Misses       int64 // fetched from origin (or parent)
+	SiblingHits  int64 // misses served through an ICP sibling
+	Uncacheable  int64 // passed through without cache consideration
+	Errors       int64
+	BytesServed  int64
+	BytesFromHit int64
+}
+
+// Server is an HTTP/1.0-style caching proxy. It handles proxy-form GET
+// requests (absolute URI in the request line), caches static documents
+// under the store's removal policy, revalidates stale entries with
+// If-Modified-Since, and can chain to a parent proxy — the two-level
+// arrangement of Experiment 3.
+type Server struct {
+	store *Store
+	// FreshFor is how long a cached object is served without
+	// revalidation. 1995-era HTTP has no Cache-Control; a fixed
+	// freshness window plus Last-Modified revalidation matches CERN
+	// httpd behaviour.
+	FreshFor time.Duration
+	// MaxObjectBytes bounds what the proxy will buffer and cache.
+	MaxObjectBytes int64
+	// Transport performs origin fetches; configure http.Transport with
+	// Proxy to chain to a parent cache. Defaults to
+	// http.DefaultTransport.
+	Transport http.RoundTripper
+	// Siblings are cooperating caches queried over ICP before a
+	// cacheable miss goes to the origin (the Harvest arrangement of the
+	// paper's reference [8]); a sibling answering ICP_HIT serves the
+	// fetch instead.
+	Siblings []Sibling
+	// ICP issues the sibling queries.
+	ICP ICPClient
+
+	stats struct {
+		requests, hits, revalidated, misses atomic.Int64
+		uncacheable, errors                 atomic.Int64
+		bytesServed, bytesFromHit           atomic.Int64
+		siblingHits                         atomic.Int64
+	}
+}
+
+// New returns a caching proxy over the given store.
+func New(store *Store) *Server {
+	return &Server{
+		store:          store,
+		FreshFor:       5 * time.Minute,
+		MaxObjectBytes: 8 << 20,
+	}
+}
+
+// Store exposes the underlying object store.
+func (s *Server) Store() *Store { return s.store }
+
+// Stats returns a snapshot of proxy counters.
+func (s *Server) Stats() Stats {
+	return Stats{
+		Requests:     s.stats.requests.Load(),
+		Hits:         s.stats.hits.Load(),
+		Revalidated:  s.stats.revalidated.Load(),
+		Misses:       s.stats.misses.Load(),
+		SiblingHits:  s.stats.siblingHits.Load(),
+		Uncacheable:  s.stats.uncacheable.Load(),
+		Errors:       s.stats.errors.Load(),
+		BytesServed:  s.stats.bytesServed.Load(),
+		BytesFromHit: s.stats.bytesFromHit.Load(),
+	}
+}
+
+func (s *Server) transport() http.RoundTripper {
+	if s.Transport != nil {
+		return s.Transport
+	}
+	return http.DefaultTransport
+}
+
+// Cacheable reports whether a request/URL is cacheable under the
+// paper-era rules: GET only, no dynamically generated documents (CGI
+// paths or query strings), no authenticated content, and no client
+// opt-out.
+func Cacheable(r *http.Request) bool {
+	if r.Method != http.MethodGet {
+		return false
+	}
+	if r.URL.RawQuery != "" || strings.Contains(r.URL.Path, "cgi-bin") {
+		return false
+	}
+	if r.Header.Get("Authorization") != "" {
+		return false
+	}
+	return true
+}
+
+// ServeHTTP implements the proxy.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.stats.requests.Add(1)
+
+	target := r.URL
+	if !target.IsAbs() {
+		// Accept origin-form requests too (reverse-proxy style) by
+		// reconstructing the absolute URL from the Host header.
+		if r.Host == "" {
+			s.stats.errors.Add(1)
+			http.Error(w, "proxy: request URL is not absolute", http.StatusBadRequest)
+			return
+		}
+		abs := *r.URL
+		abs.Scheme = "http"
+		abs.Host = r.Host
+		target = &abs
+	}
+
+	if !Cacheable(r) {
+		s.stats.uncacheable.Add(1)
+		s.passThrough(w, r, target)
+		return
+	}
+
+	key := target.String()
+	noCache := strings.EqualFold(r.Header.Get("Pragma"), "no-cache")
+
+	if obj, ok := s.store.Get(key); ok && !noCache {
+		age := time.Since(obj.StoredAt)
+		if age <= s.FreshFor {
+			s.serveObject(w, obj, "HIT")
+			s.stats.hits.Add(1)
+			s.stats.bytesFromHit.Add(int64(len(obj.Body)))
+			return
+		}
+		if s.revalidate(key, obj, target) {
+			s.serveObject(w, obj, "REVALIDATED")
+			s.stats.revalidated.Add(1)
+			s.stats.bytesFromHit.Add(int64(len(obj.Body)))
+			return
+		}
+		// Revalidation says the document changed (or failed); fall
+		// through to a fresh fetch, replacing the stale copy.
+	}
+
+	s.fetchAndServe(w, r, target, key)
+}
+
+// revalidate sends a conditional GET; true means the cached copy is
+// still current (the origin answered 304).
+func (s *Server) revalidate(key string, obj *Object, target *url.URL) bool {
+	if obj.LastModified.IsZero() {
+		return false
+	}
+	req, err := http.NewRequest(http.MethodGet, target.String(), nil)
+	if err != nil {
+		return false
+	}
+	req.Header.Set("If-Modified-Since", obj.LastModified.UTC().Format(http.TimeFormat))
+	resp, err := s.transport().RoundTrip(req)
+	if err != nil {
+		return false
+	}
+	defer func() {
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}()
+	if resp.StatusCode == http.StatusNotModified {
+		s.store.Refresh(key)
+		return true
+	}
+	return false
+}
+
+// fetchAndServe fetches target from the origin (or parent proxy),
+// serves it, and caches it when eligible.
+func (s *Server) fetchAndServe(w http.ResponseWriter, r *http.Request, target *url.URL, key string) {
+	s.stats.misses.Add(1)
+	req, err := http.NewRequest(http.MethodGet, target.String(), nil)
+	if err != nil {
+		s.stats.errors.Add(1)
+		http.Error(w, fmt.Sprintf("proxy: building origin request: %v", err), http.StatusBadGateway)
+		return
+	}
+	copyHopByHopSafe(req.Header, r.Header)
+
+	// Ask ICP siblings before going to the origin; a hit redirects the
+	// fetch through the sibling's HTTP listener.
+	rt := s.transport()
+	if sib := s.ICP.QuerySiblings(s.Siblings, key); sib != nil {
+		if sibURL, err := url.Parse(sib.Proxy); err == nil {
+			rt = &http.Transport{Proxy: http.ProxyURL(sibURL)}
+			s.stats.siblingHits.Add(1)
+		}
+	}
+	resp, err := rt.RoundTrip(req)
+	if err != nil {
+		s.stats.errors.Add(1)
+		http.Error(w, fmt.Sprintf("proxy: origin fetch failed: %v", err), http.StatusBadGateway)
+		return
+	}
+	defer resp.Body.Close()
+
+	if resp.StatusCode != http.StatusOK {
+		// Serve non-200 responses uncached.
+		s.relay(w, resp)
+		return
+	}
+	body, err := io.ReadAll(io.LimitReader(resp.Body, s.MaxObjectBytes+1))
+	if err != nil {
+		s.stats.errors.Add(1)
+		http.Error(w, fmt.Sprintf("proxy: reading origin body: %v", err), http.StatusBadGateway)
+		return
+	}
+	contentType, lastMod := headerSubset(resp.Header)
+	obj := &Object{
+		Body:         body,
+		ContentType:  contentType,
+		LastModified: lastMod,
+		StoredAt:     time.Now(),
+	}
+	if int64(len(body)) <= s.MaxObjectBytes {
+		s.store.Put(key, obj)
+	}
+	s.serveObject(w, obj, "MISS")
+}
+
+// serveObject writes a cached object to the client.
+func (s *Server) serveObject(w http.ResponseWriter, obj *Object, verdict string) {
+	h := w.Header()
+	if obj.ContentType != "" {
+		h.Set("Content-Type", obj.ContentType)
+	}
+	if !obj.LastModified.IsZero() {
+		h.Set("Last-Modified", obj.LastModified.UTC().Format(http.TimeFormat))
+	}
+	h.Set("Content-Length", fmt.Sprint(len(obj.Body)))
+	h.Set("X-Cache", verdict)
+	w.WriteHeader(http.StatusOK)
+	n, _ := w.Write(obj.Body)
+	s.stats.bytesServed.Add(int64(n))
+}
+
+// relay streams an origin response to the client without caching.
+func (s *Server) relay(w http.ResponseWriter, resp *http.Response) {
+	h := w.Header()
+	for k, vs := range resp.Header {
+		for _, v := range vs {
+			h.Add(k, v)
+		}
+	}
+	h.Set("X-Cache", "MISS")
+	w.WriteHeader(resp.StatusCode)
+	n, _ := io.Copy(w, resp.Body)
+	s.stats.bytesServed.Add(n)
+}
+
+// passThrough forwards an uncacheable request verbatim.
+func (s *Server) passThrough(w http.ResponseWriter, r *http.Request, target *url.URL) {
+	req, err := http.NewRequest(r.Method, target.String(), r.Body)
+	if err != nil {
+		s.stats.errors.Add(1)
+		http.Error(w, fmt.Sprintf("proxy: building pass-through request: %v", err), http.StatusBadGateway)
+		return
+	}
+	copyHopByHopSafe(req.Header, r.Header)
+	resp, err := s.transport().RoundTrip(req)
+	if err != nil {
+		s.stats.errors.Add(1)
+		http.Error(w, fmt.Sprintf("proxy: pass-through fetch failed: %v", err), http.StatusBadGateway)
+		return
+	}
+	defer resp.Body.Close()
+	s.relay(w, resp)
+}
+
+// copyHopByHopSafe copies end-to-end request headers, dropping
+// hop-by-hop ones.
+func copyHopByHopSafe(dst, src http.Header) {
+	for k, vs := range src {
+		switch http.CanonicalHeaderKey(k) {
+		case "Connection", "Proxy-Connection", "Keep-Alive", "Te",
+			"Trailer", "Transfer-Encoding", "Upgrade", "Proxy-Authorization":
+			continue
+		}
+		for _, v := range vs {
+			dst.Add(k, v)
+		}
+	}
+}

@@ -1,0 +1,197 @@
+// Package proxy implements a working HTTP caching proxy whose eviction
+// is driven by the paper's removal-policy engine — the deployable
+// counterpart of the simulator, demonstrating the library as a network
+// cache rather than a model of one.
+package proxy
+
+import (
+	"net/http"
+	"sync"
+	"time"
+
+	"webcache/internal/policy"
+	"webcache/internal/rng"
+	"webcache/internal/trace"
+)
+
+// Object is a cached HTTP response body plus the metadata needed to
+// serve and revalidate it.
+type Object struct {
+	Body         []byte
+	ContentType  string
+	LastModified time.Time
+	StoredAt     time.Time
+}
+
+// StoreStats counts store activity.
+type StoreStats struct {
+	Gets      int64
+	Hits      int64
+	Puts      int64
+	Evictions int64
+	Used      int64
+	MaxUsed   int64
+	Docs      int64
+}
+
+// Store is a concurrency-safe, capacity-bounded object store whose
+// removal victims are chosen by a policy.Policy (SIZE by default, the
+// paper's recommendation for hit rate).
+type Store struct {
+	mu       sync.Mutex
+	capacity int64
+	pol      policy.Policy
+	entries  map[string]*policy.Entry
+	objects  map[string]*Object
+	rnd      *rng.Rand
+	stats    StoreStats
+	now      func() time.Time
+}
+
+// NewStore returns a store with the given capacity in bytes and policy.
+// A nil policy defaults to SIZE with a random secondary key. Capacity
+// must be positive: a live proxy always has a disk/memory budget.
+func NewStore(capacity int64, pol policy.Policy) *Store {
+	if pol == nil {
+		pol = policy.NewSorted([]policy.Key{policy.KeySize}, 0)
+	}
+	return &Store{
+		capacity: capacity,
+		pol:      pol,
+		entries:  make(map[string]*policy.Entry),
+		objects:  make(map[string]*Object),
+		rnd:      rng.New(0x9e3779b97f4a7c15),
+		now:      time.Now,
+	}
+}
+
+// SetClock overrides the store's time source (tests).
+func (s *Store) SetClock(now func() time.Time) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.now = now
+}
+
+// SetSeed re-seeds the per-entry random tiebreak stream. cmd/livebench
+// uses it to give the live store the same tiebreak sequence as a
+// simulated core.Cache, making the two systems byte-for-byte comparable
+// even for policies with frequent key ties (LRU at one-second timestamp
+// resolution, LFU at low reference counts). Call before any Put.
+func (s *Store) SetSeed(seed uint64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.rnd = rng.New(seed)
+}
+
+// Get returns the cached object for url, updating recency/frequency
+// bookkeeping on a hit.
+func (s *Store) Get(url string) (*Object, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.stats.Gets++
+	e, ok := s.entries[url]
+	if !ok {
+		return nil, false
+	}
+	e.ATime = s.now().Unix()
+	e.NRef++
+	s.pol.Touch(e)
+	s.stats.Hits++
+	return s.objects[url], true
+}
+
+// Peek reports whether url is cached, without updating recency,
+// frequency or statistics. ICP responders use it so sibling queries do
+// not distort the removal policy's bookkeeping.
+func (s *Store) Peek(url string) (*Object, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	obj, ok := s.objects[url]
+	return obj, ok
+}
+
+// Put stores obj under url, evicting as needed. Objects larger than the
+// whole store are not cached; Put reports whether it stored the object.
+func (s *Store) Put(url string, obj *Object) bool {
+	size := int64(len(obj.Body))
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if size > s.capacity {
+		return false
+	}
+	s.stats.Puts++
+	if old, ok := s.entries[url]; ok {
+		s.removeLocked(old)
+	}
+	for s.stats.Used+size > s.capacity {
+		v := s.pol.Victim(size)
+		if v == nil {
+			return false
+		}
+		s.removeLocked(v)
+		s.stats.Evictions++
+	}
+	now := s.now().Unix()
+	e := policy.NewEntry(url, size, trace.ClassifyURL(url), now, s.rnd.Uint64())
+	s.entries[url] = e
+	s.objects[url] = obj
+	s.pol.Add(e)
+	s.stats.Used += size
+	s.stats.Docs++
+	if s.stats.Used > s.stats.MaxUsed {
+		s.stats.MaxUsed = s.stats.Used
+	}
+	return true
+}
+
+// Refresh updates the stored-at time of url's object after a successful
+// revalidation (304 from the origin).
+func (s *Store) Refresh(url string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if obj, ok := s.objects[url]; ok {
+		obj.StoredAt = s.now()
+	}
+}
+
+// Remove drops url from the store.
+func (s *Store) Remove(url string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if e, ok := s.entries[url]; ok {
+		s.removeLocked(e)
+	}
+}
+
+func (s *Store) removeLocked(e *policy.Entry) {
+	s.pol.Remove(e)
+	delete(s.entries, e.URL)
+	delete(s.objects, e.URL)
+	s.stats.Used -= e.Size
+	s.stats.Docs--
+}
+
+// Len returns the number of cached objects.
+func (s *Store) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.entries)
+}
+
+// Stats returns a snapshot of store counters.
+func (s *Store) Stats() StoreStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stats
+}
+
+// headerSubset copies the entity headers a 1.0-era cache preserves.
+func headerSubset(h http.Header) (contentType string, lastMod time.Time) {
+	contentType = h.Get("Content-Type")
+	if v := h.Get("Last-Modified"); v != "" {
+		if t, err := http.ParseTime(v); err == nil {
+			lastMod = t
+		}
+	}
+	return contentType, lastMod
+}

@@ -1,0 +1,80 @@
+package proxy
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"webcache/internal/policy"
+)
+
+// TestStoreConcurrentAccess hammers the store from many goroutines; run
+// with -race to verify the locking discipline.
+func TestStoreConcurrentAccess(t *testing.T) {
+	s := NewStore(64<<10, policy.NewSorted([]policy.Key{policy.KeySize}, 0))
+	var wg sync.WaitGroup
+	const workers = 8
+	const opsPerWorker = 2000
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < opsPerWorker; i++ {
+				url := fmt.Sprintf("http://s/doc%d.html", (w*31+i)%200)
+				switch i % 4 {
+				case 0:
+					s.Put(url, &Object{Body: make([]byte, 100+(i%700)), StoredAt: time.Now()})
+				case 1:
+					s.Get(url)
+				case 2:
+					s.Peek(url)
+				case 3:
+					if i%16 == 3 {
+						s.Remove(url)
+					} else {
+						s.Get(url)
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	st := s.Stats()
+	if st.Used < 0 || st.Used > 64<<10 {
+		t.Fatalf("used bytes out of range: %d", st.Used)
+	}
+	if int64(s.Len()) != st.Docs {
+		t.Fatalf("Len %d != Docs %d", s.Len(), st.Docs)
+	}
+}
+
+// TestStoreConcurrentWithICP runs store mutations concurrently with ICP
+// queries against the same store.
+func TestStoreConcurrentWithICP(t *testing.T) {
+	s := NewStore(1<<20, nil)
+	resp, err := NewICPResponder(s, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Close()
+
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 500; i++ {
+			s.Put(fmt.Sprintf("http://s/d%d.html", i%50), &Object{Body: make([]byte, 64), StoredAt: time.Now()})
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		c := &ICPClient{Timeout: 100 * time.Millisecond}
+		sib := []Sibling{{ICPAddr: resp.Addr(), Proxy: "x"}}
+		for i := 0; i < 100; i++ {
+			c.QuerySiblings(sib, fmt.Sprintf("http://s/d%d.html", i%50))
+		}
+	}()
+	wg.Wait()
+}

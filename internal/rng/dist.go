@@ -1,0 +1,198 @@
+package rng
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Zipf draws ranks in [1, N] with probability proportional to 1/rank^s.
+// It uses rejection-inversion sampling (Hörmann & Derflinger 1996), which
+// is O(1) per draw for any exponent s > 0, including s == 1.
+type Zipf struct {
+	r           *Rand
+	n           float64
+	s           float64
+	oneMinusS   float64
+	hIntegralX1 float64
+	hIntegralN  float64
+	accept      float64
+}
+
+// NewZipf returns a Zipf sampler over ranks 1..n with exponent s > 0.
+func NewZipf(r *Rand, n int64, s float64) (*Zipf, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("rng: Zipf needs n >= 1, got %d", n)
+	}
+	if s <= 0 || math.IsNaN(s) {
+		return nil, fmt.Errorf("rng: Zipf needs s > 0, got %v", s)
+	}
+	z := &Zipf{r: r, n: float64(n), s: s, oneMinusS: 1 - s}
+	z.hIntegralX1 = z.hIntegral(1.5) - 1
+	z.hIntegralN = z.hIntegral(z.n + 0.5)
+	z.accept = 2 - z.hIntegralInverse(z.hIntegral(2.5)-z.h(2))
+	return z, nil
+}
+
+// hIntegral is the antiderivative of h(x) = x^(-s):
+// (x^(1-s)-1)/(1-s) for s != 1, log(x) for s == 1, computed stably.
+func (z *Zipf) hIntegral(x float64) float64 {
+	logX := math.Log(x)
+	return helper2(z.oneMinusS*logX) * logX
+}
+
+func (z *Zipf) h(x float64) float64 { return math.Exp(-z.s * math.Log(x)) }
+
+// hIntegralInverse inverts hIntegral.
+func (z *Zipf) hIntegralInverse(x float64) float64 {
+	t := x * z.oneMinusS
+	if t < -1 {
+		t = -1
+	}
+	return math.Exp(helper1(t) * x)
+}
+
+// helper1 computes log1p(x)/x stably near zero.
+func helper1(x float64) float64 {
+	if math.Abs(x) > 1e-8 {
+		return math.Log1p(x) / x
+	}
+	return 1 - x/2 + x*x/3
+}
+
+// helper2 computes expm1(x)/x stably near zero.
+func helper2(x float64) float64 {
+	if math.Abs(x) > 1e-8 {
+		return math.Expm1(x) / x
+	}
+	return 1 + x/2 + x*x/6
+}
+
+// Rank returns the next Zipf-distributed rank in [1, n].
+func (z *Zipf) Rank() int64 {
+	for {
+		u := z.hIntegralN + z.r.Float64()*(z.hIntegralX1-z.hIntegralN)
+		x := z.hIntegralInverse(u)
+		k := math.Floor(x + 0.5)
+		if k < 1 {
+			k = 1
+		} else if k > z.n {
+			k = z.n
+		}
+		if k-x <= z.accept || u >= z.hIntegral(k+0.5)-z.h(k) {
+			return int64(k)
+		}
+	}
+}
+
+// LogNormal draws positive heavy-ish-tailed values; document body sizes in
+// the workload generators are lognormal, matching the shape of Fig. 13.
+type LogNormal struct {
+	r     *Rand
+	mu    float64
+	sigma float64
+}
+
+// NewLogNormalMean returns a lognormal whose *mean* is mean and whose
+// log-space standard deviation is sigma (mu is solved from the mean).
+func NewLogNormalMean(r *Rand, mean, sigma float64) *LogNormal {
+	mu := math.Log(mean) - sigma*sigma/2
+	return &LogNormal{r: r, mu: mu, sigma: sigma}
+}
+
+// Draw returns the next lognormal variate.
+func (l *LogNormal) Draw() float64 {
+	return math.Exp(l.mu + l.sigma*l.r.NormFloat64())
+}
+
+// BoundedPareto draws values in [lo, hi] with tail exponent alpha; it
+// models the long upper tail of audio/video document sizes.
+type BoundedPareto struct {
+	r        *Rand
+	lo       float64
+	alpha    float64
+	loA, hiA float64
+}
+
+// NewBoundedPareto returns a bounded Pareto sampler. It panics on invalid
+// parameters because the parameters are compile-time constants here.
+func NewBoundedPareto(r *Rand, lo, hi, alpha float64) *BoundedPareto {
+	if lo <= 0 || hi <= lo || alpha <= 0 {
+		panic(fmt.Sprintf("rng: invalid bounded Pareto (lo=%v hi=%v alpha=%v)", lo, hi, alpha))
+	}
+	return &BoundedPareto{
+		r: r, lo: lo, alpha: alpha,
+		loA: math.Pow(lo, alpha), hiA: math.Pow(hi, alpha),
+	}
+}
+
+// Draw returns the next bounded Pareto variate by CDF inversion.
+func (p *BoundedPareto) Draw() float64 {
+	u := p.r.Float64()
+	ha, la := p.hiA, p.loA
+	v := -(u*ha - u*la - ha) / (ha * la)
+	return math.Pow(v, -1/p.alpha)
+}
+
+// Categorical draws indices with fixed weights.
+type Categorical struct {
+	r   *Rand
+	cum []float64
+}
+
+// NewCategorical builds a sampler over len(weights) categories. Weights
+// need not sum to one; negative or NaN weights are an error.
+func NewCategorical(r *Rand, weights []float64) (*Categorical, error) {
+	if len(weights) == 0 {
+		return nil, fmt.Errorf("rng: Categorical needs at least one weight")
+	}
+	cum := make([]float64, len(weights))
+	total := 0.0
+	for i, w := range weights {
+		if w < 0 || math.IsNaN(w) {
+			return nil, fmt.Errorf("rng: negative or NaN weight %v at index %d", w, i)
+		}
+		total += w
+		cum[i] = total
+	}
+	if total == 0 {
+		return nil, fmt.Errorf("rng: Categorical weights sum to zero")
+	}
+	for i := range cum {
+		cum[i] /= total
+	}
+	cum[len(cum)-1] = 1 // guard against rounding
+	return &Categorical{r: r, cum: cum}, nil
+}
+
+// Draw returns the next category index.
+func (c *Categorical) Draw() int {
+	u := c.r.Float64()
+	return sort.SearchFloat64s(c.cum, u)
+}
+
+// Poisson returns a Poisson variate with the given mean (Knuth's method
+// for small means, normal approximation above 60 — per-day request counts
+// never need exactness in the far tail).
+func (r *Rand) Poisson(mean float64) int {
+	if mean <= 0 {
+		return 0
+	}
+	if mean > 60 {
+		v := int(math.Round(mean + math.Sqrt(mean)*r.NormFloat64()))
+		if v < 0 {
+			v = 0
+		}
+		return v
+	}
+	l := math.Exp(-mean)
+	k := 0
+	p := 1.0
+	for {
+		p *= r.Float64()
+		if p <= l {
+			return k
+		}
+		k++
+	}
+}

@@ -1,0 +1,178 @@
+package rng
+
+import (
+	"math"
+	"testing"
+)
+
+func TestZipfValidation(t *testing.T) {
+	r := New(1)
+	if _, err := NewZipf(r, 0, 1); err == nil {
+		t.Fatal("NewZipf(n=0) accepted")
+	}
+	if _, err := NewZipf(r, 10, 0); err == nil {
+		t.Fatal("NewZipf(s=0) accepted")
+	}
+	if _, err := NewZipf(r, 10, math.NaN()); err == nil {
+		t.Fatal("NewZipf(s=NaN) accepted")
+	}
+}
+
+func TestZipfRange(t *testing.T) {
+	r := New(2)
+	for _, s := range []float64{0.5, 1.0, 1.5} {
+		z, err := NewZipf(r, 100, s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 50000; i++ {
+			if k := z.Rank(); k < 1 || k > 100 {
+				t.Fatalf("s=%v: rank %d out of [1,100]", s, k)
+			}
+		}
+	}
+}
+
+// TestZipfDistribution checks that empirical frequencies track 1/k^s.
+func TestZipfDistribution(t *testing.T) {
+	for _, s := range []float64{0.8, 1.0, 1.3} {
+		r := New(3)
+		const n, draws = 50, 400000
+		z, err := NewZipf(r, n, s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		counts := make([]float64, n+1)
+		for i := 0; i < draws; i++ {
+			counts[z.Rank()]++
+		}
+		var h float64
+		for k := 1; k <= n; k++ {
+			h += math.Pow(float64(k), -s)
+		}
+		for k := 1; k <= 10; k++ { // head ranks have enough mass to test tightly
+			want := draws * math.Pow(float64(k), -s) / h
+			if got := counts[k]; math.Abs(got-want) > want*0.08 {
+				t.Fatalf("s=%v rank %d: got %.0f draws, want ~%.0f", s, k, got, want)
+			}
+		}
+	}
+}
+
+func TestZipfSingleton(t *testing.T) {
+	z, err := NewZipf(New(4), 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		if k := z.Rank(); k != 1 {
+			t.Fatalf("n=1 rank %d", k)
+		}
+	}
+}
+
+func TestLogNormalMean(t *testing.T) {
+	for _, tc := range []struct{ mean, sigma float64 }{
+		{1000, 0.5}, {10000, 1.2}, {1e6, 0.8},
+	} {
+		l := NewLogNormalMean(New(5), tc.mean, tc.sigma)
+		sum := 0.0
+		const n = 300000
+		for i := 0; i < n; i++ {
+			sum += l.Draw()
+		}
+		got := sum / n
+		if math.Abs(got-tc.mean) > tc.mean*0.05 {
+			t.Fatalf("lognormal(mean=%v sigma=%v) sample mean %v", tc.mean, tc.sigma, got)
+		}
+	}
+}
+
+func TestLogNormalPositive(t *testing.T) {
+	l := NewLogNormalMean(New(6), 100, 2.0)
+	for i := 0; i < 10000; i++ {
+		if v := l.Draw(); v <= 0 {
+			t.Fatalf("lognormal draw %v <= 0", v)
+		}
+	}
+}
+
+func TestBoundedParetoRange(t *testing.T) {
+	p := NewBoundedPareto(New(7), 100, 1e6, 1.1)
+	for i := 0; i < 100000; i++ {
+		v := p.Draw()
+		if v < 100 || v > 1e6 {
+			t.Fatalf("bounded Pareto draw %v outside [100, 1e6]", v)
+		}
+	}
+}
+
+func TestBoundedParetoTail(t *testing.T) {
+	// With alpha=1, P(X > x) ∝ (1/lo - 1/x); check the median is near the
+	// analytic value lo*hi*2/(hi+lo) ≈ 2*lo for hi >> lo.
+	p := NewBoundedPareto(New(8), 1000, 1e9, 1.0)
+	const n = 200000
+	over := 0
+	for i := 0; i < n; i++ {
+		if p.Draw() > 2000 {
+			over++
+		}
+	}
+	frac := float64(over) / n
+	if math.Abs(frac-0.5) > 0.02 {
+		t.Fatalf("P(X > 2*lo) = %v, want ~0.5", frac)
+	}
+}
+
+func TestBoundedParetoPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("invalid bounded Pareto accepted")
+		}
+	}()
+	NewBoundedPareto(New(9), 10, 5, 1)
+}
+
+func TestCategoricalValidation(t *testing.T) {
+	r := New(10)
+	if _, err := NewCategorical(r, nil); err == nil {
+		t.Fatal("empty weights accepted")
+	}
+	if _, err := NewCategorical(r, []float64{1, -1}); err == nil {
+		t.Fatal("negative weight accepted")
+	}
+	if _, err := NewCategorical(r, []float64{0, 0}); err == nil {
+		t.Fatal("all-zero weights accepted")
+	}
+}
+
+func TestCategoricalFrequencies(t *testing.T) {
+	weights := []float64{5, 3, 2}
+	c, err := NewCategorical(New(11), weights)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := make([]float64, len(weights))
+	const n = 200000
+	for i := 0; i < n; i++ {
+		counts[c.Draw()]++
+	}
+	for i, w := range weights {
+		want := n * w / 10
+		if math.Abs(counts[i]-want) > want*0.05 {
+			t.Fatalf("category %d: got %.0f, want ~%.0f", i, counts[i], want)
+		}
+	}
+}
+
+func TestCategoricalZeroWeightNeverDrawn(t *testing.T) {
+	c, err := NewCategorical(New(12), []float64{1, 0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 50000; i++ {
+		if c.Draw() == 1 {
+			t.Fatal("zero-weight category drawn")
+		}
+	}
+}

@@ -1,0 +1,112 @@
+package sim
+
+import (
+	"webcache/internal/policy"
+	"webcache/internal/trace"
+)
+
+// Exp2Result reports Experiment 2 for one workload at one cache size:
+// every requested key combination's run, ranked against the infinite
+// baseline (§3.2, Figs. 8–12).
+type Exp2Result struct {
+	Workload string
+	Base     *Exp1Result
+	Fraction float64
+	Runs     []*PolicyRun
+}
+
+// Experiment2 runs the given key combinations on tr with a cache sized
+// at fraction×MaxNeeded. Pass policy.PrimaryCombos() for the Figs. 8–12
+// sweep or policy.AllCombos() for the full 36-policy design.
+func Experiment2(tr *trace.Trace, base *Exp1Result, combos []policy.Combo, fraction float64, seed uint64) *Exp2Result {
+	capacity := capacityFor(base, fraction)
+	res := &Exp2Result{Workload: tr.Name, Base: base, Fraction: fraction}
+	for i, c := range combos {
+		pol := c.New(tr.Start)
+		run := RunPolicy(tr, base, pol, capacity, seed+uint64(i)*7919, RunOptions{})
+		run.Policy = c.String()
+		res.Runs = append(res.Runs, run)
+	}
+	return res
+}
+
+// ExperimentClassics runs the literature policies of Table 3 (plus the
+// extension policies) at fraction×MaxNeeded.
+func ExperimentClassics(tr *trace.Trace, base *Exp1Result, fraction float64, seed uint64) *Exp2Result {
+	capacity := capacityFor(base, fraction)
+	pols := []policy.Policy{
+		policy.NewFIFO(),
+		policy.NewLRU(),
+		policy.NewLFU(),
+		policy.NewLRUMin(),
+		policy.NewHyperG(),
+		policy.NewPitkowRecker(tr.Start),
+		policy.NewGDS1(),
+		policy.NewGDSBytes(),
+	}
+	res := &Exp2Result{Workload: tr.Name, Base: base, Fraction: fraction}
+	for i, pol := range pols {
+		res.Runs = append(res.Runs, RunPolicy(tr, base, pol, capacity, seed+uint64(i)*104729, RunOptions{}))
+	}
+	return res
+}
+
+// SecondaryRun scores one secondary key against the random-secondary
+// baseline (Fig. 15).
+type SecondaryRun struct {
+	Secondary string
+	Run       *PolicyRun
+	// WHRvsRandom and HRvsRandom are the mean ratios of this run's
+	// daily rates to the random-secondary run's (1.0 = no effect; the
+	// paper reports ≈1.01 at best).
+	WHRvsRandom float64
+	HRvsRandom  float64
+	// PeakWHRvsRandom is the maximum daily ratio (the paper quotes NREF
+	// peaking at 1.05).
+	PeakWHRvsRandom float64
+}
+
+// Exp2SecondaryResult reports the Fig. 15 sweep: primary ⌊log2 SIZE⌋,
+// each other key as secondary, scored against a random secondary.
+type Exp2SecondaryResult struct {
+	Workload string
+	Fraction float64
+	Random   *PolicyRun
+	Runs     []*SecondaryRun
+}
+
+// Experiment2Secondary performs the Fig. 15 study on tr.
+func Experiment2Secondary(tr *trace.Trace, base *Exp1Result, fraction float64, seed uint64) *Exp2SecondaryResult {
+	capacity := capacityFor(base, fraction)
+	randomRun := RunPolicy(tr, base,
+		policy.Combo{Primary: policy.KeyLog2Size, Secondary: policy.KeyRandom}.New(tr.Start),
+		capacity, seed, RunOptions{})
+	res := &Exp2SecondaryResult{Workload: tr.Name, Fraction: fraction, Random: randomRun}
+	for i, c := range policy.SecondaryCombos() {
+		if c.Secondary == policy.KeyRandom {
+			continue
+		}
+		run := RunPolicy(tr, base, c.New(tr.Start), capacity, seed+uint64(i+1)*31337, RunOptions{})
+		sr := &SecondaryRun{
+			Secondary:   c.Secondary.String(),
+			Run:         run,
+			WHRvsRandom: run.Rates.WHR.MeanRatioTo(randomRun.Rates.WHR),
+			HRvsRandom:  run.Rates.HR.MeanRatioTo(randomRun.Rates.HR),
+		}
+		for _, p := range run.Rates.WHR.RatioTo(randomRun.Rates.WHR) {
+			if p.Value > sr.PeakWHRvsRandom {
+				sr.PeakWHRvsRandom = p.Value
+			}
+		}
+		res.Runs = append(res.Runs, sr)
+	}
+	return res
+}
+
+func capacityFor(base *Exp1Result, fraction float64) int64 {
+	capacity := int64(fraction * float64(base.MaxNeeded))
+	if capacity < 1 {
+		capacity = 1
+	}
+	return capacity
+}

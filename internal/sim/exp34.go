@@ -1,0 +1,185 @@
+package sim
+
+import (
+	"webcache/internal/core"
+	"webcache/internal/policy"
+	"webcache/internal/stats"
+	"webcache/internal/trace"
+)
+
+// Exp3Result reports Experiment 3: a finite L1 (SIZE policy) in front of
+// an infinite L2, with the L2's HR and WHR measured over *all* client
+// requests (Figs. 16–18).
+type Exp3Result struct {
+	Workload string
+	Fraction float64
+	L1HR     *stats.DailySeries
+	L1WHR    *stats.DailySeries
+	L2HR     *stats.DailySeries // daily L2 hits / daily requests
+	L2WHR    *stats.DailySeries // daily L2 bytes hit / daily bytes
+	L1Final  core.Stats
+	L2Final  core.Stats
+	// Means over recorded days.
+	MeanL2HR, MeanL2WHR float64
+}
+
+// Experiment3 replays tr through the two-level hierarchy with L1 sized
+// at fraction×MaxNeeded using the best Experiment 2 policy (SIZE with a
+// random secondary, per §4.6) and an infinite L2.
+func Experiment3(tr *trace.Trace, base *Exp1Result, fraction float64, seed uint64) *Exp3Result {
+	l1Cap := capacityFor(base, fraction)
+	tl := core.NewTwoLevel(
+		core.Config{
+			Capacity: l1Cap,
+			Policy:   policy.Combo{Primary: policy.KeySize, Secondary: policy.KeyRandom}.New(tr.Start),
+			Seed:     seed,
+		},
+		core.Config{Capacity: 0, Seed: seed + 1},
+	)
+
+	res := &Exp3Result{
+		Workload: tr.Name, Fraction: fraction,
+		L1HR: &stats.DailySeries{}, L1WHR: &stats.DailySeries{},
+		L2HR: &stats.DailySeries{}, L2WHR: &stats.DailySeries{},
+	}
+
+	day := -1
+	var reqs, l1Hits, l2Hits, bytes, l1BH, l2BH int64
+	flush := func() {
+		if reqs == 0 {
+			return
+		}
+		res.L1HR.Add(day, float64(l1Hits)/float64(reqs))
+		res.L2HR.Add(day, float64(l2Hits)/float64(reqs))
+		if bytes > 0 {
+			res.L1WHR.Add(day, float64(l1BH)/float64(bytes))
+			res.L2WHR.Add(day, float64(l2BH)/float64(bytes))
+		}
+		reqs, l1Hits, l2Hits, bytes, l1BH, l2BH = 0, 0, 0, 0, 0, 0
+	}
+	for i := range tr.Requests {
+		req := &tr.Requests[i]
+		if d := req.Day(tr.Start); d != day {
+			flush()
+			day = d
+		}
+		h1, h2 := tl.Access(req)
+		reqs++
+		bytes += req.Size
+		if h1 {
+			l1Hits++
+			l1BH += req.Size
+		}
+		if h2 {
+			l2Hits++
+			l2BH += req.Size
+		}
+	}
+	flush()
+	res.L1Final = tl.L1.Stats()
+	res.L2Final = tl.L2.Stats()
+	res.MeanL2HR = res.L2HR.Mean()
+	res.MeanL2WHR = res.L2WHR.Mean()
+	return res
+}
+
+// Exp4Partition reports one partition split of Experiment 4.
+type Exp4Partition struct {
+	AudioShare float64 // fraction of total capacity given to audio
+	// Daily WHR of each class measured over all requested bytes
+	// (the paper: "the WHRs reported are over all requests").
+	AudioWHR    *stats.DailySeries
+	NonAudioWHR *stats.DailySeries
+	AudioFinal  core.Stats
+	OtherFinal  core.Stats
+	// Whole-trace aggregates over all requested bytes.
+	AggAudioWHR    float64
+	AggNonAudioWHR float64
+	AggTotalWHR    float64
+}
+
+// Exp4Result reports Experiment 4: the audio/non-audio partitioned cache
+// on workload BR at three partition splits, with the infinite cache's
+// per-class WHR as the reference curves of Figs. 19–20.
+type Exp4Result struct {
+	Workload string
+	Fraction float64
+	// InfiniteAudioWHR and InfiniteNonAudioWHR are the infinite-cache
+	// per-class daily WHR over all bytes (the "Infinite Cache ... WHR"
+	// curves).
+	InfiniteAudioWHR    *stats.DailySeries
+	InfiniteNonAudioWHR *stats.DailySeries
+	Partitions          []*Exp4Partition
+}
+
+// Experiment4 runs the partitioned cache with audio shares 1/4, 1/2 and
+// 3/4 of fraction×MaxNeeded total capacity, policy SIZE/random in both
+// partitions.
+func Experiment4(tr *trace.Trace, base *Exp1Result, fraction float64, seed uint64) *Exp4Result {
+	total := capacityFor(base, fraction)
+	res := &Exp4Result{Workload: tr.Name, Fraction: fraction}
+	res.InfiniteAudioWHR, res.InfiniteNonAudioWHR = perClassWHR(tr, core.New(core.Config{Capacity: 0, Seed: seed}))
+
+	for i, share := range []float64{0.25, 0.50, 0.75} {
+		audioCap := int64(share * float64(total))
+		otherCap := total - audioCap
+		part := core.NewAudioPartitioned(
+			core.Config{
+				Capacity: audioCap,
+				Policy:   policy.Combo{Primary: policy.KeySize, Secondary: policy.KeyRandom}.New(tr.Start),
+				Seed:     seed + uint64(i)*13,
+			},
+			core.Config{
+				Capacity: otherCap,
+				Policy:   policy.Combo{Primary: policy.KeySize, Secondary: policy.KeyRandom}.New(tr.Start),
+				Seed:     seed + uint64(i)*13 + 1,
+			},
+		)
+		p := &Exp4Partition{AudioShare: share}
+		p.AudioWHR, p.NonAudioWHR = perClassWHR(tr, part)
+		p.AudioFinal = part.Partition(0).Stats()
+		p.OtherFinal = part.Partition(1).Stats()
+		if tb := part.BytesRequested(); tb > 0 {
+			p.AggAudioWHR = float64(p.AudioFinal.BytesHit) / float64(tb)
+			p.AggNonAudioWHR = float64(p.OtherFinal.BytesHit) / float64(tb)
+			p.AggTotalWHR = p.AggAudioWHR + p.AggNonAudioWHR
+		}
+		res.Partitions = append(res.Partitions, p)
+	}
+	return res
+}
+
+// perClassWHR replays tr through cache and returns daily (audio bytes
+// hit / all bytes requested) and (non-audio bytes hit / all bytes
+// requested) series.
+func perClassWHR(tr *trace.Trace, cache Accessor) (audio, nonAudio *stats.DailySeries) {
+	audio, nonAudio = &stats.DailySeries{}, &stats.DailySeries{}
+	day := -1
+	var bytes, audioBH, otherBH int64
+	flush := func() {
+		if bytes == 0 {
+			return
+		}
+		audio.Add(day, float64(audioBH)/float64(bytes))
+		nonAudio.Add(day, float64(otherBH)/float64(bytes))
+		bytes, audioBH, otherBH = 0, 0, 0
+	}
+	for i := range tr.Requests {
+		req := &tr.Requests[i]
+		if d := req.Day(tr.Start); d != day {
+			flush()
+			day = d
+		}
+		hit := cache.Access(req)
+		bytes += req.Size
+		if hit {
+			if req.Type == trace.Audio {
+				audioBH += req.Size
+			} else {
+				otherBH += req.Size
+			}
+		}
+	}
+	flush()
+	return audio, nonAudio
+}

@@ -1,0 +1,118 @@
+package sim
+
+import (
+	"hash/fnv"
+
+	"webcache/internal/core"
+	"webcache/internal/policy"
+	"webcache/internal/trace"
+)
+
+// Experiment 5 implements §5 open problem 3 of the paper: "How would
+// this hit rate change if a single second level cache handled misses
+// from a set of primary caches? ... how much commonality exists between
+// the workloads if they share a single second level cache?"
+//
+// The client population of one workload is split into P sub-populations
+// by client name (labs within the department); each gets its own
+// first-level cache of (fraction × MaxNeeded)/P with the SIZE policy,
+// and all of them share one infinite second-level cache. The same split
+// is also run with *private* second-level caches, so the sharing gain
+// and the cross-population commonality are measured directly.
+
+// Exp5Result reports the shared-L2 study.
+type Exp5Result struct {
+	Workload    string
+	Populations int
+	Fraction    float64
+
+	// Shared hierarchy results.
+	Shared core.SharedL2Stats
+	// SharedL2HR / WHR over all requests and bytes.
+	SharedL2HR  float64
+	SharedL2WHR float64
+
+	// Private: the same populations with a private infinite L2 each.
+	PrivateL2HR  float64
+	PrivateL2WHR float64
+
+	// SharingGainHR is SharedL2HR − PrivateL2HR: the extra hit rate that
+	// exists only because the populations share the second level.
+	SharingGainHR  float64
+	SharingGainWHR float64
+}
+
+// Experiment5 runs the shared-L2 study with P populations.
+func Experiment5(tr *trace.Trace, base *Exp1Result, populations int, fraction float64, seed uint64) *Exp5Result {
+	if populations < 1 {
+		populations = 1
+	}
+	perL1 := capacityFor(base, fraction) / int64(populations)
+	if perL1 < 1 {
+		perL1 = 1
+	}
+
+	mkL1 := func(i int) core.Config {
+		return core.Config{
+			Capacity: perL1,
+			Policy:   policy.Combo{Primary: policy.KeySize, Secondary: policy.KeyRandom}.New(tr.Start),
+			Seed:     seed + uint64(i)*31,
+		}
+	}
+
+	// Shared run.
+	l1s := make([]core.Config, populations)
+	for i := range l1s {
+		l1s[i] = mkL1(i)
+	}
+	shared := core.NewSharedL2(l1s, core.Config{Capacity: 0, Seed: seed + 1000})
+
+	// Private run: per-population two-level hierarchies.
+	private := make([]*core.TwoLevel, populations)
+	for i := range private {
+		private[i] = core.NewTwoLevel(mkL1(i+populations), core.Config{Capacity: 0, Seed: seed + 2000 + uint64(i)})
+	}
+
+	var reqs, bytes int64
+	var sharedHits, sharedBH, privHits, privBH int64
+	for i := range tr.Requests {
+		req := &tr.Requests[i]
+		pop := populationOf(req.Client, populations)
+		reqs++
+		bytes += req.Size
+		if _, h2 := shared.Access(pop, req); h2 {
+			sharedHits++
+			sharedBH += req.Size
+		}
+		if _, h2 := private[pop].Access(req); h2 {
+			privHits++
+			privBH += req.Size
+		}
+	}
+
+	res := &Exp5Result{
+		Workload:    tr.Name,
+		Populations: populations,
+		Fraction:    fraction,
+		Shared:      shared.Stats(),
+	}
+	if reqs > 0 {
+		res.SharedL2HR = float64(sharedHits) / float64(reqs)
+		res.PrivateL2HR = float64(privHits) / float64(reqs)
+		res.SharingGainHR = res.SharedL2HR - res.PrivateL2HR
+	}
+	if bytes > 0 {
+		res.SharedL2WHR = float64(sharedBH) / float64(bytes)
+		res.PrivateL2WHR = float64(privBH) / float64(bytes)
+		res.SharingGainWHR = res.SharedL2WHR - res.PrivateL2WHR
+	}
+	return res
+}
+
+// populationOf assigns a client to one of n populations by name hash,
+// so a client is always in the same population.
+func populationOf(client string, n int) int {
+	h := fnv.New32a()
+	h.Write([]byte(client))
+	return int(h.Sum32() % uint32(n))
+}

@@ -1,0 +1,115 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+
+	"webcache/internal/core"
+	"webcache/internal/policy"
+	"webcache/internal/workload"
+)
+
+// TestFullGridSizePrimaryDominates runs the paper's complete 36-policy
+// design on a reduced workload and checks the structural finding of
+// Experiment 2: every SIZE- or LOG2SIZE-primary combination beats every
+// combination with any other primary key on hit rate, and the secondary
+// key never changes which primary wins.
+func TestFullGridSizePrimaryDominates(t *testing.T) {
+	cfg := workload.BL(3)
+	cfg.Scale = 0.05
+	tr, _, err := workload.GenerateValidated(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := Experiment1(tr, 1)
+	res := Experiment2(tr, base, policy.AllCombos(), 0.10, 2)
+	if len(res.Runs) != 36 {
+		t.Fatalf("%d runs", len(res.Runs))
+	}
+
+	worstSize := 2.0
+	bestOther := -1.0
+	var worstSizeName, bestOtherName string
+	for _, run := range res.Runs {
+		sizePrimary := strings.HasPrefix(run.Policy, "SIZE/") || strings.HasPrefix(run.Policy, "LOG2SIZE/")
+		if sizePrimary {
+			if run.HRRatioMean < worstSize {
+				worstSize, worstSizeName = run.HRRatioMean, run.Policy
+			}
+		} else if run.HRRatioMean > bestOther {
+			bestOther, bestOtherName = run.HRRatioMean, run.Policy
+		}
+	}
+	if worstSize <= bestOther {
+		t.Fatalf("size-primary dominance violated: worst size-primary %s=%.3f <= best other %s=%.3f",
+			worstSizeName, worstSize, bestOtherName, bestOther)
+	}
+}
+
+// TestExperiment2FiftyPercent checks Table 5's second cache level: at
+// 50% of MaxNeeded every primary key runs close to the infinite bound
+// and SIZE is essentially optimal.
+func TestExperiment2FiftyPercent(t *testing.T) {
+	cfg := workload.G(5)
+	cfg.Scale = 0.10
+	tr, _, err := workload.GenerateValidated(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := Experiment1(tr, 1)
+	res := Experiment2(tr, base, policy.PrimaryCombos(), 0.50, 2)
+	for _, run := range res.Runs {
+		if run.HRRatioMean < 0.70 {
+			t.Errorf("%s at 50%%: HR ratio %.3f, expected near-optimal", run.Policy, run.HRRatioMean)
+		}
+		if strings.HasPrefix(run.Policy, "SIZE/") && run.HRRatioMean < 0.97 {
+			t.Errorf("SIZE at 50%%: HR ratio %.3f, expected ~1", run.HRRatioMean)
+		}
+	}
+}
+
+// TestTwoLevelFiniteL2: the hierarchy also works with a bounded second
+// level (a deployment reality the paper's infinite-L2 idealizes).
+func TestTwoLevelFiniteL2(t *testing.T) {
+	cfg := workload.C(7)
+	cfg.Scale = 0.05
+	tr, _, err := workload.GenerateValidated(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := Experiment1(tr, 1)
+
+	infinite := Experiment3(tr, base, 0.10, 3)
+
+	// A custom finite-L2 run via the core types.
+	tl := core.NewTwoLevel(
+		core.Config{
+			Capacity: base.MaxNeeded / 10,
+			Policy:   policy.Combo{Primary: policy.KeySize, Secondary: policy.KeyRandom}.New(tr.Start),
+			Seed:     1,
+		},
+		core.Config{
+			Capacity: base.MaxNeeded / 2,
+			Policy:   policy.Combo{Primary: policy.KeySize, Secondary: policy.KeyRandom}.New(tr.Start),
+			Seed:     2,
+		},
+	)
+	var reqs, l2hits int64
+	for i := range tr.Requests {
+		_, h2 := tl.Access(&tr.Requests[i])
+		reqs++
+		if h2 {
+			l2hits++
+		}
+	}
+	finiteHR := float64(l2hits) / float64(reqs)
+	if finiteHR < 0 || finiteHR > 1 {
+		t.Fatalf("finite L2 HR %v", finiteHR)
+	}
+	// A bounded L2 cannot beat the infinite one.
+	if finiteHR > infinite.MeanL2HR+0.10 {
+		t.Fatalf("finite L2 HR %.3f implausibly exceeds infinite %.3f", finiteHR, infinite.MeanL2HR)
+	}
+	tl.L1.CheckInvariants()
+	tl.L2.CheckInvariants()
+}

@@ -1,0 +1,214 @@
+package sim
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"webcache/internal/policy"
+	"webcache/internal/stats"
+	"webcache/internal/trace"
+)
+
+// This file renders experiment results as the text tables and figure
+// series the paper reports, shared by cmd/websim and the EXPERIMENTS.md
+// generator.
+
+// RenderTable1 prints the sorting-key taxonomy (Table 1).
+func RenderTable1() string {
+	t := stats.NewTable("Key", "Definition", "Sort Order")
+	for _, k := range policy.TableOneKeys {
+		t.AddRow(k.String(), k.Definition(), k.SortOrder())
+	}
+	return t.String()
+}
+
+// RenderTable3 prints the literature-policy mapping (Table 3).
+func RenderTable3() string {
+	t := stats.NewTable("Policy", "Equivalent sorting procedure")
+	t.AddRow("FIFO", "ETIME, remove smallest")
+	t.AddRow("LRU", "ATIME, remove smallest")
+	t.AddRow("LFU", "NREF, remove smallest")
+	t.AddRow("Hyper-G", "NREF, then ATIME, then SIZE (largest)")
+	t.AddRow("Pitkow/Recker", "DAY(ATIME) if any docs not accessed today, else SIZE (largest)")
+	t.AddRow("LRU-MIN", "LRU within halving size-threshold classes of the incoming size")
+	return t.String()
+}
+
+// RenderTypeMix prints a Table 4 column for a trace: per-type share of
+// references and bytes.
+func RenderTypeMix(tr *trace.Trace) string {
+	var reqs [trace.NumDocTypes]int64
+	var bytes [trace.NumDocTypes]int64
+	var totReq, totBytes int64
+	for i := range tr.Requests {
+		r := &tr.Requests[i]
+		reqs[r.Type]++
+		bytes[r.Type] += r.Size
+		totReq++
+		totBytes += r.Size
+	}
+	t := stats.NewTable("File type", "%Refs", "%Bytes")
+	for dt := trace.DocType(0); dt < trace.NumDocTypes; dt++ {
+		if reqs[dt] == 0 {
+			continue
+		}
+		t.AddRow(dt.String(),
+			fmt.Sprintf("%.2f", 100*float64(reqs[dt])/float64(totReq)),
+			fmt.Sprintf("%.2f", 100*float64(bytes[dt])/float64(totBytes)))
+	}
+	return t.String()
+}
+
+// RenderExp1 prints the Experiment 1 summary plus the Figs. 3-7 series.
+func RenderExp1(r *Exp1Result, series bool) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Experiment 1 — workload %s (infinite cache)\n", r.Workload)
+	fmt.Fprintf(&b, "  MaxNeeded       %s\n", fmtBytes(r.MaxNeeded))
+	fmt.Fprintf(&b, "  mean daily HR   %6.2f%%   mean daily WHR %6.2f%%\n", 100*r.MeanHR, 100*r.MeanWHR)
+	fmt.Fprintf(&b, "  aggregate HR    %6.2f%%   aggregate WHR  %6.2f%%\n", 100*r.AggHR, 100*r.AggWHR)
+	if series {
+		b.WriteString(renderSeries("day  HR%  WHR% (7-day moving average)",
+			r.Rates.HR.MovingAverage(), r.Rates.WHR.MovingAverage()))
+	}
+	return b.String()
+}
+
+// RenderExp2 prints the Experiment 2 ranking (the content of Figs. 8-12
+// summarized as mean ratio-to-infinite), sorted by HR ratio.
+func RenderExp2(r *Exp2Result) string {
+	runs := make([]*PolicyRun, len(r.Runs))
+	copy(runs, r.Runs)
+	sort.SliceStable(runs, func(i, j int) bool { return runs[i].HRRatioMean > runs[j].HRRatioMean })
+	var b strings.Builder
+	fmt.Fprintf(&b, "Experiment 2 — workload %s, cache = %.0f%% of MaxNeeded (%s)\n",
+		r.Workload, 100*r.Fraction, fmtBytes(int64(r.Fraction*float64(r.Base.MaxNeeded))))
+	t := stats.NewTable("Policy", "HR/inf %", "WHR/inf %", "HR %", "WHR %", "Evictions")
+	for _, run := range runs {
+		t.AddRow(run.Policy,
+			fmt.Sprintf("%.1f", 100*run.HRRatioMean),
+			fmt.Sprintf("%.1f", 100*run.WHRRatioMean),
+			fmt.Sprintf("%.1f", 100*run.Final.HitRate()),
+			fmt.Sprintf("%.1f", 100*run.Final.WeightedHitRate()),
+			run.Final.Evictions)
+	}
+	b.WriteString(t.String())
+	return b.String()
+}
+
+// RenderExp2Series prints one policy's Figs. 8-12 curve: the per-day
+// ratio of its HR moving average to the infinite cache's.
+func RenderExp2Series(r *Exp2Result, policyName string) string {
+	for _, run := range r.Runs {
+		if run.Policy != policyName {
+			continue
+		}
+		var b strings.Builder
+		fmt.Fprintf(&b, "%s on %s: %% of infinite-cache HR by day\n", policyName, r.Workload)
+		for _, p := range run.Rates.HR.RatioTo(r.Base.Rates.HR) {
+			fmt.Fprintf(&b, "%4d  %6.1f\n", p.Day, 100*p.Value)
+		}
+		return b.String()
+	}
+	return fmt.Sprintf("policy %q not in result\n", policyName)
+}
+
+// RenderExp2Secondary prints the Fig. 15 summary.
+func RenderExp2Secondary(r *Exp2SecondaryResult) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Experiment 2 (secondary keys) — workload %s, primary LOG2SIZE, cache = %.0f%% of MaxNeeded\n",
+		r.Workload, 100*r.Fraction)
+	t := stats.NewTable("Secondary", "WHR vs random %", "peak WHR vs random %", "HR vs random %")
+	for _, sr := range r.Runs {
+		t.AddRow(sr.Secondary,
+			fmt.Sprintf("%.2f", 100*sr.WHRvsRandom),
+			fmt.Sprintf("%.2f", 100*sr.PeakWHRvsRandom),
+			fmt.Sprintf("%.2f", 100*sr.HRvsRandom))
+	}
+	b.WriteString(t.String())
+	return b.String()
+}
+
+// RenderExp3 prints the Experiment 3 summary plus optional Figs. 16-18
+// series.
+func RenderExp3(r *Exp3Result, series bool) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Experiment 3 — workload %s, L1 = %.0f%% of MaxNeeded (SIZE), infinite L2\n",
+		r.Workload, 100*r.Fraction)
+	fmt.Fprintf(&b, "  mean L2 HR  %6.2f%%   mean L2 WHR %6.2f%%   (over all client requests)\n",
+		100*r.MeanL2HR, 100*r.MeanL2WHR)
+	fmt.Fprintf(&b, "  L1 aggregate HR %6.2f%%  WHR %6.2f%%\n",
+		100*r.L1Final.HitRate(), 100*r.L1Final.WeightedHitRate())
+	if series {
+		b.WriteString(renderSeries("day  L2HR%  L2WHR% (7-day moving average)",
+			r.L2HR.MovingAverage(), r.L2WHR.MovingAverage()))
+	}
+	return b.String()
+}
+
+// RenderExp4 prints the Experiment 4 summary (Figs. 19-20).
+func RenderExp4(r *Exp4Result) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Experiment 4 — workload %s, partitioned cache, total = %.0f%% of MaxNeeded\n",
+		r.Workload, 100*r.Fraction)
+	t := stats.NewTable("Audio share", "Audio WHR %", "Non-audio WHR %", "Total WHR %")
+	for _, p := range r.Partitions {
+		t.AddRow(fmt.Sprintf("%.0f%%", 100*p.AudioShare),
+			fmt.Sprintf("%.2f", 100*p.AggAudioWHR),
+			fmt.Sprintf("%.2f", 100*p.AggNonAudioWHR),
+			fmt.Sprintf("%.2f", 100*p.AggTotalWHR))
+	}
+	b.WriteString(t.String())
+	fmt.Fprintf(&b, "Infinite-cache reference: audio WHR %.2f%%, non-audio WHR %.2f%% (means over days)\n",
+		100*r.InfiniteAudioWHR.Mean(), 100*r.InfiniteNonAudioWHR.Mean())
+	return b.String()
+}
+
+// renderSeries prints two aligned day series.
+func renderSeries(header string, a, b []stats.DayPoint) string {
+	byDay := make(map[int]float64, len(b))
+	for _, p := range b {
+		byDay[p.Day] = p.Value
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "  %s\n", header)
+	for _, p := range a {
+		fmt.Fprintf(&sb, "  %4d  %6.2f  %6.2f\n", p.Day, 100*p.Value, 100*byDay[p.Day])
+	}
+	return sb.String()
+}
+
+func fmtBytes(n int64) string {
+	switch {
+	case n >= 1<<30:
+		return fmt.Sprintf("%.2f GiB", float64(n)/(1<<30))
+	case n >= 1<<20:
+		return fmt.Sprintf("%.2f MiB", float64(n)/(1<<20))
+	case n >= 1<<10:
+		return fmt.Sprintf("%.2f KiB", float64(n)/(1<<10))
+	}
+	return fmt.Sprintf("%d B", n)
+}
+
+// RenderExp5 prints the shared-L2 study (paper §5, open problem 3).
+func RenderExp5(r *Exp5Result) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Experiment 5 — workload %s split into %d client populations, shared infinite L2\n",
+		r.Workload, r.Populations)
+	fmt.Fprintf(&b, "  shared L2:  HR %6.2f%%  WHR %6.2f%%   (over all requests)\n",
+		100*r.SharedL2HR, 100*r.SharedL2WHR)
+	fmt.Fprintf(&b, "  private L2: HR %6.2f%%  WHR %6.2f%%\n",
+		100*r.PrivateL2HR, 100*r.PrivateL2WHR)
+	fmt.Fprintf(&b, "  sharing gain: HR %+.2f%%  WHR %+.2f%%\n",
+		100*r.SharingGainHR, 100*r.SharingGainWHR)
+	fmt.Fprintf(&b, "  cross-population L2 hits: %.1f%% of L2 hits (%.1f%% of L2 bytes)\n",
+		100*r.Shared.CrossHitFraction, 100*r.Shared.CrossByteFraction)
+	t := stats.NewTable("Population", "L2 HR %", "L2 WHR %")
+	for i := range r.Shared.PopL2HR {
+		t.AddRow(fmt.Sprintf("%d", i),
+			fmt.Sprintf("%.2f", 100*r.Shared.PopL2HR[i]),
+			fmt.Sprintf("%.2f", 100*r.Shared.PopL2WHR[i]))
+	}
+	b.WriteString(t.String())
+	return b.String()
+}

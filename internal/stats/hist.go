@@ -1,0 +1,202 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Histogram counts values into fixed-width bins over [min, max); values
+// outside the range land in the under/overflow counters. It renders
+// Fig. 13 (document-size histogram).
+type Histogram struct {
+	Min, Max  float64
+	BinWidth  float64
+	Counts    []int64
+	Underflow int64
+	Overflow  int64
+	N         int64
+}
+
+// NewHistogram returns a histogram with nbins equal bins over [min, max).
+func NewHistogram(min, max float64, nbins int) (*Histogram, error) {
+	if !(max > min) || nbins < 1 {
+		return nil, fmt.Errorf("stats: invalid histogram range [%v,%v) with %d bins", min, max, nbins)
+	}
+	return &Histogram{
+		Min: min, Max: max,
+		BinWidth: (max - min) / float64(nbins),
+		Counts:   make([]int64, nbins),
+	}, nil
+}
+
+// Add records one observation.
+func (h *Histogram) Add(x float64) {
+	h.N++
+	switch {
+	case x < h.Min:
+		h.Underflow++
+	case x >= h.Max:
+		h.Overflow++
+	default:
+		i := int((x - h.Min) / h.BinWidth)
+		if i >= len(h.Counts) { // guard float rounding at the top edge
+			i = len(h.Counts) - 1
+		}
+		h.Counts[i]++
+	}
+}
+
+// Render draws a text histogram with the given maximum bar width.
+func (h *Histogram) Render(barWidth int) string {
+	var peak int64 = 1
+	for _, c := range h.Counts {
+		if c > peak {
+			peak = c
+		}
+	}
+	var b strings.Builder
+	for i, c := range h.Counts {
+		lo := h.Min + float64(i)*h.BinWidth
+		bar := int(float64(c) / float64(peak) * float64(barWidth))
+		fmt.Fprintf(&b, "%12.0f %7d %s\n", lo, c, strings.Repeat("#", bar))
+	}
+	if h.Overflow > 0 {
+		fmt.Fprintf(&b, "%12s %7d (overflow >= %.0f)\n", ">=", h.Overflow, h.Max)
+	}
+	return b.String()
+}
+
+// LogHistogram counts positive values into logarithmically spaced bins
+// (powers of base), the natural view of heavy-tailed size distributions.
+type LogHistogram struct {
+	Base   float64
+	Counts map[int]int64
+	N      int64
+}
+
+// NewLogHistogram returns a log-binned histogram with the given base
+// (use 2 for size classes, 10 for decades).
+func NewLogHistogram(base float64) *LogHistogram {
+	return &LogHistogram{Base: base, Counts: make(map[int]int64)}
+}
+
+// Add records one observation; non-positive values are ignored.
+func (h *LogHistogram) Add(x float64) {
+	if x <= 0 {
+		return
+	}
+	h.N++
+	h.Counts[int(math.Floor(math.Log(x)/math.Log(h.Base)))]++
+}
+
+// Bins returns the occupied bins in ascending order.
+func (h *LogHistogram) Bins() []int {
+	bins := make([]int, 0, len(h.Counts))
+	for b := range h.Counts {
+		bins = append(bins, b)
+	}
+	sort.Ints(bins)
+	return bins
+}
+
+// RankCount is one (rank, count) point of a rank-frequency plot.
+type RankCount struct {
+	Rank  int
+	Count int64
+}
+
+// RankFrequency sorts counts descending and returns (rank, count) pairs,
+// the form of Figs. 1 and 2.
+func RankFrequency(counts map[string]int64) []RankCount {
+	vals := make([]int64, 0, len(counts))
+	for _, c := range counts {
+		vals = append(vals, c)
+	}
+	sort.Slice(vals, func(i, j int) bool { return vals[i] > vals[j] })
+	out := make([]RankCount, len(vals))
+	for i, c := range vals {
+		out[i] = RankCount{Rank: i + 1, Count: c}
+	}
+	return out
+}
+
+// ZipfFit is a least-squares fit of log(count) = intercept - slope*log(rank).
+type ZipfFit struct {
+	Slope     float64 // the Zipf exponent estimate (positive)
+	Intercept float64
+	R2        float64
+	N         int
+}
+
+// FitZipf fits a Zipf exponent to a rank-frequency sequence by linear
+// regression in log-log space. Zero counts are skipped.
+func FitZipf(rf []RankCount) ZipfFit {
+	var xs, ys []float64
+	for _, p := range rf {
+		if p.Count <= 0 {
+			continue
+		}
+		xs = append(xs, math.Log(float64(p.Rank)))
+		ys = append(ys, math.Log(float64(p.Count)))
+	}
+	fit := ZipfFit{N: len(xs)}
+	if len(xs) < 2 {
+		return fit
+	}
+	n := float64(len(xs))
+	var sx, sy, sxx, sxy, syy float64
+	for i := range xs {
+		sx += xs[i]
+		sy += ys[i]
+		sxx += xs[i] * xs[i]
+		sxy += xs[i] * ys[i]
+		syy += ys[i] * ys[i]
+	}
+	denom := n*sxx - sx*sx
+	if denom == 0 {
+		return fit
+	}
+	b := (n*sxy - sx*sy) / denom // slope in log-log space (negative)
+	a := (sy - b*sx) / n
+	fit.Slope = -b
+	fit.Intercept = a
+	ssTot := syy - sy*sy/n
+	if ssTot > 0 {
+		ssRes := 0.0
+		for i := range xs {
+			d := ys[i] - (a + b*xs[i])
+			ssRes += d * d
+		}
+		fit.R2 = 1 - ssRes/ssTot
+	}
+	return fit
+}
+
+// ScatterPoint is one (x, y) observation (Fig. 14: size vs
+// inter-reference time).
+type ScatterPoint struct {
+	X, Y float64
+}
+
+// CenterOfMass returns the mean point of a scatter in log space, the
+// quantity the paper reads off Fig. 14 ("the center of mass lies in a
+// region with relatively small size but large interreference time").
+// Non-positive coordinates are skipped.
+func CenterOfMass(pts []ScatterPoint) (x, y float64) {
+	var sx, sy float64
+	n := 0
+	for _, p := range pts {
+		if p.X <= 0 || p.Y <= 0 {
+			continue
+		}
+		sx += math.Log(p.X)
+		sy += math.Log(p.Y)
+		n++
+	}
+	if n == 0 {
+		return 0, 0
+	}
+	return math.Exp(sx / float64(n)), math.Exp(sy / float64(n))
+}

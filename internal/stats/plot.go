@@ -1,0 +1,161 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Plot renders day series as an ASCII chart, giving cmd/websim a
+// terminal rendering of the paper's figures. Multiple series share the
+// axes; each is drawn with its own glyph.
+type Plot struct {
+	Width, Height int
+	YMin, YMax    float64 // fixed y-range; equal values auto-scale
+	YLabel        string
+	XLabel        string
+
+	series []plotSeries
+}
+
+type plotSeries struct {
+	name   string
+	glyph  byte
+	points []DayPoint
+}
+
+// NewPlot returns a plot of the given size (sensible minimums applied).
+func NewPlot(width, height int) *Plot {
+	if width < 20 {
+		width = 20
+	}
+	if height < 5 {
+		height = 5
+	}
+	return &Plot{Width: width, Height: height}
+}
+
+// Add registers a named series drawn with glyph.
+func (p *Plot) Add(name string, glyph byte, points []DayPoint) {
+	p.series = append(p.series, plotSeries{name: name, glyph: glyph, points: points})
+}
+
+// Render draws the chart.
+func (p *Plot) Render() string {
+	if len(p.series) == 0 {
+		return "(no series)\n"
+	}
+	xMin, xMax := math.MaxInt32, math.MinInt32
+	yMin, yMax := p.YMin, p.YMax
+	autoY := yMin == yMax
+	if autoY {
+		yMin, yMax = math.Inf(1), math.Inf(-1)
+	}
+	for _, s := range p.series {
+		for _, pt := range s.points {
+			if pt.Day < xMin {
+				xMin = pt.Day
+			}
+			if pt.Day > xMax {
+				xMax = pt.Day
+			}
+			if autoY {
+				yMin = math.Min(yMin, pt.Value)
+				yMax = math.Max(yMax, pt.Value)
+			}
+		}
+	}
+	if xMin > xMax {
+		return "(empty series)\n"
+	}
+	if yMax == yMin {
+		yMax = yMin + 1
+	}
+
+	grid := make([][]byte, p.Height)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(" ", p.Width))
+	}
+	put := func(day int, val float64, glyph byte) {
+		x := 0
+		if xMax > xMin {
+			x = (day - xMin) * (p.Width - 1) / (xMax - xMin)
+		}
+		yFrac := (val - yMin) / (yMax - yMin)
+		if yFrac < 0 {
+			yFrac = 0
+		}
+		if yFrac > 1 {
+			yFrac = 1
+		}
+		y := p.Height - 1 - int(math.Round(yFrac*float64(p.Height-1)))
+		if x >= 0 && x < p.Width && y >= 0 && y < p.Height {
+			grid[y][x] = glyph
+		}
+	}
+	for _, s := range p.series {
+		for _, pt := range s.points {
+			put(pt.Day, pt.Value, s.glyph)
+		}
+	}
+
+	var b strings.Builder
+	if p.YLabel != "" {
+		fmt.Fprintf(&b, "%s\n", p.YLabel)
+	}
+	for i, row := range grid {
+		label := "        "
+		switch i {
+		case 0:
+			label = fmt.Sprintf("%7.1f ", yMax)
+		case p.Height - 1:
+			label = fmt.Sprintf("%7.1f ", yMin)
+		case p.Height / 2:
+			label = fmt.Sprintf("%7.1f ", (yMax+yMin)/2)
+		}
+		b.WriteString(label)
+		b.WriteByte('|')
+		b.Write(row)
+		b.WriteByte('\n')
+	}
+	b.WriteString("        +" + strings.Repeat("-", p.Width) + "\n")
+	fmt.Fprintf(&b, "        %-*d%*d", p.Width/2, xMin, p.Width-p.Width/2, xMax)
+	if p.XLabel != "" {
+		fmt.Fprintf(&b, "  (%s)", p.XLabel)
+	}
+	b.WriteByte('\n')
+	legend := make([]string, 0, len(p.series))
+	for _, s := range p.series {
+		legend = append(legend, fmt.Sprintf("%c=%s", s.glyph, s.name))
+	}
+	fmt.Fprintf(&b, "        %s\n", strings.Join(legend, "  "))
+	return b.String()
+}
+
+// PlotPercentSeries is a convenience for the common figure shape: one or
+// two hit-rate series in percent over days.
+func PlotPercentSeries(yLabel string, named map[string][]DayPoint) string {
+	p := NewPlot(72, 16)
+	p.YMin, p.YMax = 0, 100
+	p.YLabel = yLabel
+	p.XLabel = "days since trace start"
+	glyphs := []byte{'*', 'o', '+', 'x', '#', '@'}
+	i := 0
+	// Deterministic ordering for stable output.
+	names := make([]string, 0, len(named))
+	for n := range named {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		pts := named[n]
+		scaled := make([]DayPoint, len(pts))
+		for j, pt := range pts {
+			scaled[j] = DayPoint{Day: pt.Day, Value: 100 * pt.Value}
+		}
+		p.Add(n, glyphs[i%len(glyphs)], scaled)
+		i++
+	}
+	return p.Render()
+}

@@ -1,0 +1,87 @@
+package stats
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestPlotEmpty(t *testing.T) {
+	p := NewPlot(40, 10)
+	if out := p.Render(); !strings.Contains(out, "no series") {
+		t.Fatalf("empty plot: %q", out)
+	}
+	p.Add("x", '*', nil)
+	if out := p.Render(); !strings.Contains(out, "empty series") {
+		t.Fatalf("empty-series plot: %q", out)
+	}
+}
+
+func TestPlotRendersPoints(t *testing.T) {
+	p := NewPlot(40, 10)
+	p.YMin, p.YMax = 0, 100
+	p.Add("rising", '*', []DayPoint{{Day: 0, Value: 0}, {Day: 50, Value: 50}, {Day: 100, Value: 100}})
+	out := p.Render()
+	lines := strings.Split(out, "\n")
+	// The top row must contain the 100-value point at the right edge,
+	// the bottom data row the 0-value point at the left edge.
+	var topRow, bottomRow string
+	for _, l := range lines {
+		if strings.Contains(l, "|") && strings.Contains(l, "*") {
+			if topRow == "" {
+				topRow = l
+			}
+			bottomRow = l
+		}
+	}
+	if topRow == "" {
+		t.Fatalf("no data rows in:\n%s", out)
+	}
+	if !strings.HasSuffix(strings.TrimRight(topRow, " "), "*") {
+		t.Errorf("top point not at right edge: %q", topRow)
+	}
+	if i := strings.Index(bottomRow, "*"); i != strings.Index(bottomRow, "|")+1 {
+		t.Errorf("bottom point not at left edge: %q", bottomRow)
+	}
+	if !strings.Contains(out, "*=rising") {
+		t.Error("legend missing")
+	}
+}
+
+func TestPlotClampsOutOfRange(t *testing.T) {
+	p := NewPlot(30, 8)
+	p.YMin, p.YMax = 0, 1
+	p.Add("wild", 'x', []DayPoint{{Day: 0, Value: -5}, {Day: 1, Value: 7}})
+	out := p.Render()
+	if !strings.Contains(out, "x") {
+		t.Fatalf("clamped points vanished:\n%s", out)
+	}
+}
+
+func TestPlotAutoScale(t *testing.T) {
+	p := NewPlot(30, 8)
+	p.Add("flat", '*', []DayPoint{{Day: 0, Value: 5}, {Day: 9, Value: 5}})
+	out := p.Render()
+	if !strings.Contains(out, "*") {
+		t.Fatalf("flat series not drawn:\n%s", out)
+	}
+}
+
+func TestPlotPercentSeries(t *testing.T) {
+	out := PlotPercentSeries("test figure", map[string][]DayPoint{
+		"HR":  {{Day: 6, Value: 0.5}, {Day: 10, Value: 0.6}},
+		"WHR": {{Day: 6, Value: 0.3}, {Day: 10, Value: 0.4}},
+	})
+	for _, want := range []string{"test figure", "HR", "WHR", "100.0", "0.0", "days since trace start"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("plot missing %q:\n%s", want, out)
+		}
+	}
+	// Deterministic output across runs (map ordering must not leak).
+	again := PlotPercentSeries("test figure", map[string][]DayPoint{
+		"WHR": {{Day: 6, Value: 0.3}, {Day: 10, Value: 0.4}},
+		"HR":  {{Day: 6, Value: 0.5}, {Day: 10, Value: 0.6}},
+	})
+	if out != again {
+		t.Error("plot output depends on map iteration order")
+	}
+}

@@ -1,0 +1,39 @@
+package trace
+
+import "testing"
+
+// FuzzParseCLFLine: arbitrary log lines must parse or error, never
+// panic, and accepted lines must re-serialize consistently.
+func FuzzParseCLFLine(f *testing.F) {
+	f.Add(`c1 - - [17/Sep/1995:14:05:12 +0000] "GET http://s/a.gif HTTP/1.0" 200 10`)
+	f.Add(`c1 - - [17/Sep/1995:14:05:12 +0000] "GET http://s/a.gif HTTP/1.0" 200 10 lastmod=811000000`)
+	f.Add(`host - - [date] "GET" 200`)
+	f.Add(``)
+	f.Add(`"""[[[]]]`)
+	f.Fuzz(func(t *testing.T, line string) {
+		req, err := ParseCLFLine(line)
+		if err != nil {
+			return
+		}
+		if req.Size < 0 {
+			t.Fatalf("accepted negative size: %q", line)
+		}
+		if req.URL == "" {
+			t.Fatalf("accepted empty URL: %q", line)
+		}
+	})
+}
+
+// FuzzClassifyURL: the classifier is total over strings.
+func FuzzClassifyURL(f *testing.F) {
+	f.Add("http://a/x.gif")
+	f.Add("")
+	f.Add("cgi-bin")
+	f.Add("http://")
+	f.Add("...///...")
+	f.Fuzz(func(t *testing.T, url string) {
+		if dt := ClassifyURL(url); dt >= NumDocTypes {
+			t.Fatalf("invalid type %d for %q", dt, url)
+		}
+	})
+}

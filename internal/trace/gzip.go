@@ -1,0 +1,55 @@
+package trace
+
+import (
+	"bufio"
+	"compress/gzip"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+)
+
+// OpenCLFFile opens a common-log-format file, transparently decoding
+// gzip (by .gz suffix or magic bytes) — archived proxy logs almost
+// always arrive compressed. The returned closer releases both layers.
+func OpenCLFFile(path string) (io.Reader, io.Closer, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	br := bufio.NewReaderSize(f, 1<<20)
+	magic, err := br.Peek(2)
+	isGzip := strings.HasSuffix(path, ".gz") || (err == nil && magic[0] == 0x1f && magic[1] == 0x8b)
+	if !isGzip {
+		return br, f, nil
+	}
+	zr, err := gzip.NewReader(br)
+	if err != nil {
+		f.Close()
+		return nil, nil, fmt.Errorf("trace: opening gzip log %q: %w", path, err)
+	}
+	return zr, &multiCloser{zr, f}, nil
+}
+
+// ReadCLFFile parses a (possibly gzipped) log file.
+func ReadCLFFile(path, name string) (*Trace, *ReadStats, error) {
+	r, c, err := OpenCLFFile(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer c.Close()
+	return ReadCLF(r, name)
+}
+
+// multiCloser closes a chain of resources in order.
+type multiCloser []io.Closer
+
+func (m *multiCloser) Close() error {
+	var first error
+	for _, c := range *m {
+		if err := c.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}

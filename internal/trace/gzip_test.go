@@ -1,0 +1,78 @@
+package trace
+
+import (
+	"compress/gzip"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func writeLog(t *testing.T, path string, gz bool) {
+	t.Helper()
+	tr := &Trace{Requests: []Request{
+		{Time: 811296010, Client: "c1", URL: "http://s/a.gif", Status: 200, Size: 10, Type: Graphics},
+		{Time: 811296020, Client: "c2", URL: "http://s/b.html", Status: 200, Size: 20, Type: Text},
+	}}
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if gz {
+		zw := gzip.NewWriter(f)
+		if err := WriteCLF(zw, tr, false); err != nil {
+			t.Fatal(err)
+		}
+		if err := zw.Close(); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	if err := WriteCLF(f, tr, false); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReadCLFFilePlain(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "a.log")
+	writeLog(t, path, false)
+	tr, stats, err := ReadCLFFile(path, "plain")
+	if err != nil || stats.Parsed != 2 || len(tr.Requests) != 2 {
+		t.Fatalf("plain read: %v, %+v", err, stats)
+	}
+}
+
+func TestReadCLFFileGzipBySuffix(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "a.log.gz")
+	writeLog(t, path, true)
+	tr, _, err := ReadCLFFile(path, "gz")
+	if err != nil || len(tr.Requests) != 2 {
+		t.Fatalf("gz read: %v, %d requests", err, len(tr.Requests))
+	}
+}
+
+func TestReadCLFFileGzipByMagic(t *testing.T) {
+	// Gzipped content without the .gz suffix: detected by magic bytes.
+	path := filepath.Join(t.TempDir(), "sneaky.log")
+	writeLog(t, path, true)
+	tr, _, err := ReadCLFFile(path, "magic")
+	if err != nil || len(tr.Requests) != 2 {
+		t.Fatalf("magic read: %v, %d requests", err, len(tr.Requests))
+	}
+}
+
+func TestReadCLFFileMissing(t *testing.T) {
+	if _, _, err := ReadCLFFile("/nonexistent/x.log", "x"); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}
+
+func TestReadCLFFileCorruptGzip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bad.log.gz")
+	if err := os.WriteFile(path, []byte{0x1f, 0x8b, 0xff, 0x00}, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := ReadCLFFile(path, "bad"); err == nil {
+		t.Fatal("corrupt gzip accepted")
+	}
+}

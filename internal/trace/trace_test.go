@@ -1,0 +1,175 @@
+package trace
+
+import (
+	"testing"
+)
+
+func TestClassifyURL(t *testing.T) {
+	cases := []struct {
+		url  string
+		want DocType
+	}{
+		{"http://a.example/img/logo.gif", Graphics},
+		{"http://a.example/pic.JPG", Graphics},
+		{"http://a.example/pic.jpeg", Graphics},
+		{"http://a.example/icon.xbm", Graphics},
+		{"http://a.example/index.html", Text},
+		{"http://a.example/paper.ps", Text},
+		{"http://a.example/notes.txt", Text},
+		{"http://a.example/dir/", Text},
+		{"http://a.example/", Text},
+		{"http://a.example/song.au", Audio},
+		{"http://a.example/clip.wav", Audio},
+		{"http://a.example/movie.mpg", Video},
+		{"http://a.example/movie.qt", Video},
+		{"http://a.example/cgi-bin/search", CGI},
+		{"http://a.example/page.html?q=1", CGI},
+		{"http://a.example/data.xyz", Unknown},
+		{"http://a.example/README", Unknown},
+		{"/relative/path.gif", Graphics},
+		{"http://a.example/weird.", Unknown},
+		{"http://a.example/page.html#frag", Text},
+	}
+	for _, tc := range cases {
+		if got := ClassifyURL(tc.url); got != tc.want {
+			t.Errorf("ClassifyURL(%q) = %v, want %v", tc.url, got, tc.want)
+		}
+	}
+}
+
+func TestIsDynamic(t *testing.T) {
+	if !IsDynamic("http://a/cgi-bin/x") {
+		t.Error("cgi-bin not dynamic")
+	}
+	if !IsDynamic("http://a/x.html?q=1") {
+		t.Error("query string not dynamic")
+	}
+	if IsDynamic("http://a/x.html") {
+		t.Error("plain html marked dynamic")
+	}
+}
+
+func TestDocTypeString(t *testing.T) {
+	names := map[DocType]string{
+		Graphics: "Graphics", Text: "Text/html", Audio: "Audio",
+		Video: "Video", CGI: "CGI", Unknown: "Unknown",
+	}
+	for dt, want := range names {
+		if got := dt.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", dt, got, want)
+		}
+	}
+}
+
+func TestRequestDay(t *testing.T) {
+	start := int64(800000000) - 800000000%86400
+	r := Request{Time: start + 86400*3 + 100}
+	if d := r.Day(start); d != 3 {
+		t.Fatalf("Day = %d, want 3", d)
+	}
+}
+
+func TestTraceDays(t *testing.T) {
+	start := int64(86400 * 1000)
+	tr := &Trace{Start: start, Requests: []Request{
+		{Time: start + 10},
+		{Time: start + 86400*4 + 5},
+	}}
+	if d := tr.Days(); d != 5 {
+		t.Fatalf("Days = %d, want 5", d)
+	}
+	empty := &Trace{}
+	if d := empty.Days(); d != 0 {
+		t.Fatalf("empty Days = %d, want 0", d)
+	}
+}
+
+func TestTotalBytes(t *testing.T) {
+	tr := &Trace{Requests: []Request{{Size: 10}, {Size: 32}}}
+	if n := tr.TotalBytes(); n != 42 {
+		t.Fatalf("TotalBytes = %d, want 42", n)
+	}
+}
+
+func TestValidateStatusFilter(t *testing.T) {
+	raw := &Trace{Requests: []Request{
+		{URL: "http://a/x.html", Status: 200, Size: 100, Time: 1},
+		{URL: "http://a/x.html", Status: 304, Size: 0, Time: 2},
+		{URL: "http://a/y.html", Status: 404, Size: 50, Time: 3},
+		{URL: "http://a/x.html", Status: 200, Size: 100, Time: 4},
+	}}
+	valid, stats := Validate(raw)
+	if stats.Kept != 2 || stats.DroppedStatus != 2 {
+		t.Fatalf("kept=%d droppedStatus=%d, want 2/2", stats.Kept, stats.DroppedStatus)
+	}
+	if len(valid.Requests) != 2 {
+		t.Fatalf("validated trace has %d requests", len(valid.Requests))
+	}
+}
+
+func TestValidateZeroSizeRules(t *testing.T) {
+	raw := &Trace{Requests: []Request{
+		{URL: "http://a/unseen.html", Status: 200, Size: 0, Time: 1},  // dropped: zero-size first occurrence
+		{URL: "http://a/known.html", Status: 200, Size: 500, Time: 2}, // kept
+		{URL: "http://a/known.html", Status: 200, Size: 0, Time: 3},   // kept with inherited size 500
+	}}
+	valid, stats := Validate(raw)
+	if stats.DroppedZeroSize != 1 {
+		t.Fatalf("DroppedZeroSize = %d, want 1", stats.DroppedZeroSize)
+	}
+	if stats.InheritedSize != 1 {
+		t.Fatalf("InheritedSize = %d, want 1", stats.InheritedSize)
+	}
+	if len(valid.Requests) != 2 {
+		t.Fatalf("kept %d requests, want 2", len(valid.Requests))
+	}
+	if got := valid.Requests[1].Size; got != 500 {
+		t.Fatalf("inherited size = %d, want 500", got)
+	}
+}
+
+func TestValidateSizeChangeCounting(t *testing.T) {
+	raw := &Trace{Requests: []Request{
+		{URL: "http://a/d.html", Status: 200, Size: 100, Time: 1},
+		{URL: "http://a/d.html", Status: 200, Size: 100, Time: 2}, // same size re-ref
+		{URL: "http://a/d.html", Status: 200, Size: 120, Time: 3}, // changed
+		{URL: "http://a/d.html", Status: 200, Size: 120, Time: 4}, // same again
+	}}
+	_, stats := Validate(raw)
+	if stats.ReReferences != 3 || stats.SizeChanges != 1 {
+		t.Fatalf("reRefs=%d changes=%d, want 3/1", stats.ReReferences, stats.SizeChanges)
+	}
+	if f := stats.SizeChangeFraction(); f < 0.33 || f > 0.34 {
+		t.Fatalf("SizeChangeFraction = %v, want 1/3", f)
+	}
+}
+
+func TestValidateInheritedAfterChange(t *testing.T) {
+	// A zero-size entry after a size change inherits the *latest* size.
+	raw := &Trace{Requests: []Request{
+		{URL: "http://a/d.html", Status: 200, Size: 100, Time: 1},
+		{URL: "http://a/d.html", Status: 200, Size: 250, Time: 2},
+		{URL: "http://a/d.html", Status: 200, Size: 0, Time: 3},
+	}}
+	valid, _ := Validate(raw)
+	if got := valid.Requests[2].Size; got != 250 {
+		t.Fatalf("inherited %d, want 250", got)
+	}
+}
+
+func TestValidateEmptyFraction(t *testing.T) {
+	var s ValidateStats
+	if f := s.SizeChangeFraction(); f != 0 {
+		t.Fatalf("empty SizeChangeFraction = %v", f)
+	}
+}
+
+func TestValidateSetsStart(t *testing.T) {
+	raw := &Trace{Requests: []Request{
+		{URL: "http://a/d.html", Status: 200, Size: 10, Time: 86400*100 + 7},
+	}}
+	valid, _ := Validate(raw)
+	if valid.Start != 86400*100 {
+		t.Fatalf("Start = %d, want %d", valid.Start, 86400*100)
+	}
+}

@@ -1,0 +1,74 @@
+package trace
+
+import "sort"
+
+// Transformations used when assembling studies from collected logs: the
+// paper merges concurrent captures (BR and BL were collected together),
+// restricts to client subsets (workload G is "a popular time-shared
+// client"), and trims to measurement windows (BL's Figs. 1-2 cover
+// Sep 17 – Oct 31). These helpers never mutate their inputs.
+
+// Merge combines traces into one, ordered by request time. The result
+// is named name and starts at the earliest midnight.
+func Merge(name string, traces ...*Trace) *Trace {
+	out := &Trace{Name: name}
+	total := 0
+	for _, t := range traces {
+		total += len(t.Requests)
+	}
+	out.Requests = make([]Request, 0, total)
+	for _, t := range traces {
+		out.Requests = append(out.Requests, t.Requests...)
+	}
+	sort.SliceStable(out.Requests, func(i, j int) bool {
+		return out.Requests[i].Time < out.Requests[j].Time
+	})
+	if len(out.Requests) > 0 {
+		first := out.Requests[0].Time
+		out.Start = first - first%86400
+	}
+	return out
+}
+
+// FilterClients returns the sub-trace of requests whose client passes
+// keep. Start is preserved so day indices stay comparable with the
+// parent trace.
+func FilterClients(t *Trace, keep func(client string) bool) *Trace {
+	out := &Trace{Name: t.Name, Start: t.Start}
+	for i := range t.Requests {
+		if keep(t.Requests[i].Client) {
+			out.Requests = append(out.Requests, t.Requests[i])
+		}
+	}
+	return out
+}
+
+// Window returns the sub-trace of requests with day index in
+// [fromDay, toDay] relative to t.Start. Start is preserved.
+func Window(t *Trace, fromDay, toDay int) *Trace {
+	out := &Trace{Name: t.Name, Start: t.Start}
+	for i := range t.Requests {
+		if d := t.Requests[i].Day(t.Start); d >= fromDay && d <= toDay {
+			out.Requests = append(out.Requests, t.Requests[i])
+		}
+	}
+	return out
+}
+
+// Rebase shifts all request times so the trace starts at newStart's
+// midnight, aligning traces collected in different semesters for merged
+// studies.
+func Rebase(t *Trace, newStart int64) *Trace {
+	newStart -= newStart % 86400
+	delta := newStart - t.Start
+	out := &Trace{Name: t.Name, Start: newStart}
+	out.Requests = make([]Request, len(t.Requests))
+	copy(out.Requests, t.Requests)
+	for i := range out.Requests {
+		out.Requests[i].Time += delta
+		if out.Requests[i].LastModified != 0 {
+			out.Requests[i].LastModified += delta
+		}
+	}
+	return out
+}

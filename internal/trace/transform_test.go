@@ -1,0 +1,106 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+)
+
+func mkTrace(name string, start int64, times ...int64) *Trace {
+	t := &Trace{Name: name, Start: start}
+	for i, ts := range times {
+		t.Requests = append(t.Requests, Request{
+			Time: ts, Client: "c" + string(rune('a'+i%3)),
+			URL: "http://s/x.html", Status: 200, Size: 10,
+		})
+	}
+	return t
+}
+
+func TestMergeOrdersByTime(t *testing.T) {
+	a := mkTrace("a", 0, 100, 300, 500)
+	b := mkTrace("b", 0, 200, 400)
+	m := Merge("ab", a, b)
+	if len(m.Requests) != 5 {
+		t.Fatalf("merged %d requests", len(m.Requests))
+	}
+	for i := 1; i < len(m.Requests); i++ {
+		if m.Requests[i].Time < m.Requests[i-1].Time {
+			t.Fatalf("merge not ordered at %d", i)
+		}
+	}
+	if m.Start != 0 {
+		t.Fatalf("merged start %d", m.Start)
+	}
+	// Inputs untouched.
+	if len(a.Requests) != 3 || len(b.Requests) != 2 {
+		t.Fatal("merge mutated inputs")
+	}
+}
+
+func TestMergeEmpty(t *testing.T) {
+	m := Merge("empty")
+	if len(m.Requests) != 0 || m.Start != 0 {
+		t.Fatalf("empty merge %+v", m)
+	}
+}
+
+func TestFilterClients(t *testing.T) {
+	a := mkTrace("a", 0, 1, 2, 3, 4, 5, 6)
+	f := FilterClients(a, func(c string) bool { return strings.HasSuffix(c, "a") })
+	if len(f.Requests) != 2 {
+		t.Fatalf("filtered %d requests", len(f.Requests))
+	}
+	for i := range f.Requests {
+		if f.Requests[i].Client != "ca" {
+			t.Fatalf("wrong client %q", f.Requests[i].Client)
+		}
+	}
+	if f.Start != a.Start {
+		t.Fatal("filter changed Start")
+	}
+}
+
+func TestWindow(t *testing.T) {
+	a := mkTrace("a", 0, 10, 86400+10, 2*86400+10, 3*86400+10)
+	w := Window(a, 1, 2)
+	if len(w.Requests) != 2 {
+		t.Fatalf("window kept %d requests", len(w.Requests))
+	}
+	if d := w.Requests[0].Day(w.Start); d != 1 {
+		t.Fatalf("first windowed day %d", d)
+	}
+}
+
+func TestRebase(t *testing.T) {
+	a := mkTrace("a", 86400*100, 86400*100+500)
+	a.Requests[0].LastModified = 86400*99 + 7
+	r := Rebase(a, 86400*200+5000) // mid-day value is floored to midnight
+	if r.Start != 86400*200 {
+		t.Fatalf("rebased start %d", r.Start)
+	}
+	if got := r.Requests[0].Time; got != 86400*200+500 {
+		t.Fatalf("rebased time %d", got)
+	}
+	if got := r.Requests[0].LastModified; got != 86400*199+7 {
+		t.Fatalf("rebased lastmod %d", got)
+	}
+	// Original unchanged.
+	if a.Requests[0].Time != 86400*100+500 {
+		t.Fatal("rebase mutated input")
+	}
+}
+
+func TestMergeRebasedWorkloadsValidate(t *testing.T) {
+	// The Exp5-style composition: two sub-traces rebased to a common
+	// origin and merged must still validate cleanly.
+	a := mkTrace("a", 86400*10, 86400*10+100, 86400*11+100)
+	b := mkTrace("b", 86400*50, 86400*50+200)
+	m := Merge("combined", Rebase(a, 0), Rebase(b, 0))
+	valid, stats := Validate(m)
+	if stats.Kept != 3 || len(valid.Requests) != 3 {
+		t.Fatalf("validation of merged trace: %+v", stats)
+	}
+	if m.Requests[0].Time > m.Requests[1].Time {
+		t.Fatal("merged rebased trace out of order")
+	}
+}

@@ -1,0 +1,77 @@
+package trace
+
+// Validation implements §1.1 of the paper: which logged requests count as
+// part of the simulated trace, and how zero-size log entries are handled.
+//
+// Rules, verbatim from the paper:
+//
+//  1. The server return code must be 200. Client/server errors and
+//     requests satisfied by the client's own cache (304) are dropped.
+//  2. If the log records a size of 0 for a URL that has not been seen
+//     before, the request is discarded.
+//  3. If the log records a size of 0 for a URL previously seen with a
+//     non-zero size, the URL is assumed unmodified: the request is kept
+//     and assigned the last known size.
+
+// ValidateStats reports what Validate did and the size-change statistics
+// the paper quotes (0.5%–4.1% of re-referenced URLs change size).
+type ValidateStats struct {
+	Input           int // requests examined
+	Kept            int // requests in the validated trace
+	DroppedStatus   int // non-200 requests dropped
+	DroppedZeroSize int // zero-size first-occurrence requests dropped
+	InheritedSize   int // zero-size requests assigned the last known size
+	SizeChanges     int // re-references whose size differed from the last known size
+	ReReferences    int // re-references to a previously seen URL
+}
+
+// SizeChangeFraction returns the fraction of re-references that observed
+// a changed size (the paper's 0.5%–4.1% consistency statistic).
+func (s *ValidateStats) SizeChangeFraction() float64 {
+	if s.ReReferences == 0 {
+		return 0
+	}
+	return float64(s.SizeChanges) / float64(s.ReReferences)
+}
+
+// Validate applies §1.1 to raw and returns the validated trace along with
+// statistics. The input is not modified. Requests in the result carry the
+// (possibly inherited) size actually used by the simulator, so hit rate
+// and weighted hit rate are measured against the same exact trace.
+func Validate(raw *Trace) (*Trace, *ValidateStats) {
+	stats := &ValidateStats{Input: len(raw.Requests)}
+	out := &Trace{Name: raw.Name, Start: raw.Start}
+	out.Requests = make([]Request, 0, len(raw.Requests))
+	lastSize := make(map[string]int64, 1024)
+
+	for i := range raw.Requests {
+		r := raw.Requests[i]
+		if r.Status != 200 {
+			stats.DroppedStatus++
+			continue
+		}
+		prev, seen := lastSize[r.URL]
+		if r.Size == 0 {
+			if !seen {
+				stats.DroppedZeroSize++
+				continue
+			}
+			r.Size = prev
+			stats.InheritedSize++
+		}
+		if seen {
+			stats.ReReferences++
+			if r.Size != prev {
+				stats.SizeChanges++
+			}
+		}
+		lastSize[r.URL] = r.Size
+		stats.Kept++
+		out.Requests = append(out.Requests, r)
+	}
+	if len(out.Requests) > 0 && out.Start == 0 {
+		first := out.Requests[0].Time
+		out.Start = first - first%86400
+	}
+	return out, stats
+}

@@ -1,0 +1,92 @@
+package workload
+
+import (
+	"testing"
+
+	"webcache/internal/sim"
+)
+
+// Calibration tests check the generators against the paper's published
+// per-workload statistics (§2, §4.1). They run the full-scale traces
+// through the infinite-cache simulator, so they are skipped in -short
+// mode.
+
+// paperTargets records the published numbers: valid requests, bytes
+// transferred, MaxNeeded (§4.1), and a plausible band for the maximum
+// hit rate read off Figs. 3-7.
+var paperTargets = map[string]struct {
+	requests   int
+	totalBytes float64
+	maxNeeded  float64
+	hrLo, hrHi float64
+}{
+	"U":  {173384, 2.19e9, 1400e6, 0.40, 0.65},
+	"G":  {46834, 610.92e6, 413e6, 0.40, 0.65},
+	"C":  {30316, 405.7e6, 221e6, 0.40, 0.70},
+	"BR": {180132, 9.61e9, 198e6, 0.93, 1.00},
+	"BL": {53881, 644.55e6, 408e6, 0.30, 0.55},
+}
+
+func TestCalibrationAgainstPaper(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-scale calibration in -short mode")
+	}
+	for _, cfg := range All(42, 1.0) {
+		cfg := cfg
+		t.Run(cfg.Name, func(t *testing.T) {
+			t.Parallel()
+			target := paperTargets[cfg.Name]
+			tr, _, err := GenerateValidated(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			if got, want := float64(len(tr.Requests)), float64(target.requests); relErr(got, want) > 0.05 {
+				t.Errorf("valid requests %0.f, want %.0f±5%%", got, want)
+			}
+			if got, want := float64(tr.TotalBytes()), target.totalBytes; relErr(got, want) > 0.15 {
+				t.Errorf("bytes transferred %.2e, want %.2e±15%%", got, want)
+			}
+
+			res := sim.Experiment1(tr, 7)
+			if got, want := float64(res.MaxNeeded), target.maxNeeded; relErr(got, want) > 0.15 {
+				t.Errorf("MaxNeeded %.0f MB, want %.0f MB±15%%", got/1e6, want/1e6)
+			}
+			if res.MeanHR < target.hrLo || res.MeanHR > target.hrHi {
+				t.Errorf("mean daily HR %.3f outside the paper band [%.2f, %.2f]",
+					res.MeanHR, target.hrLo, target.hrHi)
+			}
+			// Figs. 3-7: HR is (nearly always) at or above WHR, and BR's
+			// WHR is extreme.
+			if cfg.Name == "BR" && res.MeanWHR < 0.90 {
+				t.Errorf("BR mean WHR %.3f, paper reports ~95%%", res.MeanWHR)
+			}
+		})
+	}
+}
+
+// TestDurationsMatchPaper checks trace lengths: U 190 days, G/C spring
+// semester, BR 38 days, BL 37 days.
+func TestDurationsMatchPaper(t *testing.T) {
+	want := map[string]int{"U": 190, "G": 79, "C": 100, "BR": 38, "BL": 37}
+	for _, cfg := range All(3, 0.05) {
+		tr, _, err := GenerateValidated(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d := tr.Days(); d > want[cfg.Name] || d < want[cfg.Name]-7 {
+			t.Errorf("%s spans %d days, want ≈%d", cfg.Name, d, want[cfg.Name])
+		}
+	}
+}
+
+func relErr(got, want float64) float64 {
+	if want == 0 {
+		return 0
+	}
+	d := got - want
+	if d < 0 {
+		d = -d
+	}
+	return d / want
+}

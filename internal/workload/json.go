@@ -1,0 +1,171 @@
+package workload
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+
+	"webcache/internal/trace"
+)
+
+// This file lets users define custom workloads in JSON instead of Go
+// (tracegen -config), covering everything the built-in five use. The
+// calendar functions, which cannot be serialized directly, are expressed
+// as a weekend weight plus piecewise day spans.
+
+// SpanSpec scales a quantity over an inclusive day range.
+type SpanSpec struct {
+	From   int     `json:"from"`
+	To     int     `json:"to"`
+	Factor float64 `json:"factor"`
+}
+
+// JSONType is the serialized TypeSpec.
+type JSONType struct {
+	Type        string  `json:"type"` // Graphics, Text, Audio, Video, CGI, Unknown
+	RefShare    float64 `json:"refShare"`
+	ByteShare   float64 `json:"byteShare"`
+	NewDocProb  float64 `json:"newDocProb"`
+	SizeSigma   float64 `json:"sizeSigma,omitempty"`
+	RecencyBias float64 `json:"recencyBias,omitempty"`
+}
+
+// JSONConfig is the serialized workload definition.
+type JSONConfig struct {
+	Name       string     `json:"name"`
+	Seed       uint64     `json:"seed,omitempty"`
+	Days       int        `json:"days"`
+	Requests   int        `json:"requests"`
+	TotalBytes int64      `json:"totalBytes"`
+	Types      []JSONType `json:"types"`
+
+	ZipfS      float64 `json:"zipfS,omitempty"`
+	UniformMix float64 `json:"uniformMix,omitempty"`
+
+	Servers     int     `json:"servers,omitempty"`
+	ServerZipfS float64 `json:"serverZipfS,omitempty"`
+	AudioServer bool    `json:"audioServer,omitempty"`
+	Domain      string  `json:"domain,omitempty"`
+	Clients     int     `json:"clients,omitempty"`
+	StartDay    int64   `json:"startDay,omitempty"`
+
+	// WeekendWeight scales Saturday/Sunday volume (day 0 is a Monday);
+	// zero means no weekly cycle. VolumeSpans and NewDocSpans apply
+	// multiplicative factors over day ranges (semester breaks, review
+	// weeks). ClassDays, when non-empty, restricts requests to those
+	// days of the week (0=Monday), as in the Classroom workload.
+	WeekendWeight float64    `json:"weekendWeight,omitempty"`
+	VolumeSpans   []SpanSpec `json:"volumeSpans,omitempty"`
+	NewDocSpans   []SpanSpec `json:"newDocSpans,omitempty"`
+	ClassDays     []int      `json:"classDays,omitempty"`
+
+	SizeChangeProb float64 `json:"sizeChangeProb,omitempty"`
+	ZeroSizeProb   float64 `json:"zeroSizeProb,omitempty"`
+	NoiseFrac      float64 `json:"noiseFrac,omitempty"`
+	Extended       bool    `json:"extended,omitempty"`
+	Scale          float64 `json:"scale,omitempty"`
+}
+
+// ParseDocType resolves a JSON type name.
+func ParseDocType(s string) (trace.DocType, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "graphics":
+		return trace.Graphics, nil
+	case "text", "text/html", "html":
+		return trace.Text, nil
+	case "audio":
+		return trace.Audio, nil
+	case "video":
+		return trace.Video, nil
+	case "cgi":
+		return trace.CGI, nil
+	case "unknown":
+		return trace.Unknown, nil
+	}
+	return 0, fmt.Errorf("workload: unknown document type %q", s)
+}
+
+// FromJSON decodes a workload definition.
+func FromJSON(r io.Reader) (Config, error) {
+	var jc JSONConfig
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&jc); err != nil {
+		return Config{}, fmt.Errorf("workload: decoding JSON config: %w", err)
+	}
+	return jc.Config()
+}
+
+// Config converts the JSON form to a runnable Config.
+func (jc *JSONConfig) Config() (Config, error) {
+	if jc.Name == "" {
+		return Config{}, fmt.Errorf("workload: JSON config needs a name")
+	}
+	cfg := Config{
+		Name: jc.Name, Seed: jc.Seed,
+		Days: jc.Days, Requests: jc.Requests, TotalBytes: jc.TotalBytes,
+		ZipfS: jc.ZipfS, UniformMix: jc.UniformMix,
+		Servers: max(jc.Servers, 1), ServerZipfS: jc.ServerZipfS,
+		AudioServer: jc.AudioServer,
+		Domain:      jc.Domain, Clients: max(jc.Clients, 1),
+		StartDay:       jc.StartDay,
+		SizeChangeProb: jc.SizeChangeProb, ZeroSizeProb: jc.ZeroSizeProb,
+		NoiseFrac: jc.NoiseFrac, Extended: jc.Extended, Scale: jc.Scale,
+	}
+	if cfg.Domain == "" {
+		cfg.Domain = "example.net"
+	}
+	for _, jt := range jc.Types {
+		dt, err := ParseDocType(jt.Type)
+		if err != nil {
+			return Config{}, err
+		}
+		cfg.Types = append(cfg.Types, TypeSpec{
+			Type: dt, RefShare: jt.RefShare, ByteShare: jt.ByteShare,
+			NewDocProb: jt.NewDocProb, SizeSigma: jt.SizeSigma,
+			RecencyBias: jt.RecencyBias,
+		})
+	}
+
+	weekend := jc.WeekendWeight
+	volSpans := append([]SpanSpec(nil), jc.VolumeSpans...)
+	classDays := append([]int(nil), jc.ClassDays...)
+	cfg.DayWeight = func(d int) float64 {
+		if len(classDays) > 0 {
+			ok := false
+			for _, cd := range classDays {
+				if d%7 == cd {
+					ok = true
+					break
+				}
+			}
+			if !ok {
+				return 0
+			}
+		}
+		w := 1.0
+		if weekend > 0 && d%7 >= 5 {
+			w = weekend
+		}
+		for _, sp := range volSpans {
+			if d >= sp.From && d <= sp.To {
+				w *= sp.Factor
+			}
+		}
+		return w
+	}
+	newDocSpans := append([]SpanSpec(nil), jc.NewDocSpans...)
+	if len(newDocSpans) > 0 {
+		cfg.NewDocBoost = func(d int) float64 {
+			b := 1.0
+			for _, sp := range newDocSpans {
+				if d >= sp.From && d <= sp.To {
+					b *= sp.Factor
+				}
+			}
+			return b
+		}
+	}
+	return cfg, nil
+}

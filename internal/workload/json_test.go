@@ -1,0 +1,119 @@
+package workload
+
+import (
+	"strings"
+	"testing"
+
+	"webcache/internal/trace"
+)
+
+const sampleJSON = `{
+  "name": "lab",
+  "seed": 9,
+  "days": 14,
+  "requests": 2000,
+  "totalBytes": 20000000,
+  "types": [
+    {"type": "Graphics", "refShare": 0.6, "byteShare": 0.5, "newDocProb": 0.4},
+    {"type": "Text", "refShare": 0.39, "byteShare": 0.3, "newDocProb": 0.5},
+    {"type": "Video", "refShare": 0.01, "byteShare": 0.2, "newDocProb": 0.8, "sizeSigma": 0.6, "recencyBias": 0.7}
+  ],
+  "zipfS": 0.9,
+  "servers": 20,
+  "clients": 10,
+  "weekendWeight": 0.5,
+  "volumeSpans": [{"from": 5, "to": 7, "factor": 0}],
+  "newDocSpans": [{"from": 10, "to": 13, "factor": 0.5}],
+  "sizeChangeProb": 0.01,
+  "noiseFrac": 0.05
+}`
+
+func TestFromJSONGenerates(t *testing.T) {
+	cfg, err := FromJSON(strings.NewReader(sampleJSON))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, stats, err := GenerateValidated(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Kept < 1800 || stats.Kept > 2200 {
+		t.Fatalf("kept %d requests, want ~2000", stats.Kept)
+	}
+	// The volume span zeroes days 5-7 entirely.
+	for i := range tr.Requests {
+		d := tr.Requests[i].Day(tr.Start)
+		if d >= 5 && d <= 7 {
+			t.Fatalf("request on silenced day %d", d)
+		}
+	}
+	// Type mix respected.
+	var video int
+	for i := range tr.Requests {
+		if tr.Requests[i].Type == trace.Video {
+			video++
+		}
+	}
+	frac := float64(video) / float64(len(tr.Requests))
+	if frac < 0.002 || frac > 0.03 {
+		t.Fatalf("video share %.4f, want ~0.01", frac)
+	}
+}
+
+func TestFromJSONClassDays(t *testing.T) {
+	js := `{"name":"cls","days":14,"requests":500,"totalBytes":1000000,
+	  "types":[{"type":"Text","refShare":1.0,"byteShare":1.0,"newDocProb":0.5}],
+	  "classDays":[0,2]}`
+	cfg, err := FromJSON(strings.NewReader(js))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, _, err := GenerateValidated(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range tr.Requests {
+		if dow := tr.Requests[i].Day(tr.Start) % 7; dow != 0 && dow != 2 {
+			t.Fatalf("request on non-class weekday %d", dow)
+		}
+	}
+}
+
+func TestFromJSONErrors(t *testing.T) {
+	cases := []string{
+		``,
+		`{"days": 1}`, // no name
+		`{"name":"x","days":1,"requests":1,"totalBytes":1,"types":[{"type":"Bogus","refShare":1,"byteShare":1,"newDocProb":0.5}]}`,
+		`{"name":"x","unknownField":true}`,
+		`{"name":"x","days":1,"requests":1,"totalBytes":1,"types":[{"type":"Text","refShare":0.4,"byteShare":1,"newDocProb":0.5}]}`, // shares don't sum (caught by Generate)
+	}
+	for i, js := range cases[:4] {
+		if _, err := FromJSON(strings.NewReader(js)); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+	cfg, err := FromJSON(strings.NewReader(cases[4]))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Generate(cfg); err == nil {
+		t.Error("non-unit ref shares accepted by Generate")
+	}
+}
+
+func TestParseDocType(t *testing.T) {
+	good := map[string]trace.DocType{
+		"Graphics": trace.Graphics, "text": trace.Text, "AUDIO": trace.Audio,
+		"video": trace.Video, "cgi": trace.CGI, "unknown": trace.Unknown,
+		"html": trace.Text,
+	}
+	for s, want := range good {
+		got, err := ParseDocType(s)
+		if err != nil || got != want {
+			t.Errorf("ParseDocType(%q) = %v, %v", s, got, err)
+		}
+	}
+	if _, err := ParseDocType("nope"); err == nil {
+		t.Error("bad type accepted")
+	}
+}

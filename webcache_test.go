@@ -1,0 +1,198 @@
+package webcache
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestQuickstartFlow exercises the doc-comment quick start end to end.
+func TestQuickstartFlow(t *testing.T) {
+	tr, vstats, err := GenerateWorkload("BL", 42, 0.02)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vstats.Kept == 0 || len(tr.Requests) == 0 {
+		t.Fatal("empty workload")
+	}
+	pol, err := NewPolicy("SIZE", tr.Start)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cache := NewCache(CacheConfig{Capacity: 4 << 20, Policy: pol, Seed: 1})
+	for i := range tr.Requests {
+		cache.Access(&tr.Requests[i])
+	}
+	st := cache.Stats()
+	if st.Requests != int64(len(tr.Requests)) {
+		t.Fatalf("processed %d of %d", st.Requests, len(tr.Requests))
+	}
+	if st.HitRate() <= 0 {
+		t.Fatal("no hits at all")
+	}
+}
+
+func TestWorkloadNames(t *testing.T) {
+	names := WorkloadNames()
+	if len(names) != 5 || names[0] != "U" || names[4] != "BL" {
+		t.Fatalf("names %v", names)
+	}
+	if _, _, err := GenerateWorkload("nope", 1, 1); err == nil {
+		t.Fatal("unknown workload accepted")
+	}
+}
+
+func TestPolicyFacade(t *testing.T) {
+	if len(AllCombos()) != 36 || len(PrimaryCombos()) != 6 {
+		t.Fatal("combo counts wrong")
+	}
+	if _, err := NewPolicy("garbage policy", 0); err == nil {
+		t.Fatal("bad policy spec accepted")
+	}
+	p := NewSortedPolicy([]Key{KeySize, KeyNRef}, 0)
+	if p.Name() != "SIZE/NREF" {
+		t.Fatalf("policy name %q", p.Name())
+	}
+}
+
+func TestExperimentFacade(t *testing.T) {
+	tr, _, err := GenerateWorkload("C", 7, 0.03)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := MaxHitRates(tr, 1)
+	if base.MaxNeeded <= 0 {
+		t.Fatal("MaxNeeded not positive")
+	}
+	e2 := ComparePolicies(tr, base, PrimaryCombos(), 0.10, 2)
+	if len(e2.Runs) != 6 {
+		t.Fatalf("%d runs", len(e2.Runs))
+	}
+	e3 := TwoLevelStudy(tr, base, 0.10, 3)
+	if e3.MeanL2WHR < 0 {
+		t.Fatal("bad L2 WHR")
+	}
+	e4 := PartitionStudy(tr, base, 0.10, 4)
+	if len(e4.Partitions) != 3 {
+		t.Fatal("bad partition study")
+	}
+}
+
+func TestTraceCLFFacade(t *testing.T) {
+	tr, _, err := GenerateWorkload("G", 3, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteTraceCLF(&buf, tr, true); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadTraceCLF(&buf, "rt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Requests) != len(tr.Requests) {
+		t.Fatalf("round trip %d != %d", len(got.Requests), len(tr.Requests))
+	}
+	if _, err := ReadTraceCLF(strings.NewReader("garbage\nlines\n"), "bad"); err == nil {
+		t.Fatal("all-garbage log accepted")
+	}
+}
+
+func TestValidateTraceFacade(t *testing.T) {
+	raw := &Trace{Requests: []Request{
+		{URL: "http://a/x.html", Status: 500, Size: 10, Time: 1},
+		{URL: "http://a/y.html", Status: 200, Size: 10, Time: 2},
+	}}
+	valid, stats := ValidateTrace(raw)
+	if len(valid.Requests) != 1 || stats.DroppedStatus != 1 {
+		t.Fatalf("validate: %d kept, %+v", len(valid.Requests), stats)
+	}
+}
+
+func TestCapturePipelineFacade(t *testing.T) {
+	tr, _, err := GenerateWorkload("BR", 5, 0.0005)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := SynthesizeCapture(tr, &buf, 9); err != nil {
+		t.Fatal(err)
+	}
+	got, err := FilterCapture(&buf, "pipe")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Requests) != len(tr.Requests) {
+		t.Fatalf("pipeline %d != %d requests", len(got.Requests), len(tr.Requests))
+	}
+}
+
+func TestHierarchyFacade(t *testing.T) {
+	pol, _ := NewPolicy("SIZE", 0)
+	tl := NewTwoLevel(
+		CacheConfig{Capacity: 1000, Policy: pol, Seed: 1},
+		CacheConfig{Seed: 2},
+	)
+	r := &Request{Time: 1, URL: "http://a/x.gif", Status: 200, Size: 100, Type: Graphics}
+	if h1, h2 := tl.Access(r); h1 || h2 {
+		t.Fatal("cold hierarchy hit")
+	}
+	polA, _ := NewPolicy("SIZE", 0)
+	polB, _ := NewPolicy("SIZE", 0)
+	part := NewAudioPartitioned(
+		CacheConfig{Capacity: 1000, Policy: polA, Seed: 3},
+		CacheConfig{Capacity: 1000, Policy: polB, Seed: 4},
+	)
+	au := &Request{Time: 1, URL: "http://a/x.au", Status: 200, Size: 100, Type: Audio}
+	part.Access(au)
+	if part.Partition(0).Len() != 1 {
+		t.Fatal("audio not routed to partition 0")
+	}
+}
+
+func TestProxyFacade(t *testing.T) {
+	store := NewProxyStore(1<<20, nil)
+	srv := NewProxy(store)
+	if srv.Store() != store {
+		t.Fatal("proxy store accessor broken")
+	}
+}
+
+func TestTraceTransformFacade(t *testing.T) {
+	a := &Trace{Name: "a", Start: 0, Requests: []Request{
+		{Time: 100, Client: "c1", URL: "http://s/x.html", Status: 200, Size: 10},
+		{Time: 86400 + 100, Client: "c2", URL: "http://s/y.html", Status: 200, Size: 10},
+	}}
+	b := &Trace{Name: "b", Start: 0, Requests: []Request{
+		{Time: 50, Client: "c3", URL: "http://s/z.html", Status: 200, Size: 10},
+	}}
+	m := MergeTraces("ab", a, b)
+	if len(m.Requests) != 3 || m.Requests[0].Client != "c3" {
+		t.Fatalf("merge: %+v", m.Requests)
+	}
+	if f := FilterTraceClients(m, func(c string) bool { return c == "c1" }); len(f.Requests) != 1 {
+		t.Fatalf("filter kept %d", len(f.Requests))
+	}
+	if w := WindowTrace(m, 1, 1); len(w.Requests) != 1 {
+		t.Fatalf("window kept %d", len(w.Requests))
+	}
+	if r := RebaseTrace(a, 86400*10); r.Requests[0].Time != 86400*10+100 {
+		t.Fatalf("rebase time %d", r.Requests[0].Time)
+	}
+}
+
+func TestLatencyStudyFacade(t *testing.T) {
+	tr, _, err := GenerateWorkload("C", 3, 0.02)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := MaxHitRates(tr, 1)
+	res, err := LatencyStudy(tr, base, []string{"SIZE", "GD-Latency"}, 0.10, nil, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Runs) != 2 || res.Runs[0].SavedFraction <= 0 {
+		t.Fatalf("latency study %+v", res.Runs)
+	}
+}
