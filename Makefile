@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-short race bench report examples clean
+.PHONY: all build vet test test-short race fmt-check verify bench report examples clean
 
 all: build vet test
 
@@ -19,8 +19,21 @@ test:
 test-short:
 	$(GO) test -short ./...
 
+# Full-repo race coverage; -short gates the slow calibration tests. This
+# is the gate for the parallel experiment runner: the determinism suite
+# and the 200-replay stress test in internal/sim run under the detector.
 race:
-	$(GO) test -race ./internal/proxy/ ./internal/origin/ ./cmd/livebench/
+	$(GO) test -race -short ./...
+
+# Fails if any file needs gofmt.
+fmt-check:
+	@unformatted=$$(gofmt -l .); \
+	if [ -n "$$unformatted" ]; then \
+		echo "gofmt required for:"; echo "$$unformatted"; exit 1; \
+	fi
+
+# The CI gate: formatting, build, vet, short tests, race coverage.
+verify: fmt-check build vet test-short race
 
 # One benchmark per paper table/figure, plus ablations.
 bench:

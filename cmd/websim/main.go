@@ -17,7 +17,9 @@
 //	websim -exp 4 -trace access.log            # run on a real CLF trace
 //
 // -scale shrinks the synthetic workloads for quick runs; -series prints
-// the full per-day figure series instead of summaries.
+// the full per-day figure series instead of summaries. -workers fans
+// the independent replays of an experiment across a goroutine pool
+// (default GOMAXPROCS); results are identical for any worker count.
 package main
 
 import (
@@ -42,16 +44,18 @@ func main() {
 		seed      = flag.Uint64("seed", 42, "workload generation seed")
 		series    = flag.Bool("series", false, "print full per-day series where applicable")
 		plot      = flag.Bool("plot", false, "draw ASCII figures for per-day series")
+		workers   = flag.Int("workers", 0, "parallel replay workers (0 = GOMAXPROCS); results are identical for any value")
 	)
 	flag.Parse()
 
-	if err := run(*exp, *wl, *traceFile, *fraction, *scale, *seed, *series, *plot); err != nil {
+	if err := run(*exp, *wl, *traceFile, *fraction, *scale, *seed, *workers, *series, *plot); err != nil {
 		fmt.Fprintln(os.Stderr, "websim:", err)
 		os.Exit(1)
 	}
 }
 
-func run(exp, wl, traceFile string, fraction, scale float64, seed uint64, series, plot bool) error {
+func run(exp, wl, traceFile string, fraction, scale float64, seed uint64, workers int, series, plot bool) error {
+	runner := sim.NewRunner(sim.RunnerConfig{Workers: workers})
 	if exp == "tables" {
 		fmt.Println("Table 1 — sorting keys")
 		fmt.Println(sim.RenderTable1())
@@ -83,7 +87,7 @@ func run(exp, wl, traceFile string, fraction, scale float64, seed uint64, series
 				}))
 		}
 	case "2":
-		res := sim.Experiment2(tr, base, policy.PrimaryCombos(), fraction, seed+2)
+		res := sim.Experiment2R(runner, tr, base, policy.PrimaryCombos(), fraction, seed+2)
 		fmt.Println(sim.RenderExp2(res))
 		if plot {
 			named := map[string][]stats.DayPoint{}
@@ -101,13 +105,13 @@ func run(exp, wl, traceFile string, fraction, scale float64, seed uint64, series
 			}
 		}
 	case "2all":
-		res := sim.Experiment2(tr, base, policy.AllCombos(), fraction, seed+2)
+		res := sim.Experiment2R(runner, tr, base, policy.AllCombos(), fraction, seed+2)
 		fmt.Println(sim.RenderExp2(res))
 	case "2s":
-		res := sim.Experiment2Secondary(tr, base, fraction, seed+3)
+		res := sim.Experiment2SecondaryR(runner, tr, base, fraction, seed+3)
 		fmt.Println(sim.RenderExp2Secondary(res))
 	case "classics":
-		res := sim.ExperimentClassics(tr, base, fraction, seed+4)
+		res := sim.ExperimentClassicsR(runner, tr, base, fraction, seed+4)
 		fmt.Println(sim.RenderExp2(res))
 	case "3":
 		res3 := sim.Experiment3(tr, base, fraction, seed+5)
@@ -120,11 +124,11 @@ func run(exp, wl, traceFile string, fraction, scale float64, seed uint64, series
 				}))
 		}
 	case "4":
-		fmt.Println(sim.RenderExp4(sim.Experiment4(tr, base, fraction, seed+6)))
+		fmt.Println(sim.RenderExp4(sim.Experiment4R(runner, tr, base, fraction, seed+6)))
 	case "5":
-		fmt.Println(sim.RenderExp5(sim.Experiment5(tr, base, 4, fraction, seed+7)))
+		fmt.Println(sim.RenderExp5(sim.Experiment5R(runner, tr, base, 4, fraction, seed+7)))
 	case "6":
-		res, err := sim.Experiment6(tr, base,
+		res, err := sim.Experiment6R(runner, tr, base,
 			[]string{"SIZE", "LATENCY", "LRU", "NREF", "GD-Size(1)", "GD-Latency"},
 			fraction, nil, seed+8)
 		if err != nil {
@@ -133,12 +137,12 @@ func run(exp, wl, traceFile string, fraction, scale float64, seed uint64, series
 		fmt.Println(sim.RenderExp6(res))
 	case "all":
 		fmt.Println(sim.RenderExp1(base, false))
-		fmt.Println(sim.RenderExp2(sim.Experiment2(tr, base, policy.PrimaryCombos(), fraction, seed+2)))
-		fmt.Println(sim.RenderExp2Secondary(sim.Experiment2Secondary(tr, base, fraction, seed+3)))
+		fmt.Println(sim.RenderExp2(sim.Experiment2R(runner, tr, base, policy.PrimaryCombos(), fraction, seed+2)))
+		fmt.Println(sim.RenderExp2Secondary(sim.Experiment2SecondaryR(runner, tr, base, fraction, seed+3)))
 		fmt.Println(sim.RenderExp3(sim.Experiment3(tr, base, fraction, seed+5), false))
-		fmt.Println(sim.RenderExp4(sim.Experiment4(tr, base, fraction, seed+6)))
-		fmt.Println(sim.RenderExp5(sim.Experiment5(tr, base, 4, fraction, seed+7)))
-		res6, err := sim.Experiment6(tr, base,
+		fmt.Println(sim.RenderExp4(sim.Experiment4R(runner, tr, base, fraction, seed+6)))
+		fmt.Println(sim.RenderExp5(sim.Experiment5R(runner, tr, base, 4, fraction, seed+7)))
+		res6, err := sim.Experiment6R(runner, tr, base,
 			[]string{"SIZE", "LATENCY", "LRU", "NREF", "GD-Size(1)", "GD-Latency"},
 			fraction, nil, seed+8)
 		if err != nil {

@@ -11,20 +11,20 @@ import (
 
 func TestRunAllExperiments(t *testing.T) {
 	for _, exp := range []string{"tables", "table4", "1", "2", "2s", "classics", "3", "4", "5", "6"} {
-		if err := run(exp, "C", "", 0.10, 0.02, 7, true, true); err != nil {
+		if err := run(exp, "C", "", 0.10, 0.02, 7, 4, true, true); err != nil {
 			t.Errorf("run(%q): %v", exp, err)
 		}
 	}
 }
 
 func TestRunUnknownExperiment(t *testing.T) {
-	if err := run("bogus", "C", "", 0.1, 0.02, 7, false, false); err == nil {
+	if err := run("bogus", "C", "", 0.1, 0.02, 7, 1, false, false); err == nil {
 		t.Fatal("unknown experiment accepted")
 	}
 }
 
 func TestRunUnknownWorkload(t *testing.T) {
-	if err := run("1", "ZZ", "", 0.1, 0.02, 7, false, false); err == nil {
+	if err := run("1", "ZZ", "", 0.1, 0.02, 7, 1, false, false); err == nil {
 		t.Fatal("unknown workload accepted")
 	}
 }
@@ -60,7 +60,7 @@ func TestLoadTraceFromFile(t *testing.T) {
 			t.Fatal("validation not applied to file trace")
 		}
 	}
-	if err := run("1", "", path, 0.1, 1, 1, false, false); err != nil {
+	if err := run("1", "", path, 0.1, 1, 1, 2, false, false); err != nil {
 		t.Fatalf("run on file trace: %v", err)
 	}
 }

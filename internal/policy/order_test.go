@@ -1,0 +1,140 @@
+package policy
+
+import (
+	"fmt"
+	"testing"
+
+	"webcache/internal/trace"
+)
+
+// The parallel experiment runner builds one heap-based policy per
+// worker and relies on every comparator being a strict weak ordering —
+// in fact, because RANDOM and then URL are always appended as final
+// tiebreaks, a strict *total* order. These property tests check
+// irreflexivity, asymmetry, transitivity and totality for every
+// comparator the 36-policy design can construct, on a sample designed
+// to collide on every individual key.
+
+// orderSample returns entries with deliberate collisions in SIZE,
+// ⌊log2 SIZE⌋, ETIME, ATIME, DAY(ATIME), NREF, TYPE and LATENCY, plus
+// one pair sharing even the RANDOM value so only the URL tiebreak
+// separates them.
+func orderSample() []*Entry {
+	sizes := []int64{100, 100, 2048, 3000, 4096, 65536}
+	times := []int64{0, 3600, 3600, 90000, 90000, 200000}
+	nrefs := []int64{1, 1, 2, 5}
+	types := []trace.DocType{trace.Text, trace.Graphics, trace.Audio, trace.Text}
+	var entries []*Entry
+	id := 0
+	rand := uint64(1)
+	for _, size := range sizes {
+		for _, at := range times {
+			e := NewEntry(fmt.Sprintf("http://s/doc%03d", id), size, types[id%len(types)], times[id%len(times)], rand)
+			e.ATime = at
+			e.NRef = nrefs[id%len(nrefs)]
+			e.Latency = float64(id%5) * 0.25
+			entries = append(entries, e)
+			id++
+			rand += 7919
+		}
+	}
+	// A pair equal on every key including RANDOM: only the URL breaks
+	// the tie, which keeps the order total.
+	twinA := NewEntry("http://s/twin-a", 2048, trace.Text, 3600, 42)
+	twinB := NewEntry("http://s/twin-b", 2048, trace.Text, 3600, 42)
+	twinA.NRef, twinB.NRef = 3, 3
+	return append(entries, twinA, twinB)
+}
+
+// comboKeys mirrors Combo.New: a RANDOM secondary is left to the
+// universal tiebreak.
+func comboKeys(c Combo) []Key {
+	if c.Secondary == KeyRandom {
+		return []Key{c.Primary}
+	}
+	return []Key{c.Primary, c.Secondary}
+}
+
+func checkStrictTotalOrder(t *testing.T, name string, less func(a, b *Entry) bool, sample []*Entry) {
+	t.Helper()
+	for _, a := range sample {
+		if less(a, a) {
+			t.Fatalf("%s: not irreflexive at %s", name, a.URL)
+		}
+	}
+	for _, a := range sample {
+		for _, b := range sample {
+			if a == b {
+				continue
+			}
+			ab, ba := less(a, b), less(b, a)
+			if ab && ba {
+				t.Fatalf("%s: not asymmetric on %s, %s", name, a.URL, b.URL)
+			}
+			if !ab && !ba {
+				t.Fatalf("%s: not total on %s, %s (distinct entries compare equal)", name, a.URL, b.URL)
+			}
+		}
+	}
+	for _, a := range sample {
+		for _, b := range sample {
+			if !less(a, b) {
+				continue
+			}
+			for _, c := range sample {
+				if less(b, c) && !less(a, c) {
+					t.Fatalf("%s: not transitive on %s < %s < %s", name, a.URL, b.URL, c.URL)
+				}
+			}
+		}
+	}
+}
+
+func TestAllCombosStrictWeakOrdering(t *testing.T) {
+	sample := orderSample()
+	for _, dayStart := range []int64{0, 500} {
+		for _, c := range AllCombos() {
+			less := Less(comboKeys(c), dayStart)
+			checkStrictTotalOrder(t, fmt.Sprintf("%s@%d", c, dayStart), less, sample)
+		}
+	}
+}
+
+// TestExtensionKeysStrictWeakOrdering covers the §5 extension keys the
+// combos do not reach.
+func TestExtensionKeysStrictWeakOrdering(t *testing.T) {
+	sample := orderSample()
+	for _, keys := range [][]Key{
+		{KeyType},
+		{KeyLatency},
+		{KeyType, KeyLatency},
+		{KeyRandom},
+	} {
+		name := ""
+		for _, k := range keys {
+			name += "/" + k.String()
+		}
+		checkStrictTotalOrder(t, name, Less(keys, 0), sample)
+	}
+}
+
+// TestComparatorAgreesWithHeapVictim cross-checks the ordering against
+// the heap: for a SIZE-primary policy the victim must always be a
+// minimal element under the comparator (here: the largest file).
+func TestComparatorAgreesWithHeapVictim(t *testing.T) {
+	p := NewSorted([]Key{KeySize}, 0)
+	sample := orderSample()
+	for _, e := range sample {
+		p.Add(e)
+	}
+	less := Less([]Key{KeySize}, 0)
+	v := p.Victim(0)
+	if v == nil {
+		t.Fatal("no victim")
+	}
+	for _, e := range sample {
+		if e != v && less(e, v) {
+			t.Fatalf("heap victim %s is not minimal: %s sorts before it", v.URL, e.URL)
+		}
+	}
+}

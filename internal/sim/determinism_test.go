@@ -1,0 +1,144 @@
+package sim
+
+import (
+	"reflect"
+	"testing"
+
+	"webcache/internal/policy"
+	"webcache/internal/trace"
+	"webcache/internal/workload"
+)
+
+// The runner's headline guarantee: for every experiment, the results of
+// a parallel execution are deeply equal to a sequential one. These
+// tests run each experiment under Workers:1 and Workers:8 on seeded
+// workloads and require reflect.DeepEqual; they are the gate a runner
+// refactor must pass, and `make race` runs them under the race
+// detector.
+
+// detTrace generates a reduced validated workload for determinism runs.
+func detTrace(t *testing.T, name string, genSeed uint64) *trace.Trace {
+	t.Helper()
+	cfg, err := workload.ByName(name, genSeed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Scale = 0.02
+	tr, _, err := workload.GenerateValidated(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+func seqAndPar() (*Runner, *Runner) {
+	return NewRunner(RunnerConfig{Workers: 1}), NewRunner(RunnerConfig{Workers: 8})
+}
+
+// requireEqual fails unless got (parallel) deeply equals want
+// (sequential).
+func requireEqual(t *testing.T, what string, want, got any) {
+	t.Helper()
+	if !reflect.DeepEqual(want, got) {
+		t.Errorf("%s: parallel result differs from sequential", what)
+	}
+}
+
+// TestDeterminismSeedMatrix runs the primary-key sweep of Experiment 2
+// across 3 experiment seeds × 2 workloads; it is fast enough to stay in
+// -short mode.
+func TestDeterminismSeedMatrix(t *testing.T) {
+	seq, par := seqAndPar()
+	for _, wl := range []string{"C", "BL"} {
+		tr := detTrace(t, wl, 5)
+		base := Experiment1(tr, 1)
+		for _, seed := range []uint64{1, 2, 3} {
+			want := Experiment2R(seq, tr, base, policy.PrimaryCombos(), 0.10, seed)
+			got := Experiment2R(par, tr, base, policy.PrimaryCombos(), 0.10, seed)
+			requireEqual(t, "Experiment2 "+wl, want, got)
+		}
+	}
+}
+
+func TestDeterminismExperiment2AllCombos(t *testing.T) {
+	seq, par := seqAndPar()
+	tr := detTrace(t, "C", 7)
+	base := Experiment1(tr, 1)
+	requireEqual(t, "Experiment2 all combos",
+		Experiment2R(seq, tr, base, policy.AllCombos(), 0.10, 2),
+		Experiment2R(par, tr, base, policy.AllCombos(), 0.10, 2))
+}
+
+func TestDeterminismExperiment2Secondary(t *testing.T) {
+	seq, par := seqAndPar()
+	tr := detTrace(t, "G", 11)
+	base := Experiment1(tr, 1)
+	requireEqual(t, "Experiment2Secondary",
+		Experiment2SecondaryR(seq, tr, base, 0.10, 2),
+		Experiment2SecondaryR(par, tr, base, 0.10, 2))
+}
+
+func TestDeterminismClassics(t *testing.T) {
+	seq, par := seqAndPar()
+	tr := detTrace(t, "BL", 13)
+	base := Experiment1(tr, 1)
+	requireEqual(t, "ExperimentClassics",
+		ExperimentClassicsR(seq, tr, base, 0.10, 2),
+		ExperimentClassicsR(par, tr, base, 0.10, 2))
+}
+
+func TestDeterminismTwoLevelStudy(t *testing.T) {
+	seq, par := seqAndPar()
+	tr := detTrace(t, "C", 17)
+	base := Experiment1(tr, 1)
+	fractions := []float64{0.05, 0.10, 0.50}
+	requireEqual(t, "TwoLevelStudy",
+		TwoLevelStudy(seq, tr, base, fractions, 3),
+		TwoLevelStudy(par, tr, base, fractions, 3))
+}
+
+func TestDeterminismPartitionStudy(t *testing.T) {
+	seq, par := seqAndPar()
+	tr := detTrace(t, "BR", 19)
+	base := Experiment1(tr, 1)
+	requireEqual(t, "Experiment4",
+		Experiment4R(seq, tr, base, 0.10, 2),
+		Experiment4R(par, tr, base, 0.10, 2))
+}
+
+func TestDeterminismSharedL2(t *testing.T) {
+	seq, par := seqAndPar()
+	tr := detTrace(t, "BL", 23)
+	base := Experiment1(tr, 1)
+	requireEqual(t, "Experiment5",
+		Experiment5R(seq, tr, base, 4, 0.10, 2),
+		Experiment5R(par, tr, base, 4, 0.10, 2))
+}
+
+func TestDeterminismExperiment6(t *testing.T) {
+	seq, par := seqAndPar()
+	tr := detTrace(t, "BL", 29)
+	base := Experiment1(tr, 1)
+	specs := []string{"SIZE", "LATENCY", "LRU", "GD-Latency"}
+	want, err := Experiment6R(seq, tr, base, specs, 0.10, nil, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Experiment6R(par, tr, base, specs, 0.10, nil, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireEqual(t, "Experiment6", want, got)
+}
+
+// TestDeterminismRepeatedParallel guards against order-dependent state
+// inside a single runner: the same submission twice on one pool must
+// agree with itself.
+func TestDeterminismRepeatedParallel(t *testing.T) {
+	_, par := seqAndPar()
+	tr := detTrace(t, "C", 31)
+	base := Experiment1(tr, 1)
+	a := Experiment2R(par, tr, base, policy.PrimaryCombos(), 0.10, 9)
+	b := Experiment2R(par, tr, base, policy.PrimaryCombos(), 0.10, 9)
+	requireEqual(t, "repeated parallel Experiment2", a, b)
+}

@@ -17,38 +17,51 @@ type Exp2Result struct {
 
 // Experiment2 runs the given key combinations on tr with a cache sized
 // at fraction×MaxNeeded. Pass policy.PrimaryCombos() for the Figs. 8–12
-// sweep or policy.AllCombos() for the full 36-policy design.
+// sweep or policy.AllCombos() for the full 36-policy design. Runs fan
+// out across the default runner's worker pool.
 func Experiment2(tr *trace.Trace, base *Exp1Result, combos []policy.Combo, fraction float64, seed uint64) *Exp2Result {
+	return Experiment2R(DefaultRunner(), tr, base, combos, fraction, seed)
+}
+
+// Experiment2R is Experiment2 on an explicit runner. Each run builds
+// its policy and cache inside the worker, so runs share only the
+// read-only trace and baseline; results come back in combo order.
+func Experiment2R(r *Runner, tr *trace.Trace, base *Exp1Result, combos []policy.Combo, fraction float64, seed uint64) *Exp2Result {
 	capacity := capacityFor(base, fraction)
-	res := &Exp2Result{Workload: tr.Name, Base: base, Fraction: fraction}
-	for i, c := range combos {
-		pol := c.New(tr.Start)
-		run := RunPolicy(tr, base, pol, capacity, seed+uint64(i)*7919, RunOptions{})
+	runs := RunAll(r, len(combos), func(i int) *PolicyRun {
+		c := combos[i]
+		run := RunPolicy(tr, base, c.New(tr.Start), capacity, seed+uint64(i)*7919, RunOptions{})
 		run.Policy = c.String()
-		res.Runs = append(res.Runs, run)
-	}
-	return res
+		return run
+	})
+	return &Exp2Result{Workload: tr.Name, Base: base, Fraction: fraction, Runs: runs}
 }
 
 // ExperimentClassics runs the literature policies of Table 3 (plus the
 // extension policies) at fraction×MaxNeeded.
 func ExperimentClassics(tr *trace.Trace, base *Exp1Result, fraction float64, seed uint64) *Exp2Result {
+	return ExperimentClassicsR(DefaultRunner(), tr, base, fraction, seed)
+}
+
+// ExperimentClassicsR is ExperimentClassics on an explicit runner.
+func ExperimentClassicsR(r *Runner, tr *trace.Trace, base *Exp1Result, fraction float64, seed uint64) *Exp2Result {
 	capacity := capacityFor(base, fraction)
-	pols := []policy.Policy{
-		policy.NewFIFO(),
-		policy.NewLRU(),
-		policy.NewLFU(),
-		policy.NewLRUMin(),
-		policy.NewHyperG(),
-		policy.NewPitkowRecker(tr.Start),
-		policy.NewGDS1(),
-		policy.NewGDSBytes(),
+	// Constructors, not policies: each worker builds its own policy so
+	// no mutable state crosses goroutines.
+	mks := []func() policy.Policy{
+		func() policy.Policy { return policy.NewFIFO() },
+		func() policy.Policy { return policy.NewLRU() },
+		func() policy.Policy { return policy.NewLFU() },
+		func() policy.Policy { return policy.NewLRUMin() },
+		func() policy.Policy { return policy.NewHyperG() },
+		func() policy.Policy { return policy.NewPitkowRecker(tr.Start) },
+		func() policy.Policy { return policy.NewGDS1() },
+		func() policy.Policy { return policy.NewGDSBytes() },
 	}
-	res := &Exp2Result{Workload: tr.Name, Base: base, Fraction: fraction}
-	for i, pol := range pols {
-		res.Runs = append(res.Runs, RunPolicy(tr, base, pol, capacity, seed+uint64(i)*104729, RunOptions{}))
-	}
-	return res
+	runs := RunAll(r, len(mks), func(i int) *PolicyRun {
+		return RunPolicy(tr, base, mks[i](), capacity, seed+uint64(i)*104729, RunOptions{})
+	})
+	return &Exp2Result{Workload: tr.Name, Base: base, Fraction: fraction, Runs: runs}
 }
 
 // SecondaryRun scores one secondary key against the random-secondary
@@ -77,18 +90,35 @@ type Exp2SecondaryResult struct {
 
 // Experiment2Secondary performs the Fig. 15 study on tr.
 func Experiment2Secondary(tr *trace.Trace, base *Exp1Result, fraction float64, seed uint64) *Exp2SecondaryResult {
+	return Experiment2SecondaryR(DefaultRunner(), tr, base, fraction, seed)
+}
+
+// Experiment2SecondaryR is Experiment2Secondary on an explicit runner:
+// the random-secondary baseline and the five keyed runs are independent
+// replays, so all six fan out together and the vs-random ratios are
+// computed once every run is back.
+func Experiment2SecondaryR(r *Runner, tr *trace.Trace, base *Exp1Result, fraction float64, seed uint64) *Exp2SecondaryResult {
 	capacity := capacityFor(base, fraction)
-	randomRun := RunPolicy(tr, base,
-		policy.Combo{Primary: policy.KeyLog2Size, Secondary: policy.KeyRandom}.New(tr.Start),
-		capacity, seed, RunOptions{})
-	res := &Exp2SecondaryResult{Workload: tr.Name, Fraction: fraction, Random: randomRun}
+	type job struct {
+		combo policy.Combo
+		seed  uint64
+	}
+	jobs := []job{{policy.Combo{Primary: policy.KeyLog2Size, Secondary: policy.KeyRandom}, seed}}
 	for i, c := range policy.SecondaryCombos() {
 		if c.Secondary == policy.KeyRandom {
 			continue
 		}
-		run := RunPolicy(tr, base, c.New(tr.Start), capacity, seed+uint64(i+1)*31337, RunOptions{})
+		jobs = append(jobs, job{c, seed + uint64(i+1)*31337})
+	}
+	runs := RunAll(r, len(jobs), func(i int) *PolicyRun {
+		j := jobs[i]
+		return RunPolicy(tr, base, j.combo.New(tr.Start), capacity, j.seed, RunOptions{})
+	})
+	randomRun := runs[0]
+	res := &Exp2SecondaryResult{Workload: tr.Name, Fraction: fraction, Random: randomRun}
+	for i, run := range runs[1:] {
 		sr := &SecondaryRun{
-			Secondary:   c.Secondary.String(),
+			Secondary:   jobs[i+1].combo.Secondary.String(),
 			Run:         run,
 			WHRvsRandom: run.Rates.WHR.MeanRatioTo(randomRun.Rates.WHR),
 			HRvsRandom:  run.Rates.HR.MeanRatioTo(randomRun.Rates.HR),

@@ -23,6 +23,15 @@ type Exp3Result struct {
 	MeanL2HR, MeanL2WHR float64
 }
 
+// TwoLevelStudy runs Experiment 3 at each L1 fraction, fanning the
+// independent hierarchy replays across the runner's pool. Results come
+// back in fraction order.
+func TwoLevelStudy(r *Runner, tr *trace.Trace, base *Exp1Result, fractions []float64, seed uint64) []*Exp3Result {
+	return RunAll(r, len(fractions), func(i int) *Exp3Result {
+		return Experiment3(tr, base, fractions[i], seed+uint64(i)*17)
+	})
+}
+
 // Experiment3 replays tr through the two-level hierarchy with L1 sized
 // at fraction×MaxNeeded using the best Experiment 2 policy (SIZE with a
 // random secondary, per §4.6) and an infinite L2.
@@ -116,11 +125,31 @@ type Exp4Result struct {
 // 3/4 of fraction×MaxNeeded total capacity, policy SIZE/random in both
 // partitions.
 func Experiment4(tr *trace.Trace, base *Exp1Result, fraction float64, seed uint64) *Exp4Result {
+	return PartitionStudy(DefaultRunner(), tr, base, fraction, []float64{0.25, 0.50, 0.75}, seed)
+}
+
+// Experiment4R is Experiment4 on an explicit runner.
+func Experiment4R(r *Runner, tr *trace.Trace, base *Exp1Result, fraction float64, seed uint64) *Exp4Result {
+	return PartitionStudy(r, tr, base, fraction, []float64{0.25, 0.50, 0.75}, seed)
+}
+
+// PartitionStudy generalizes Experiment 4 to arbitrary audio shares.
+// The infinite-cache reference replay and each partition split are
+// independent full-trace replays, so all of them fan out across the
+// runner together; partitions come back in share order.
+func PartitionStudy(r *Runner, tr *trace.Trace, base *Exp1Result, fraction float64, shares []float64, seed uint64) *Exp4Result {
 	total := capacityFor(base, fraction)
 	res := &Exp4Result{Workload: tr.Name, Fraction: fraction}
-	res.InfiniteAudioWHR, res.InfiniteNonAudioWHR = perClassWHR(tr, core.New(core.Config{Capacity: 0, Seed: seed}))
+	res.Partitions = make([]*Exp4Partition, len(shares))
 
-	for i, share := range []float64{0.25, 0.50, 0.75} {
+	// Job 0 is the infinite-cache reference; job i+1 is share i.
+	r.Do(1+len(shares), func(j int) {
+		if j == 0 {
+			res.InfiniteAudioWHR, res.InfiniteNonAudioWHR = perClassWHR(tr, core.New(core.Config{Capacity: 0, Seed: seed}))
+			return
+		}
+		i := j - 1
+		share := shares[i]
 		audioCap := int64(share * float64(total))
 		otherCap := total - audioCap
 		part := core.NewAudioPartitioned(
@@ -144,8 +173,8 @@ func Experiment4(tr *trace.Trace, base *Exp1Result, fraction float64, seed uint6
 			p.AggNonAudioWHR = float64(p.OtherFinal.BytesHit) / float64(tb)
 			p.AggTotalWHR = p.AggAudioWHR + p.AggNonAudioWHR
 		}
-		res.Partitions = append(res.Partitions, p)
-	}
+		res.Partitions[i] = p
+	})
 	return res
 }
 

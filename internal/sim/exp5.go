@@ -44,6 +44,14 @@ type Exp5Result struct {
 
 // Experiment5 runs the shared-L2 study with P populations.
 func Experiment5(tr *trace.Trace, base *Exp1Result, populations int, fraction float64, seed uint64) *Exp5Result {
+	return Experiment5R(DefaultRunner(), tr, base, populations, fraction, seed)
+}
+
+// Experiment5R is Experiment5 on an explicit runner. The shared-L2 and
+// private-L2 hierarchies never exchange state, so the two full-trace
+// passes run as independent jobs; each builds its own caches inside the
+// worker.
+func Experiment5R(r *Runner, tr *trace.Trace, base *Exp1Result, populations int, fraction float64, seed uint64) *Exp5Result {
 	if populations < 1 {
 		populations = 1
 	}
@@ -60,41 +68,49 @@ func Experiment5(tr *trace.Trace, base *Exp1Result, populations int, fraction fl
 		}
 	}
 
-	// Shared run.
-	l1s := make([]core.Config, populations)
-	for i := range l1s {
-		l1s[i] = mkL1(i)
-	}
-	shared := core.NewSharedL2(l1s, core.Config{Capacity: 0, Seed: seed + 1000})
-
-	// Private run: per-population two-level hierarchies.
-	private := make([]*core.TwoLevel, populations)
-	for i := range private {
-		private[i] = core.NewTwoLevel(mkL1(i+populations), core.Config{Capacity: 0, Seed: seed + 2000 + uint64(i)})
-	}
-
 	var reqs, bytes int64
 	var sharedHits, sharedBH, privHits, privBH int64
-	for i := range tr.Requests {
-		req := &tr.Requests[i]
-		pop := populationOf(req.Client, populations)
-		reqs++
-		bytes += req.Size
-		if _, h2 := shared.Access(pop, req); h2 {
-			sharedHits++
-			sharedBH += req.Size
+	var sharedStats core.SharedL2Stats
+	r.Do(2, func(j int) {
+		if j == 0 {
+			// Shared run: every population misses into one infinite L2.
+			l1s := make([]core.Config, populations)
+			for i := range l1s {
+				l1s[i] = mkL1(i)
+			}
+			shared := core.NewSharedL2(l1s, core.Config{Capacity: 0, Seed: seed + 1000})
+			for i := range tr.Requests {
+				req := &tr.Requests[i]
+				pop := populationOf(req.Client, populations)
+				reqs++
+				bytes += req.Size
+				if _, h2 := shared.Access(pop, req); h2 {
+					sharedHits++
+					sharedBH += req.Size
+				}
+			}
+			sharedStats = shared.Stats()
+			return
 		}
-		if _, h2 := private[pop].Access(req); h2 {
-			privHits++
-			privBH += req.Size
+		// Private run: per-population two-level hierarchies.
+		private := make([]*core.TwoLevel, populations)
+		for i := range private {
+			private[i] = core.NewTwoLevel(mkL1(i+populations), core.Config{Capacity: 0, Seed: seed + 2000 + uint64(i)})
 		}
-	}
+		for i := range tr.Requests {
+			req := &tr.Requests[i]
+			if _, h2 := private[populationOf(req.Client, populations)].Access(req); h2 {
+				privHits++
+				privBH += req.Size
+			}
+		}
+	})
 
 	res := &Exp5Result{
 		Workload:    tr.Name,
 		Populations: populations,
 		Fraction:    fraction,
-		Shared:      shared.Stats(),
+		Shared:      sharedStats,
 	}
 	if reqs > 0 {
 		res.SharedL2HR = float64(sharedHits) / float64(reqs)

@@ -110,15 +110,27 @@ type Exp6Result struct {
 // Experiment6 replays tr through each policy spec at fraction×MaxNeeded
 // and measures transfer time avoided under the model (nil = defaults).
 func Experiment6(tr *trace.Trace, base *Exp1Result, specs []string, fraction float64, model *NetModel, seed uint64) (*Exp6Result, error) {
+	return Experiment6R(DefaultRunner(), tr, base, specs, fraction, model, seed)
+}
+
+// Experiment6R is Experiment6 on an explicit runner: specs are
+// validated up front, then each priced replay fans out with its policy
+// and cache built inside the worker.
+func Experiment6R(r *Runner, tr *trace.Trace, base *Exp1Result, specs []string, fraction float64, model *NetModel, seed uint64) (*Exp6Result, error) {
 	if model == nil {
 		model = DefaultNetModel()
 	}
-	capacity := capacityFor(base, fraction)
-	res := &Exp6Result{Workload: tr.Name, Fraction: fraction, Model: model}
-	for i, spec := range specs {
-		pol, err := policy.Parse(spec, tr.Start)
-		if err != nil {
+	for _, spec := range specs {
+		if _, err := policy.Parse(spec, tr.Start); err != nil {
 			return nil, fmt.Errorf("sim: experiment 6 policy %q: %w", spec, err)
+		}
+	}
+	capacity := capacityFor(base, fraction)
+	runs := RunAll(r, len(specs), func(i int) *LatencyRun {
+		spec := specs[i]
+		pol, err := policy.Parse(spec, tr.Start)
+		if err != nil { // validated above; unreachable
+			panic(err)
 		}
 		cache := core.New(core.Config{
 			Capacity:  capacity,
@@ -143,9 +155,9 @@ func Experiment6(tr *trace.Trace, base *Exp1Result, specs []string, fraction flo
 		if run.NoCache > 0 {
 			run.SavedFraction = 1 - run.WithCache/run.NoCache
 		}
-		res.Runs = append(res.Runs, run)
-	}
-	return res, nil
+		return run
+	})
+	return &Exp6Result{Workload: tr.Name, Fraction: fraction, Model: model, Runs: runs}, nil
 }
 
 // RenderExp6 prints the latency comparison, best saver first.

@@ -1,0 +1,200 @@
+package sim
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Runner fans independent cache replays out across a bounded pool of
+// goroutines. Every experiment in this package is a set of replays that
+// share only a read-only *trace.Trace and baseline result; all mutable
+// per-run state (the Cache, the Policy, the replay counters) is built
+// inside the submitted job, so runs never share memory and the results
+// are byte-identical to a sequential execution regardless of worker
+// count or completion order. The determinism tests in
+// determinism_test.go enforce that contract.
+//
+// Do may be called reentrantly (a job may itself submit work to the
+// same runner): the submitting goroutine always participates as a
+// worker, so nested submissions make progress even when every pool slot
+// is busy.
+type Runner struct {
+	workers int
+
+	// Helper-goroutine budget shared by all Do calls on this runner, so
+	// nested fan-outs cannot multiply the pool beyond the configured
+	// bound. Capacity is workers-1: the caller of Do is always the
+	// remaining worker.
+	helpers chan struct{}
+
+	started  atomic.Int64
+	finished atomic.Int64
+	inFlight atomic.Int64
+	peak     atomic.Int64
+	cpuNanos atomic.Int64
+
+	mu          sync.Mutex
+	activeCalls int
+	wallStart   time.Time
+	wall        time.Duration
+}
+
+// RunnerConfig configures a Runner.
+type RunnerConfig struct {
+	// Workers bounds the number of replays running concurrently.
+	// Zero or negative means runtime.GOMAXPROCS(0).
+	Workers int
+}
+
+// RunnerStats is a snapshot of a runner's accounting, used by the
+// report tool to print the parallel speedup.
+type RunnerStats struct {
+	Workers      int
+	RunsStarted  int64
+	RunsFinished int64
+	PeakInFlight int
+	// Wall is the union of time intervals during which at least one Do
+	// call was active; CPU is the summed duration of every job. Their
+	// ratio is the effective parallel speedup.
+	Wall time.Duration
+	CPU  time.Duration
+}
+
+// Speedup returns CPU/Wall: how many sequential seconds of replay work
+// were retired per wall-clock second.
+func (s RunnerStats) Speedup() float64 {
+	if s.Wall <= 0 {
+		return 0
+	}
+	return float64(s.CPU) / float64(s.Wall)
+}
+
+// NewRunner returns a runner with the given configuration.
+func NewRunner(cfg RunnerConfig) *Runner {
+	w := cfg.Workers
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	return &Runner{workers: w, helpers: make(chan struct{}, w-1)}
+}
+
+// Workers returns the configured pool size.
+func (r *Runner) Workers() int { return r.workers }
+
+// Stats returns a snapshot of the runner's accumulated accounting.
+func (r *Runner) Stats() RunnerStats {
+	r.mu.Lock()
+	wall := r.wall
+	if r.activeCalls > 0 {
+		wall += time.Since(r.wallStart)
+	}
+	r.mu.Unlock()
+	return RunnerStats{
+		Workers:      r.workers,
+		RunsStarted:  r.started.Load(),
+		RunsFinished: r.finished.Load(),
+		PeakInFlight: int(r.peak.Load()),
+		Wall:         wall,
+		CPU:          time.Duration(r.cpuNanos.Load()),
+	}
+}
+
+// Do runs job(0)..job(n-1) on the pool and returns once all have
+// finished. Jobs are claimed in index order but may complete in any
+// order; the caller is responsible for writing results to per-index
+// slots (see RunAll).
+func (r *Runner) Do(n int, job func(i int)) {
+	if n <= 0 {
+		return
+	}
+	r.enterCall()
+	defer r.exitCall()
+
+	var next atomic.Int64
+	worker := func() {
+		for {
+			i := int(next.Add(1)) - 1
+			if i >= n {
+				return
+			}
+			r.runJob(i, job)
+		}
+	}
+
+	var wg sync.WaitGroup
+spawn:
+	for k := 0; k < r.workers-1 && k < n-1; k++ {
+		select {
+		case r.helpers <- struct{}{}:
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				defer func() { <-r.helpers }()
+				worker()
+			}()
+		default: // pool exhausted (nested Do); the caller still runs
+			break spawn
+		}
+	}
+	worker()
+	wg.Wait()
+}
+
+func (r *Runner) runJob(i int, job func(i int)) {
+	r.started.Add(1)
+	cur := r.inFlight.Add(1)
+	for {
+		p := r.peak.Load()
+		if cur <= p || r.peak.CompareAndSwap(p, cur) {
+			break
+		}
+	}
+	begin := time.Now()
+	defer func() {
+		r.cpuNanos.Add(int64(time.Since(begin)))
+		r.inFlight.Add(-1)
+		r.finished.Add(1)
+	}()
+	job(i)
+}
+
+func (r *Runner) enterCall() {
+	r.mu.Lock()
+	r.activeCalls++
+	if r.activeCalls == 1 {
+		r.wallStart = time.Now()
+	}
+	r.mu.Unlock()
+}
+
+func (r *Runner) exitCall() {
+	r.mu.Lock()
+	r.activeCalls--
+	if r.activeCalls == 0 {
+		r.wall += time.Since(r.wallStart)
+	}
+	r.mu.Unlock()
+}
+
+// RunAll runs job(0)..job(n-1) on the pool and returns the results in
+// input order, regardless of completion order.
+func RunAll[T any](r *Runner, n int, job func(i int) T) []T {
+	out := make([]T, n)
+	r.Do(n, func(i int) { out[i] = job(i) })
+	return out
+}
+
+var (
+	defaultRunner     *Runner
+	defaultRunnerOnce sync.Once
+)
+
+// DefaultRunner returns the shared package-level runner
+// (GOMAXPROCS workers), used by the experiment entry points that do not
+// take an explicit runner.
+func DefaultRunner() *Runner {
+	defaultRunnerOnce.Do(func() { defaultRunner = NewRunner(RunnerConfig{}) })
+	return defaultRunner
+}

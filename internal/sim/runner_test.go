@@ -1,0 +1,134 @@
+package sim
+
+import (
+	"runtime"
+	"testing"
+
+	"webcache/internal/policy"
+)
+
+func TestRunnerDefaults(t *testing.T) {
+	r := NewRunner(RunnerConfig{})
+	if r.Workers() != runtime.GOMAXPROCS(0) {
+		t.Fatalf("default workers %d, want GOMAXPROCS=%d", r.Workers(), runtime.GOMAXPROCS(0))
+	}
+	if r := NewRunner(RunnerConfig{Workers: -3}); r.Workers() != runtime.GOMAXPROCS(0) {
+		t.Fatalf("negative workers not defaulted: %d", r.Workers())
+	}
+	if r := NewRunner(RunnerConfig{Workers: 5}); r.Workers() != 5 {
+		t.Fatalf("explicit workers %d, want 5", r.Workers())
+	}
+}
+
+func TestRunAllPreservesInputOrder(t *testing.T) {
+	r := NewRunner(RunnerConfig{Workers: 8})
+	// Jobs finish in scrambled order (later indices do less work), but
+	// results must land at their input index.
+	got := RunAll(r, 64, func(i int) int {
+		n := 0
+		for k := 0; k < (64-i)*1000; k++ {
+			n += k % 7
+		}
+		_ = n
+		return i * i
+	})
+	for i, v := range got {
+		if v != i*i {
+			t.Fatalf("slot %d holds %d, want %d", i, v, i*i)
+		}
+	}
+}
+
+func TestRunnerDoZeroAndOne(t *testing.T) {
+	r := NewRunner(RunnerConfig{Workers: 4})
+	r.Do(0, func(int) { t.Fatal("job ran for n=0") })
+	ran := false
+	r.Do(1, func(i int) { ran = i == 0 })
+	if !ran {
+		t.Fatal("single job did not run")
+	}
+	st := r.Stats()
+	if st.RunsStarted != 1 || st.RunsFinished != 1 {
+		t.Fatalf("stats after two Do calls: %+v", st)
+	}
+}
+
+func TestRunnerNestedDo(t *testing.T) {
+	// A job that submits to the same runner must complete even when the
+	// pool is saturated: the submitting goroutine runs its own jobs.
+	r := NewRunner(RunnerConfig{Workers: 2})
+	total := 0
+	results := RunAll(r, 4, func(i int) int {
+		inner := RunAll(r, 3, func(j int) int { return j + 1 })
+		return inner[0] + inner[1] + inner[2]
+	})
+	for _, v := range results {
+		total += v
+	}
+	if total != 4*6 {
+		t.Fatalf("nested fan-out total %d, want 24", total)
+	}
+}
+
+// TestRunnerStress pushes 200 small replays through a 16-worker pool;
+// under -race this is the concurrency gate for the whole package.
+func TestRunnerStress(t *testing.T) {
+	tr := dayTrace(40)
+	base := Experiment1(tr, 1)
+	r := NewRunner(RunnerConfig{Workers: 16})
+	runs := RunAll(r, 200, func(i int) *PolicyRun {
+		combo := policy.Combo{
+			Primary:   policy.TableOneKeys[i%len(policy.TableOneKeys)],
+			Secondary: policy.KeyRandom,
+		}
+		return RunPolicy(tr, base, combo.New(tr.Start), base.MaxNeeded/4, uint64(i), RunOptions{})
+	})
+	for i, run := range runs {
+		if run == nil {
+			t.Fatalf("run %d missing", i)
+		}
+		if run.Final.Requests != int64(len(tr.Requests)) {
+			t.Fatalf("run %d processed %d of %d requests", i, run.Final.Requests, len(tr.Requests))
+		}
+	}
+	// Identical (combo, seed) inputs must give identical results no
+	// matter which worker ran them.
+	seq := NewRunner(RunnerConfig{Workers: 1})
+	again := RunAll(seq, 200, func(i int) *PolicyRun {
+		combo := policy.Combo{
+			Primary:   policy.TableOneKeys[i%len(policy.TableOneKeys)],
+			Secondary: policy.KeyRandom,
+		}
+		return RunPolicy(tr, base, combo.New(tr.Start), base.MaxNeeded/4, uint64(i), RunOptions{})
+	})
+	for i := range runs {
+		if runs[i].Final != again[i].Final {
+			t.Fatalf("run %d differs between 16-worker and sequential execution", i)
+		}
+	}
+
+	st := r.Stats()
+	if st.RunsStarted != 200 || st.RunsFinished != 200 {
+		t.Fatalf("counters: %+v", st)
+	}
+	if st.PeakInFlight < 1 || st.PeakInFlight > 16 {
+		t.Fatalf("peak in-flight %d outside [1, 16]", st.PeakInFlight)
+	}
+	if st.Wall <= 0 || st.CPU <= 0 {
+		t.Fatalf("timing not recorded: wall=%v cpu=%v", st.Wall, st.CPU)
+	}
+	if st.Speedup() <= 0 {
+		t.Fatalf("speedup %v", st.Speedup())
+	}
+}
+
+func TestRunnerStatsIdle(t *testing.T) {
+	r := NewRunner(RunnerConfig{Workers: 4})
+	st := r.Stats()
+	if st.RunsStarted != 0 || st.Wall != 0 || st.CPU != 0 || st.Speedup() != 0 {
+		t.Fatalf("idle runner stats: %+v", st)
+	}
+	if st.Workers != 4 {
+		t.Fatalf("workers %d", st.Workers)
+	}
+}

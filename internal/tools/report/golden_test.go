@@ -1,0 +1,69 @@
+package main
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden report file")
+
+const (
+	goldenScale = 0.02
+	goldenSeed  = 42
+)
+
+// TestReportGolden pins the full report output on a reduced fixed-seed
+// workload. A runner refactor that reorders rows, changes a seed
+// derivation, or lets worker scheduling leak into results shows up here
+// as a diff. Regenerate deliberately with: go test ./internal/tools/report -update
+func TestReportGolden(t *testing.T) {
+	var buf bytes.Buffer
+	Run(&buf, Options{Scale: goldenScale, Seed: goldenSeed, Workers: 1})
+
+	golden := filepath.Join("testdata", "report_small.golden")
+	if *update {
+		if err := os.MkdirAll(filepath.Dir(golden), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run with -update to create the golden file)", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("report output diverged from %s;\nrerun with -update if the change is intended.\ngot %d bytes, want %d", golden, buf.Len(), len(want))
+		diffAt := 0
+		for diffAt < len(want) && diffAt < buf.Len() && want[diffAt] == buf.Bytes()[diffAt] {
+			diffAt++
+		}
+		lo := diffAt - 80
+		if lo < 0 {
+			lo = 0
+		}
+		hiW, hiG := diffAt+80, diffAt+80
+		if hiW > len(want) {
+			hiW = len(want)
+		}
+		if hiG > buf.Len() {
+			hiG = buf.Len()
+		}
+		t.Logf("first difference at byte %d:\n want …%q\n got  …%q", diffAt, want[lo:hiW], buf.Bytes()[lo:hiG])
+	}
+}
+
+// TestReportParallelMatchesSequential is the report-level determinism
+// gate: any worker count must produce the same bytes.
+func TestReportParallelMatchesSequential(t *testing.T) {
+	var seq, par bytes.Buffer
+	Run(&seq, Options{Scale: goldenScale, Seed: goldenSeed, Workers: 1})
+	Run(&par, Options{Scale: goldenScale, Seed: goldenSeed, Workers: 8})
+	if !bytes.Equal(seq.Bytes(), par.Bytes()) {
+		t.Fatal("8-worker report differs from sequential report")
+	}
+}

@@ -1,155 +1,20 @@
-// Command report runs every experiment at full scale (the paper's trace
-// volumes) and prints the numbers recorded in EXPERIMENTS.md.
 package main
 
 import (
+	"flag"
 	"fmt"
-
-	"webcache/internal/policy"
-	"webcache/internal/sim"
-	"webcache/internal/stats"
-	"webcache/internal/trace"
-	"webcache/internal/workload"
+	"os"
 )
 
-func hostOf(url string) string {
-	s := url
-	for i := 0; i+3 <= len(s); i++ {
-		if s[i:i+3] == "://" {
-			s = s[i+3:]
-			break
-		}
-	}
-	for i := 0; i < len(s); i++ {
-		if s[i] == '/' {
-			return s[:i]
-		}
-	}
-	return s
-}
-
 func main() {
-	traces := map[string]*trace.Trace{}
-	bases := map[string]*sim.Exp1Result{}
+	var (
+		scale   = flag.Float64("scale", 1.0, "synthetic workload scale (1.0 = paper volume)")
+		seed    = flag.Uint64("seed", 42, "workload generation seed")
+		workers = flag.Int("workers", 0, "parallel replay workers (0 = GOMAXPROCS)")
+	)
+	flag.Parse()
 
-	fmt.Println("## Experiment 1 (Figs. 3-7, MaxNeeded)")
-	for _, cfg := range workload.All(42, 1.0) {
-		tr, vs, err := workload.GenerateValidated(cfg)
-		if err != nil {
-			panic(err)
-		}
-		traces[cfg.Name] = tr
-		b := sim.Experiment1(tr, 7)
-		bases[cfg.Name] = b
-		fmt.Printf("%-3s reqs=%d bytes=%.2fGB days=%d szchg=%.2f%% | MaxNeeded=%.0fMB meanHR=%.1f%% meanWHR=%.1f%% aggHR=%.1f%% aggWHR=%.1f%%\n",
-			cfg.Name, len(tr.Requests), float64(tr.TotalBytes())/1e9, tr.Days(), 100*vs.SizeChangeFraction(),
-			float64(b.MaxNeeded)/1e6, 100*b.MeanHR, 100*b.MeanWHR, 100*b.AggHR, 100*b.AggWHR)
-	}
-
-	fmt.Println("\n## Experiment 2 primaries at 10% and 50% (Figs. 8-12, HR/inf %)")
-	for _, name := range workload.Names {
-		for _, frac := range []float64{0.10, 0.50} {
-			res := sim.Experiment2(traces[name], bases[name], policy.PrimaryCombos(), frac, 99)
-			fmt.Printf("%-3s %.0f%%:", name, 100*frac)
-			for _, run := range res.Runs {
-				fmt.Printf("  %s=%.1f/%.1f", run.Policy[:len(run.Policy)-7], 100*run.HRRatioMean, 100*run.WHRRatioMean)
-			}
-			fmt.Println()
-		}
-	}
-
-	fmt.Println("\n## Experiment 2 secondary keys on G at 10% (Fig. 15)")
-	sec := sim.Experiment2Secondary(traces["G"], bases["G"], 0.10, 7)
-	for _, sr := range sec.Runs {
-		fmt.Printf("  %-11s WHRvsRand=%.2f%% peak=%.2f%% HRvsRand=%.2f%%\n",
-			sr.Secondary, 100*sr.WHRvsRandom, 100*sr.PeakWHRvsRandom, 100*sr.HRvsRandom)
-	}
-
-	fmt.Println("\n## Experiment 3 (Figs. 16-18): L2 over all requests")
-	for _, name := range []string{"BR", "C", "G"} {
-		r := sim.Experiment3(traces[name], bases[name], 0.10, 3)
-		fmt.Printf("%-3s meanL2HR=%.2f%% meanL2WHR=%.2f%% (L1: HR=%.1f%% WHR=%.1f%%)\n",
-			name, 100*r.MeanL2HR, 100*r.MeanL2WHR, 100*r.L1Final.HitRate(), 100*r.L1Final.WeightedHitRate())
-	}
-
-	fmt.Println("\n## Experiment 4 (Figs. 19-20): BR partitioned, 10% MaxNeeded")
-	e4 := sim.Experiment4(traces["BR"], bases["BR"], 0.10, 5)
-	for _, p := range e4.Partitions {
-		fmt.Printf("  audio-share=%.0f%% audioWHR=%.2f%% nonaudioWHR=%.2f%% total=%.2f%%\n",
-			100*p.AudioShare, 100*p.AggAudioWHR, 100*p.AggNonAudioWHR, 100*p.AggTotalWHR)
-	}
-	fmt.Printf("  infinite: audioWHR=%.2f%% nonaudioWHR=%.2f%%\n",
-		100*e4.InfiniteAudioWHR.Mean(), 100*e4.InfiniteNonAudioWHR.Mean())
-
-	fmt.Println("\n## Figures 1-2, 13-14 (BL structure)")
-	bl := traces["BL"]
-	srv := map[string]int64{}
-	urlBytes := map[string]int64{}
-	var total int64
-	last := map[string]int64{}
-	var pts []stats.ScatterPoint
-	seen := map[string]bool{}
-	small, uniq := 0, 0
-	for i := range bl.Requests {
-		r := &bl.Requests[i]
-		srv[hostOf(r.URL)]++
-		urlBytes[r.URL] += r.Size
-		total += r.Size
-		if prev, ok := last[r.URL]; ok && r.Time > prev {
-			pts = append(pts, stats.ScatterPoint{X: float64(r.Size), Y: float64(r.Time - prev)})
-		}
-		last[r.URL] = r.Time
-		if !seen[r.URL] {
-			seen[r.URL] = true
-			uniq++
-			if r.Size < 1024 {
-				small++
-			}
-		}
-	}
-	fit := stats.FitZipf(stats.RankFrequency(srv))
-	fmt.Printf("Fig1: %d servers, zipf slope %.2f (R2 %.2f)\n", len(srv), fit.Slope, fit.R2)
-	rf := stats.RankFrequency(urlBytes)
-	var cum int64
-	half := len(rf)
-	for k, p := range rf {
-		cum += p.Count
-		if cum >= total/2 {
-			half = k + 1
-			break
-		}
-	}
-	fmt.Printf("Fig2: %d unique URLs; top %d URLs return 50%% of bytes\n", len(rf), half)
-	// Request-weighted size distribution (Fig 13).
-	reqSmall, req1to20 := 0, 0
-	for i := range bl.Requests {
-		if bl.Requests[i].Size < 1024 {
-			reqSmall++
-		}
-		if bl.Requests[i].Size < 20480 {
-			req1to20++
-		}
-	}
-	fmt.Printf("Fig13: %.1f%% of requests <1KB, %.1f%% <20KB (unique docs <1KB: %.1f%%)\n",
-		100*float64(reqSmall)/float64(len(bl.Requests)),
-		100*float64(req1to20)/float64(len(bl.Requests)),
-		100*float64(small)/float64(uniq))
-	cx, cy := stats.CenterOfMass(pts)
-	fmt.Printf("Fig14: center of mass size=%.0fB interref=%.1fh (%d points)\n", cx, cy/3600, len(pts))
-
-	fmt.Println("\n## Experiment 5 (§5 open problem 3): shared L2, BL client split")
-	for _, pops := range []int{2, 4, 8} {
-		r5 := sim.Experiment5(traces["BL"], bases["BL"], pops, 0.10, 31)
-		fmt.Printf("  populations=%d sharedL2HR=%.2f%% privateL2HR=%.2f%% gain=%+.2f%% crossHits=%.1f%% crossBytes=%.1f%%\n",
-			pops, 100*r5.SharedL2HR, 100*r5.PrivateL2HR, 100*r5.SharingGainHR,
-			100*r5.Shared.CrossHitFraction, 100*r5.Shared.CrossByteFraction)
-	}
-
-	fmt.Println("\n## Classic policies at 10% (Table 3 set + extensions), BL")
-	cl := sim.ExperimentClassics(traces["BL"], bases["BL"], 0.10, 11)
-	for _, run := range cl.Runs {
-		fmt.Printf("  %-14s HR/inf=%.1f%% WHR/inf=%.1f%% HR=%.1f%% WHR=%.1f%%\n",
-			run.Policy, 100*run.HRRatioMean, 100*run.WHRRatioMean,
-			100*run.Final.HitRate(), 100*run.Final.WeightedHitRate())
-	}
+	st := Run(os.Stdout, Options{Scale: *scale, Seed: *seed, Workers: *workers})
+	fmt.Fprintf(os.Stderr, "report: %d replays on %d workers, wall %.1fs, cpu %.1fs, speedup %.2fx\n",
+		st.RunsFinished, st.Workers, st.Wall.Seconds(), st.CPU.Seconds(), st.Speedup())
 }

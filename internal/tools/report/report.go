@@ -1,0 +1,209 @@
+// Command report runs every experiment at full scale (the paper's trace
+// volumes) and prints the numbers recorded in EXPERIMENTS.md. The
+// independent replays of each section fan out across a sim.Runner pool;
+// the output is byte-identical for any worker count (the golden-file
+// test enforces this).
+package main
+
+import (
+	"fmt"
+	"io"
+
+	"webcache/internal/policy"
+	"webcache/internal/sim"
+	"webcache/internal/stats"
+	"webcache/internal/trace"
+	"webcache/internal/workload"
+)
+
+// Options configures one report run.
+type Options struct {
+	// Scale shrinks the synthetic workloads (1.0 = paper volume).
+	Scale float64
+	// Seed is the workload generation seed (the per-experiment seeds are
+	// fixed, as recorded in EXPERIMENTS.md).
+	Seed uint64
+	// Workers bounds the replay pool; 0 means GOMAXPROCS.
+	Workers int
+}
+
+func hostOf(url string) string {
+	s := url
+	for i := 0; i+3 <= len(s); i++ {
+		if s[i:i+3] == "://" {
+			s = s[i+3:]
+			break
+		}
+	}
+	for i := 0; i < len(s); i++ {
+		if s[i] == '/' {
+			return s[:i]
+		}
+	}
+	return s
+}
+
+// Run generates every workload, drives all experiments through a
+// parallel runner, and writes the report to w. It returns the runner's
+// accounting so the caller can print the achieved speedup (timing is
+// deliberately kept out of w: the report itself must be deterministic).
+func Run(w io.Writer, opts Options) sim.RunnerStats {
+	if opts.Scale <= 0 {
+		opts.Scale = 1.0
+	}
+	runner := sim.NewRunner(sim.RunnerConfig{Workers: opts.Workers})
+
+	fmt.Fprintln(w, "## Experiment 1 (Figs. 3-7, MaxNeeded)")
+	cfgs := workload.All(opts.Seed, opts.Scale)
+	type wlResult struct {
+		tr   *trace.Trace
+		base *sim.Exp1Result
+		line string
+	}
+	gen := sim.RunAll(runner, len(cfgs), func(i int) wlResult {
+		cfg := cfgs[i]
+		tr, vs, err := workload.GenerateValidated(cfg)
+		if err != nil {
+			panic(err)
+		}
+		b := sim.Experiment1(tr, 7)
+		line := fmt.Sprintf("%-3s reqs=%d bytes=%.2fGB days=%d szchg=%.2f%% | MaxNeeded=%.0fMB meanHR=%.1f%% meanWHR=%.1f%% aggHR=%.1f%% aggWHR=%.1f%%",
+			cfg.Name, len(tr.Requests), float64(tr.TotalBytes())/1e9, tr.Days(), 100*vs.SizeChangeFraction(),
+			float64(b.MaxNeeded)/1e6, 100*b.MeanHR, 100*b.MeanWHR, 100*b.AggHR, 100*b.AggWHR)
+		return wlResult{tr: tr, base: b, line: line}
+	})
+	traces := map[string]*trace.Trace{}
+	bases := map[string]*sim.Exp1Result{}
+	for i, cfg := range cfgs {
+		traces[cfg.Name] = gen[i].tr
+		bases[cfg.Name] = gen[i].base
+		fmt.Fprintln(w, gen[i].line)
+	}
+
+	fmt.Fprintln(w, "\n## Experiment 2 primaries at 10% and 50% (Figs. 8-12, HR/inf %)")
+	type cell struct {
+		name string
+		frac float64
+	}
+	var cells []cell
+	for _, name := range workload.Names {
+		for _, frac := range []float64{0.10, 0.50} {
+			cells = append(cells, cell{name, frac})
+		}
+	}
+	exp2 := sim.RunAll(runner, len(cells), func(i int) *sim.Exp2Result {
+		c := cells[i]
+		return sim.Experiment2R(runner, traces[c.name], bases[c.name], policy.PrimaryCombos(), c.frac, 99)
+	})
+	for i, c := range cells {
+		fmt.Fprintf(w, "%-3s %.0f%%:", c.name, 100*c.frac)
+		for _, run := range exp2[i].Runs {
+			fmt.Fprintf(w, "  %s=%.1f/%.1f", run.Policy[:len(run.Policy)-7], 100*run.HRRatioMean, 100*run.WHRRatioMean)
+		}
+		fmt.Fprintln(w)
+	}
+
+	fmt.Fprintln(w, "\n## Experiment 2 secondary keys on G at 10% (Fig. 15)")
+	sec := sim.Experiment2SecondaryR(runner, traces["G"], bases["G"], 0.10, 7)
+	for _, sr := range sec.Runs {
+		fmt.Fprintf(w, "  %-11s WHRvsRand=%.2f%% peak=%.2f%% HRvsRand=%.2f%%\n",
+			sr.Secondary, 100*sr.WHRvsRandom, 100*sr.PeakWHRvsRandom, 100*sr.HRvsRandom)
+	}
+
+	fmt.Fprintln(w, "\n## Experiment 3 (Figs. 16-18): L2 over all requests")
+	exp3Names := []string{"BR", "C", "G"}
+	exp3 := sim.RunAll(runner, len(exp3Names), func(i int) *sim.Exp3Result {
+		return sim.Experiment3(traces[exp3Names[i]], bases[exp3Names[i]], 0.10, 3)
+	})
+	for i, name := range exp3Names {
+		r := exp3[i]
+		fmt.Fprintf(w, "%-3s meanL2HR=%.2f%% meanL2WHR=%.2f%% (L1: HR=%.1f%% WHR=%.1f%%)\n",
+			name, 100*r.MeanL2HR, 100*r.MeanL2WHR, 100*r.L1Final.HitRate(), 100*r.L1Final.WeightedHitRate())
+	}
+
+	fmt.Fprintln(w, "\n## Experiment 4 (Figs. 19-20): BR partitioned, 10% MaxNeeded")
+	e4 := sim.Experiment4R(runner, traces["BR"], bases["BR"], 0.10, 5)
+	for _, p := range e4.Partitions {
+		fmt.Fprintf(w, "  audio-share=%.0f%% audioWHR=%.2f%% nonaudioWHR=%.2f%% total=%.2f%%\n",
+			100*p.AudioShare, 100*p.AggAudioWHR, 100*p.AggNonAudioWHR, 100*p.AggTotalWHR)
+	}
+	fmt.Fprintf(w, "  infinite: audioWHR=%.2f%% nonaudioWHR=%.2f%%\n",
+		100*e4.InfiniteAudioWHR.Mean(), 100*e4.InfiniteNonAudioWHR.Mean())
+
+	fmt.Fprintln(w, "\n## Figures 1-2, 13-14 (BL structure)")
+	bl := traces["BL"]
+	srv := map[string]int64{}
+	urlBytes := map[string]int64{}
+	var total int64
+	last := map[string]int64{}
+	var pts []stats.ScatterPoint
+	seen := map[string]bool{}
+	small, uniq := 0, 0
+	for i := range bl.Requests {
+		r := &bl.Requests[i]
+		srv[hostOf(r.URL)]++
+		urlBytes[r.URL] += r.Size
+		total += r.Size
+		if prev, ok := last[r.URL]; ok && r.Time > prev {
+			pts = append(pts, stats.ScatterPoint{X: float64(r.Size), Y: float64(r.Time - prev)})
+		}
+		last[r.URL] = r.Time
+		if !seen[r.URL] {
+			seen[r.URL] = true
+			uniq++
+			if r.Size < 1024 {
+				small++
+			}
+		}
+	}
+	fit := stats.FitZipf(stats.RankFrequency(srv))
+	fmt.Fprintf(w, "Fig1: %d servers, zipf slope %.2f (R2 %.2f)\n", len(srv), fit.Slope, fit.R2)
+	rf := stats.RankFrequency(urlBytes)
+	var cum int64
+	half := len(rf)
+	for k, p := range rf {
+		cum += p.Count
+		if cum >= total/2 {
+			half = k + 1
+			break
+		}
+	}
+	fmt.Fprintf(w, "Fig2: %d unique URLs; top %d URLs return 50%% of bytes\n", len(rf), half)
+	// Request-weighted size distribution (Fig 13).
+	reqSmall, req1to20 := 0, 0
+	for i := range bl.Requests {
+		if bl.Requests[i].Size < 1024 {
+			reqSmall++
+		}
+		if bl.Requests[i].Size < 20480 {
+			req1to20++
+		}
+	}
+	fmt.Fprintf(w, "Fig13: %.1f%% of requests <1KB, %.1f%% <20KB (unique docs <1KB: %.1f%%)\n",
+		100*float64(reqSmall)/float64(len(bl.Requests)),
+		100*float64(req1to20)/float64(len(bl.Requests)),
+		100*float64(small)/float64(uniq))
+	cx, cy := stats.CenterOfMass(pts)
+	fmt.Fprintf(w, "Fig14: center of mass size=%.0fB interref=%.1fh (%d points)\n", cx, cy/3600, len(pts))
+
+	fmt.Fprintln(w, "\n## Experiment 5 (§5 open problem 3): shared L2, BL client split")
+	popCounts := []int{2, 4, 8}
+	exp5 := sim.RunAll(runner, len(popCounts), func(i int) *sim.Exp5Result {
+		return sim.Experiment5R(runner, traces["BL"], bases["BL"], popCounts[i], 0.10, 31)
+	})
+	for i, pops := range popCounts {
+		r5 := exp5[i]
+		fmt.Fprintf(w, "  populations=%d sharedL2HR=%.2f%% privateL2HR=%.2f%% gain=%+.2f%% crossHits=%.1f%% crossBytes=%.1f%%\n",
+			pops, 100*r5.SharedL2HR, 100*r5.PrivateL2HR, 100*r5.SharingGainHR,
+			100*r5.Shared.CrossHitFraction, 100*r5.Shared.CrossByteFraction)
+	}
+
+	fmt.Fprintln(w, "\n## Classic policies at 10% (Table 3 set + extensions), BL")
+	cl := sim.ExperimentClassicsR(runner, traces["BL"], bases["BL"], 0.10, 11)
+	for _, run := range cl.Runs {
+		fmt.Fprintf(w, "  %-14s HR/inf=%.1f%% WHR/inf=%.1f%% HR=%.1f%% WHR=%.1f%%\n",
+			run.Policy, 100*run.HRRatioMean, 100*run.WHRRatioMean,
+			100*run.Final.HitRate(), 100*run.Final.WeightedHitRate())
+	}
+	return runner.Stats()
+}

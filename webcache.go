@@ -192,10 +192,26 @@ func MaxHitRates(tr *Trace, seed uint64) *sim.Exp1Result {
 }
 
 // ComparePolicies runs Experiment 2: each key combination on a cache of
-// fraction×MaxNeeded, scored against the infinite-cache bound.
+// fraction×MaxNeeded, scored against the infinite-cache bound. The
+// independent replays fan out across a GOMAXPROCS worker pool; results
+// are identical to a sequential run (see Runner).
 func ComparePolicies(tr *Trace, base *sim.Exp1Result, combos []Combo, fraction float64, seed uint64) *sim.Exp2Result {
 	return sim.Experiment2(tr, base, combos, fraction, seed)
 }
+
+// Runner is the parallel experiment engine: a bounded worker pool that
+// fans independent cache replays out across goroutines and returns
+// results in deterministic input order. All experiment entry points use
+// a shared GOMAXPROCS-sized runner by default; construct one with
+// NewRunner to control the worker count explicitly and pass it to the
+// sim package's ...R entry points.
+type Runner = sim.Runner
+
+// RunnerConfig configures a Runner (Workers <= 0 means GOMAXPROCS).
+type RunnerConfig = sim.RunnerConfig
+
+// NewRunner returns a parallel experiment runner.
+func NewRunner(cfg RunnerConfig) *Runner { return sim.NewRunner(cfg) }
 
 // TwoLevelStudy runs Experiment 3 on the trace.
 func TwoLevelStudy(tr *Trace, base *sim.Exp1Result, fraction float64, seed uint64) *sim.Exp3Result {
