@@ -2,7 +2,12 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-short race fmt-check verify bench report examples clean
+.PHONY: all build vet test test-short race fmt-check verify bench bench-baseline bench-compare bench-smoke report examples clean
+
+# Workload scale for the replay benchmark harness; 0.3 is large enough
+# for stable ns/request numbers, small enough to finish in seconds.
+BENCH_SCALE ?= 0.3
+BENCH_REPS  ?= 3
 
 all: build vet test
 
@@ -32,12 +37,39 @@ fmt-check:
 		echo "gofmt required for:"; echo "$$unformatted"; exit 1; \
 	fi
 
-# The CI gate: formatting, build, vet, short tests, race coverage.
-verify: fmt-check build vet test-short race
+# The CI gate: formatting, build, vet, short tests, race coverage, and
+# a smoke run of the replay benchmark harness (which doubles as an
+# end-to-end equivalence check of the compiled comparator layer).
+verify: fmt-check build vet test-short race bench-smoke
 
 # One benchmark per paper table/figure, plus ablations.
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+# Measure the 36-policy replay hot path and record it as the tracked
+# baseline (BENCH_replay.json at the repo root). With benchstat on PATH
+# also snapshots the per-family replay benchmarks for bench-compare.
+bench-baseline:
+	$(GO) run ./internal/tools/benchreplay -scale $(BENCH_SCALE) -reps $(BENCH_REPS) -out BENCH_replay.json
+	@if command -v benchstat >/dev/null 2>&1; then \
+		$(GO) test ./internal/sim -run NONE -bench Replay -benchtime 0.5s -count 6 > BENCH_families.txt; \
+		echo "wrote BENCH_families.txt (benchstat baseline)"; \
+	fi
+
+# Re-measure and report the delta against the recorded baseline:
+# benchstat over the per-family benchmarks when available, the
+# harness's plain ns/request delta otherwise.
+bench-compare:
+	$(GO) run ./internal/tools/benchreplay -scale $(BENCH_SCALE) -reps $(BENCH_REPS) -compare BENCH_replay.json
+	@if command -v benchstat >/dev/null 2>&1 && [ -f BENCH_families.txt ]; then \
+		$(GO) test ./internal/sim -run NONE -bench Replay -benchtime 0.5s -count 6 > /tmp/BENCH_families_new.txt; \
+		benchstat BENCH_families.txt /tmp/BENCH_families_new.txt; \
+	fi
+
+# Quick harness run at a reduced scale: verifies that the optimized and
+# generic engines produce byte-identical sweep results.
+bench-smoke:
+	$(GO) run ./internal/tools/benchreplay -scale 0.02 -reps 1
 
 # Full-scale paper-vs-measured numbers (the EXPERIMENTS.md data).
 report:

@@ -35,6 +35,8 @@ func BenchmarkAblationRemovalTiming(b *testing.B) {
 			tr, base := benchTrace(b, "U")
 			capacity := base.MaxNeeded / 10
 			var run *sim.PolicyRun
+			b.ReportAllocs()
+			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				pol := policy.NewPitkowRecker(tr.Start)
 				run = sim.RunPolicy(tr, base, pol, capacity, 19, sim.RunOptions{Sweep: tc.sweep})
@@ -62,6 +64,8 @@ func BenchmarkAblationExtensionKeys(b *testing.B) {
 			tr, base := benchTrace(b, "BL")
 			capacity := base.MaxNeeded / 10
 			var run *sim.PolicyRun
+			b.ReportAllocs()
+			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				pol, err := policy.Parse(spec, tr.Start)
 				if err != nil {
@@ -118,6 +122,8 @@ func BenchmarkSharedL2(b *testing.B) {
 		b.Run(fmt.Sprintf("populations-%d", pops), func(b *testing.B) {
 			tr, base := benchTrace(b, "BL")
 			var res *sim.Exp5Result
+			b.ReportAllocs()
+			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				res = sim.Experiment5(tr, base, pops, 0.10, 31)
 			}
@@ -139,6 +145,8 @@ func BenchmarkAblationExpiry(b *testing.B) {
 		b.Run(name, func(b *testing.B) {
 			tr, base := benchTrace(b, "C")
 			var run *sim.PolicyRun
+			b.ReportAllocs()
+			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				var pol policy.Policy = policy.NewSorted([]policy.Key{policy.KeySize}, tr.Start)
 				if wrapped {
@@ -169,6 +177,8 @@ func BenchmarkExp6LatencySaved(b *testing.B) {
 		b.Run(spec, func(b *testing.B) {
 			tr, base := benchTrace(b, "BL")
 			var res *sim.Exp6Result
+			b.ReportAllocs()
+			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				var err error
 				res, err = sim.Experiment6(tr, base, []string{spec}, 0.10, nil, 41)

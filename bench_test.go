@@ -225,6 +225,8 @@ func BenchmarkFig3to7InfiniteCache(b *testing.B) {
 		b.Run(name, func(b *testing.B) {
 			tr, _ := benchTrace(b, name)
 			var res *sim.Exp1Result
+			b.ReportAllocs()
+			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				res = sim.Experiment1(tr, 7)
 			}
@@ -245,6 +247,8 @@ func BenchmarkFig8to12PrimaryKeys(b *testing.B) {
 				tr, base := benchTrace(b, name)
 				capacity := base.MaxNeeded / 10
 				var run *sim.PolicyRun
+				b.ReportAllocs()
+				b.ResetTimer()
 				for i := 0; i < b.N; i++ {
 					run = sim.RunPolicy(tr, base, combo.New(tr.Start), capacity, 3, sim.RunOptions{})
 				}
@@ -264,6 +268,8 @@ func BenchmarkExp2WeightedHR(b *testing.B) {
 				tr, base := benchTrace(b, name)
 				capacity := base.MaxNeeded / 10
 				var run *sim.PolicyRun
+				b.ReportAllocs()
+				b.ResetTimer()
 				for i := 0; i < b.N; i++ {
 					pol, err := policy.Parse(spec, tr.Start)
 					if err != nil {
@@ -336,6 +342,8 @@ func BenchmarkFig14InterreferenceScatter(b *testing.B) {
 func BenchmarkFig15SecondaryKeys(b *testing.B) {
 	tr, base := benchTrace(b, "G")
 	var res *sim.Exp2SecondaryResult
+	b.ReportAllocs()
+	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		res = sim.Experiment2Secondary(tr, base, 0.10, 11)
 	}
@@ -357,6 +365,8 @@ func BenchmarkFig16to18TwoLevel(b *testing.B) {
 		b.Run(name, func(b *testing.B) {
 			tr, base := benchTrace(b, name)
 			var res *sim.Exp3Result
+			b.ReportAllocs()
+			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				res = sim.Experiment3(tr, base, 0.10, 13)
 			}
@@ -374,6 +384,8 @@ func BenchmarkFig16to18TwoLevel(b *testing.B) {
 func BenchmarkFig19to20Partitioned(b *testing.B) {
 	tr, base := benchTrace(b, "BR")
 	var res *sim.Exp4Result
+	b.ReportAllocs()
+	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		res = sim.Experiment4(tr, base, 0.10, 17)
 	}

@@ -20,12 +20,16 @@
 // the full per-day figure series instead of summaries. -workers fans
 // the independent replays of an experiment across a goroutine pool
 // (default GOMAXPROCS); results are identical for any worker count.
+// -cpuprofile and -memprofile write pprof profiles of the run, the
+// inputs to the hot-path work tracked in BENCH_replay.json.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 
 	"webcache/internal/policy"
 	"webcache/internal/sim"
@@ -36,19 +40,54 @@ import (
 
 func main() {
 	var (
-		exp       = flag.String("exp", "1", "experiment: 1, 2, 2s, 2all, classics, 3, 4, 5, 6, table4, tables, all")
-		wl        = flag.String("workload", "BL", "workload: U, G, C, BR, BL")
-		traceFile = flag.String("trace", "", "run on this common-log-format file instead of a synthetic workload")
-		fraction  = flag.Float64("fraction", 0.10, "cache size as a fraction of MaxNeeded")
-		scale     = flag.Float64("scale", 1.0, "synthetic workload scale (1.0 = paper volume)")
-		seed      = flag.Uint64("seed", 42, "workload generation seed")
-		series    = flag.Bool("series", false, "print full per-day series where applicable")
-		plot      = flag.Bool("plot", false, "draw ASCII figures for per-day series")
-		workers   = flag.Int("workers", 0, "parallel replay workers (0 = GOMAXPROCS); results are identical for any value")
+		exp        = flag.String("exp", "1", "experiment: 1, 2, 2s, 2all, classics, 3, 4, 5, 6, table4, tables, all")
+		wl         = flag.String("workload", "BL", "workload: U, G, C, BR, BL")
+		traceFile  = flag.String("trace", "", "run on this common-log-format file instead of a synthetic workload")
+		fraction   = flag.Float64("fraction", 0.10, "cache size as a fraction of MaxNeeded")
+		scale      = flag.Float64("scale", 1.0, "synthetic workload scale (1.0 = paper volume)")
+		seed       = flag.Uint64("seed", 42, "workload generation seed")
+		series     = flag.Bool("series", false, "print full per-day series where applicable")
+		plot       = flag.Bool("plot", false, "draw ASCII figures for per-day series")
+		workers    = flag.Int("workers", 0, "parallel replay workers (0 = GOMAXPROCS); results are identical for any value")
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile of the run to this file (go tool pprof)")
+		memprofile = flag.String("memprofile", "", "write an end-of-run heap profile to this file (go tool pprof)")
 	)
 	flag.Parse()
 
-	if err := run(*exp, *wl, *traceFile, *fraction, *scale, *seed, *workers, *series, *plot); err != nil {
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "websim:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "websim:", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
+
+	err := run(*exp, *wl, *traceFile, *fraction, *scale, *seed, *workers, *series, *plot)
+
+	if *memprofile != "" {
+		f, merr := os.Create(*memprofile)
+		if merr != nil {
+			fmt.Fprintln(os.Stderr, "websim:", merr)
+			os.Exit(1)
+		}
+		runtime.GC() // settle the heap so the profile shows live objects
+		if merr := pprof.WriteHeapProfile(f); merr != nil {
+			fmt.Fprintln(os.Stderr, "websim:", merr)
+			os.Exit(1)
+		}
+		f.Close()
+	}
+
+	if err != nil {
+		if *cpuprofile != "" {
+			pprof.StopCPUProfile()
+		}
 		fmt.Fprintln(os.Stderr, "websim:", err)
 		os.Exit(1)
 	}

@@ -1,0 +1,95 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"webcache/internal/policy"
+	"webcache/internal/trace"
+)
+
+// TestAccessHitAllocs pins the steady-state allocation budget of the
+// replay hot path: a cache hit — map lookup, metadata update, heap
+// re-sift — must not allocate at all.
+func TestAccessHitAllocs(t *testing.T) {
+	pol := policy.NewSorted([]policy.Key{policy.KeySize, policy.KeyATime}, 0)
+	c := New(Config{Capacity: 1 << 30, Policy: pol, Seed: 1})
+	reqs := make([]trace.Request, 64)
+	for i := range reqs {
+		reqs[i] = trace.Request{
+			Time: int64(i), URL: fmt.Sprintf("http://s/doc%02d", i),
+			Size: int64(100 + i), Type: trace.Text,
+		}
+		c.Access(&reqs[i])
+	}
+	i := 0
+	avg := testing.AllocsPerRun(200, func() {
+		r := &reqs[i%len(reqs)]
+		r.Time++
+		if !c.Access(r) {
+			t.Fatal("expected a hit")
+		}
+		i++
+	})
+	if avg != 0 {
+		t.Errorf("Access hit allocates %.1f objects per request, want 0", avg)
+	}
+}
+
+// TestEvictCycleAllocs checks that a full cache cycling through a fixed
+// document population — every access a miss that evicts and re-inserts —
+// recycles entries instead of allocating, once the pool is warm.
+func TestEvictCycleAllocs(t *testing.T) {
+	pol := policy.NewSorted([]policy.Key{policy.KeyATime}, 0)
+	c := New(Config{Capacity: 1000, Policy: pol, Seed: 2, SizeHint: 4})
+	reqs := make([]trace.Request, 8)
+	for i := range reqs {
+		// Each document fills over half the cache, so every insert evicts.
+		reqs[i] = trace.Request{
+			Time: int64(i), URL: fmt.Sprintf("http://s/big%d", i),
+			Size: 600, Type: trace.Text,
+		}
+		c.Access(&reqs[i])
+	}
+	i := 0
+	avg := testing.AllocsPerRun(200, func() {
+		r := &reqs[i%len(reqs)]
+		r.Time++
+		if c.Access(r) {
+			t.Fatal("expected a miss")
+		}
+		i++
+	})
+	if avg != 0 {
+		t.Errorf("evict/insert cycle allocates %.1f objects per request, want 0", avg)
+	}
+}
+
+// TestRecyclingDisabledWithObserver checks the safety gate: with an
+// OnEvict observer set, evicted entries must never be recycled into
+// later inserts, since the observer may retain them.
+func TestRecyclingDisabledWithObserver(t *testing.T) {
+	pol := policy.NewSorted([]policy.Key{policy.KeyATime}, 0)
+	var evicted []*policy.Entry
+	c := New(Config{Capacity: 1000, Policy: pol, Seed: 3,
+		OnEvict: func(e *policy.Entry) { evicted = append(evicted, e) }})
+	for i := 0; i < 16; i++ {
+		c.Access(&trace.Request{
+			Time: int64(i), URL: fmt.Sprintf("http://s/big%d", i),
+			Size: 600, Type: trace.Text,
+		})
+	}
+	if len(evicted) == 0 {
+		t.Fatal("no evictions observed")
+	}
+	for i, e := range evicted {
+		for _, later := range evicted[i+1:] {
+			if e == later {
+				t.Fatal("evicted entry recycled while an OnEvict observer is set")
+			}
+		}
+		if got := e.URL; got != fmt.Sprintf("http://s/big%d", i) {
+			t.Fatalf("evicted entry %d mutated after observation: URL %q", i, got)
+		}
+	}
+}

@@ -88,9 +88,22 @@ type Config struct {
 	// ExpiredFirst policy wrapper (§5 open problem 4).
 	ExpiresOf func(url string, size, now int64) int64
 	// OnEvict, when non-nil, observes every evicted entry (used by
-	// hierarchy experiments and tests).
+	// hierarchy experiments and tests). Setting it disables entry
+	// recycling for evictions, since the observer may retain the entry.
 	OnEvict func(e *policy.Entry)
+	// SizeHint estimates how many documents will be resident at once.
+	// The cache pre-sizes its URL index and the policy's heap (via
+	// policy.Reserver) from it. Purely a performance hint: simulation
+	// results are identical for any value, including zero.
+	SizeHint int
 }
+
+// DisableAllocOpts, when set before caches are constructed, turns off
+// the allocation optimizations — entry recycling and capacity
+// pre-sizing — so the benchmark harness can measure their
+// contribution. Results are identical either way; it is not flipped in
+// production paths.
+var DisableAllocOpts bool
 
 // Cache is a simulated proxy cache.
 type Cache struct {
@@ -99,6 +112,15 @@ type Cache struct {
 	rnd     *rng.Rand
 	stats   Stats
 	now     int64
+
+	// nowPol caches the cfg.Policy type assertion so the per-request
+	// hot path pays a nil check instead of an interface assertion.
+	nowPol nowAware
+	// pool recycles detached entries back into inserts; recycle gates
+	// whether evicted entries may enter it (false when an OnEvict
+	// observer could retain them).
+	pool    policy.EntryPool
+	recycle bool
 }
 
 // nowAware is implemented by policies that want the simulation clock
@@ -107,11 +129,23 @@ type nowAware interface{ SetNow(int64) }
 
 // New returns a cache with the given configuration.
 func New(cfg Config) *Cache {
-	return &Cache{
+	hint := 1024
+	if !DisableAllocOpts && cfg.SizeHint > hint {
+		hint = cfg.SizeHint
+	}
+	c := &Cache{
 		cfg:     cfg,
-		entries: make(map[string]*policy.Entry, 1024),
+		entries: make(map[string]*policy.Entry, hint),
 		rnd:     rng.New(cfg.Seed ^ 0x9e3779b97f4a7c15),
 	}
+	c.nowPol, _ = cfg.Policy.(nowAware)
+	c.recycle = !DisableAllocOpts && cfg.OnEvict == nil
+	if !DisableAllocOpts && cfg.SizeHint > 0 {
+		if r, ok := cfg.Policy.(policy.Reserver); ok {
+			r.Reserve(cfg.SizeHint)
+		}
+	}
+	return c
 }
 
 // Infinite reports whether the cache has unbounded capacity.
@@ -145,8 +179,8 @@ func (c *Cache) Contains(url string, size int64) bool {
 // hit. All statistics are updated.
 func (c *Cache) Access(req *trace.Request) bool {
 	c.now = req.Time
-	if p, ok := c.cfg.Policy.(nowAware); ok {
-		p.SetNow(req.Time)
+	if c.nowPol != nil {
+		c.nowPol.SetNow(req.Time)
 	}
 
 	c.stats.Requests++
@@ -172,6 +206,9 @@ func (c *Cache) Access(req *trace.Request) bool {
 		// inconsistent and must be replaced (§1.1).
 		c.remove(e)
 		c.stats.SizeChanges++
+		if c.recycle {
+			c.pool.Put(e)
+		}
 	}
 
 	c.insert(req)
@@ -202,7 +239,12 @@ func (c *Cache) insert(req *trace.Request) {
 			c.evict(v)
 		}
 	}
-	e := policy.NewEntry(req.URL, req.Size, req.Type, req.Time, c.rnd.Uint64())
+	var e *policy.Entry
+	if c.recycle {
+		e = c.pool.Get(req.URL, req.Size, req.Type, req.Time, c.rnd.Uint64())
+	} else {
+		e = policy.NewEntry(req.URL, req.Size, req.Type, req.Time, c.rnd.Uint64())
+	}
 	if c.cfg.LatencyOf != nil {
 		e.Latency = c.cfg.LatencyOf(req.URL, req.Size)
 	}
@@ -221,13 +263,18 @@ func (c *Cache) insert(req *trace.Request) {
 	}
 }
 
-// evict removes a policy-chosen victim and notifies the observer.
+// evict removes a policy-chosen victim and notifies the observer. When
+// no observer can retain the entry it is recycled into the pool, so
+// the eviction→insert cycle of a full cache allocates nothing.
 func (c *Cache) evict(e *policy.Entry) {
 	c.remove(e)
 	c.stats.Evictions++
 	c.stats.EvictedBytes += e.Size
 	if c.cfg.OnEvict != nil {
 		c.cfg.OnEvict(e)
+	}
+	if c.recycle {
+		c.pool.Put(e)
 	}
 }
 

@@ -1,0 +1,64 @@
+package policy
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// benchComparatorPairs builds a fixed pool of entries with the derived
+// keys synced, plus a pre-drawn index sequence, so the benchmark loops
+// measure only comparator calls.
+func benchComparatorPairs(dayStart int64) ([]*Entry, []int) {
+	r := rand.New(rand.NewSource(7))
+	entries := randomEntries(r, 512)
+	for _, e := range entries {
+		e.SyncDerived(dayStart)
+	}
+	picks := make([]int, 4096)
+	for i := range picks {
+		picks[i] = r.Intn(len(entries))
+	}
+	return entries, picks
+}
+
+// comparatorCases are the key sequences whose comparators dominate the
+// replay sweeps: the workhorse Experiment 2 pair, the day-keyed
+// Pitkow/Recker pair, and the Hyper-G triple.
+var comparatorCases = []struct {
+	name string
+	keys []Key
+}{
+	{"SIZE-ATIME", []Key{KeySize, KeyATime}},
+	{"DAYATIME-SIZE", []Key{KeyDayATime, KeySize}},
+	{"NREF-ATIME-SIZE", []Key{KeyNRef, KeyATime, KeySize}},
+}
+
+func benchmarkComparator(b *testing.B, compile func([]Key, int64) func(a, b *Entry) bool) {
+	const dayStart = 500
+	for _, tc := range comparatorCases {
+		b.Run(tc.name, func(b *testing.B) {
+			less := compile(tc.keys, dayStart)
+			entries, picks := benchComparatorPairs(dayStart)
+			b.ReportAllocs()
+			b.ResetTimer()
+			sink := false
+			for i := 0; i < b.N; i++ {
+				a := entries[picks[i%len(picks)]]
+				c := entries[picks[(i+1)%len(picks)]]
+				sink = less(a, c) != sink
+			}
+			_ = sink
+		})
+	}
+}
+
+// BenchmarkCompileLess measures the specialized comparators.
+func BenchmarkCompileLess(b *testing.B) {
+	benchmarkComparator(b, CompileLess)
+}
+
+// BenchmarkGenericLess measures the generic key-loop comparator the
+// compiled ones replace (and are property-tested against).
+func BenchmarkGenericLess(b *testing.B) {
+	benchmarkComparator(b, Less)
+}

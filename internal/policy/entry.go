@@ -42,6 +42,23 @@ type Entry struct {
 	// (§5 open problem 4: Harvest-style expiry-aware removal).
 	Expires int64
 
+	// Log2Size caches ⌊log2 Size⌋, the LOG2SIZE sort key. It is computed
+	// once when the entry is created (Size never changes in place: a
+	// size mismatch replaces the entry), so the compiled comparators
+	// compare it directly instead of recomputing the log per heap sift.
+	Log2Size int32
+
+	// DayATime caches DAY(ATIME), the day index of the last access
+	// relative to the policy's day start. Policies whose key sequence
+	// includes KeyDayATime refresh it on Add and Touch — the only points
+	// where ATime changes — so comparisons need no division. Entries
+	// built outside a policy must call SyncDerived before being handed
+	// to a compiled day-keyed comparator.
+	DayATime int64
+
+	// typeRank caches the KeyType removal rank of Type.
+	typeRank uint8
+
 	// prio is the floating-point priority used by GreedyDual-Size.
 	prio float64
 
@@ -60,17 +77,45 @@ func (e *Entry) SetHeapIndex(i int) { e.heapIdx = i }
 
 // NewEntry returns an entry for a document inserted at time now.
 func NewEntry(url string, size int64, typ trace.DocType, now int64, rand uint64) *Entry {
-	return &Entry{
-		URL:     url,
-		Size:    size,
-		Type:    typ,
-		ETime:   now,
-		ATime:   now,
-		NRef:    1,
-		Rand:    rand,
-		heapIdx: -1,
-		bucket:  -1,
-	}
+	e := &Entry{}
+	e.init(url, size, typ, now, rand)
+	return e
+}
+
+// init (re)sets every field to the state NewEntry establishes; it is
+// shared with EntryPool.Get so recycled entries are indistinguishable
+// from freshly allocated ones. Fields are assigned individually — a
+// `*e = Entry{...}` literal copies a full stack temp through duffcopy
+// on this hot path (TestEntryPoolRecycles pins the full-reset
+// behavior, so a new field must be added here too).
+func (e *Entry) init(url string, size int64, typ trace.DocType, now int64, rand uint64) {
+	e.URL = url
+	e.Size = size
+	e.Type = typ
+	e.ETime = now
+	e.ATime = now
+	e.NRef = 1
+	e.Rand = rand
+	e.Latency = 0
+	e.Expires = 0
+	e.Log2Size = int32(log2Floor(size))
+	e.DayATime = 0
+	e.typeRank = typeRemovalRank(typ)
+	e.prio = 0
+	e.heapIdx = -1
+	e.prev = nil
+	e.next = nil
+	e.bucket = -1
+}
+
+// SyncDerived recomputes the cached derived sort keys (Log2Size,
+// DayATime, and the type rank) from the entry's primary fields.
+// Policies maintain these implicitly via Add and Touch; call this when
+// building entries by hand for use with a CompileLess comparator.
+func (e *Entry) SyncDerived(dayStart int64) {
+	e.Log2Size = int32(log2Floor(e.Size))
+	e.DayATime = dayOf(e.ATime, dayStart)
+	e.typeRank = typeRemovalRank(e.Type)
 }
 
 // Policy selects removal victims among cached documents. The cache calls
@@ -85,6 +130,8 @@ type Policy interface {
 	// Touch re-sorts e after an access updated its ATime and NRef.
 	Touch(e *Entry)
 	// Remove unregisters e (eviction, replacement, or invalidation).
+	// The cache may recycle e once Remove returns, so implementations
+	// must not retain removed entries.
 	Remove(e *Entry)
 	// Victim returns the next document to remove to make room for an
 	// incoming document of the given total size, or nil if no document

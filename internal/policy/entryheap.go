@@ -1,0 +1,187 @@
+package policy
+
+import "webcache/internal/pqueue"
+
+// entryHeap is the indexed binary min-heap the heap-based policies keep
+// their entries on. It mirrors pqueue.Heap exactly — same operation
+// semantics, same comparison sequence, same hole-based sift with the
+// same pqueue.DisableHoleSift ablation switch — but is concrete over
+// *Entry: the index bookkeeping compiles to direct e.heapIdx loads and
+// stores instead of method calls through the generics dictionary, which
+// matters in the sift loops at the bottom of every replay.
+type entryHeap struct {
+	items []*Entry
+	less  func(a, b *Entry) bool
+}
+
+func newEntryHeap(less func(a, b *Entry) bool) *entryHeap {
+	return &entryHeap{less: less}
+}
+
+// Grow pre-sizes the backing array to hold at least n entries.
+func (h *entryHeap) Grow(n int) {
+	if cap(h.items) < n {
+		items := make([]*Entry, len(h.items), n)
+		copy(items, h.items)
+		h.items = items
+	}
+}
+
+func (h *entryHeap) Len() int { return len(h.items) }
+
+func (h *entryHeap) Push(e *Entry) {
+	h.items = append(h.items, e)
+	i := len(h.items) - 1
+	e.heapIdx = i
+	h.up(i)
+}
+
+// Peek returns the head (next victim) without removing it.
+func (h *entryHeap) Peek() (*Entry, bool) {
+	if len(h.items) == 0 {
+		return nil, false
+	}
+	return h.items[0], true
+}
+
+func (h *entryHeap) Pop() (*Entry, bool) {
+	if len(h.items) == 0 {
+		return nil, false
+	}
+	head := h.items[0]
+	h.removeAt(0)
+	return head, true
+}
+
+// Remove deletes e from the heap using its tracked index; it reports
+// false (and does nothing) when e is not on this heap.
+func (h *entryHeap) Remove(e *Entry) bool {
+	i := e.heapIdx
+	if i < 0 || i >= len(h.items) || h.items[i] != e {
+		return false
+	}
+	h.removeAt(i)
+	return true
+}
+
+// Fix re-establishes heap order after e's keys changed.
+func (h *entryHeap) Fix(e *Entry) bool {
+	i := e.heapIdx
+	if i < 0 || i >= len(h.items) || h.items[i] != e {
+		return false
+	}
+	if !h.down(i) {
+		h.up(i)
+	}
+	return true
+}
+
+// Items returns the backing slice in heap order; callers must not
+// mutate it.
+func (h *entryHeap) Items() []*Entry { return h.items }
+
+func (h *entryHeap) removeAt(i int) {
+	n := len(h.items) - 1
+	e := h.items[i]
+	if i != n {
+		h.items[i] = h.items[n]
+		h.items[i].heapIdx = i
+	}
+	h.items[n] = nil
+	h.items = h.items[:n]
+	e.heapIdx = -1
+	if i < n {
+		if !h.down(i) {
+			h.up(i)
+		}
+	}
+}
+
+func (h *entryHeap) up(i int) {
+	if pqueue.DisableHoleSift {
+		h.upSwap(i)
+		return
+	}
+	e := h.items[i]
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h.less(e, h.items[parent]) {
+			break
+		}
+		h.items[i] = h.items[parent]
+		h.items[i].heapIdx = i
+		i = parent
+	}
+	h.items[i] = e
+	e.heapIdx = i
+}
+
+func (h *entryHeap) down(i int) bool {
+	if pqueue.DisableHoleSift {
+		return h.downSwap(i)
+	}
+	start := i
+	e := h.items[i]
+	n := len(h.items)
+	for {
+		left := 2*i + 1
+		if left >= n {
+			break
+		}
+		smallest := left
+		if right := left + 1; right < n && h.less(h.items[right], h.items[left]) {
+			smallest = right
+		}
+		if !h.less(h.items[smallest], e) {
+			break
+		}
+		h.items[i] = h.items[smallest]
+		h.items[i].heapIdx = i
+		i = smallest
+	}
+	if i == start {
+		return false
+	}
+	h.items[i] = e
+	e.heapIdx = i
+	return true
+}
+
+func (h *entryHeap) upSwap(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h.less(h.items[i], h.items[parent]) {
+			break
+		}
+		h.swap(i, parent)
+		i = parent
+	}
+}
+
+func (h *entryHeap) downSwap(i int) bool {
+	moved := false
+	n := len(h.items)
+	for {
+		left := 2*i + 1
+		if left >= n {
+			break
+		}
+		smallest := left
+		if right := left + 1; right < n && h.less(h.items[right], h.items[left]) {
+			smallest = right
+		}
+		if !h.less(h.items[smallest], h.items[i]) {
+			break
+		}
+		h.swap(i, smallest)
+		i = smallest
+		moved = true
+	}
+	return moved
+}
+
+func (h *entryHeap) swap(i, j int) {
+	h.items[i], h.items[j] = h.items[j], h.items[i]
+	h.items[i].heapIdx = i
+	h.items[j].heapIdx = j
+}

@@ -1,7 +1,5 @@
 package policy
 
-import "webcache/internal/pqueue"
-
 // GreedyDualSize implements GreedyDual-Size (Cao & Irani 1997). It
 // POST-DATES the paper and is included only as a flagged baseline showing
 // where size-aware removal went next: GD-Size(1) generalizes the paper's
@@ -14,7 +12,7 @@ import "webcache/internal/pqueue"
 // optimizes hit rate; with cost = size ("GD-Size(size)", H = L + 1) it
 // degenerates toward LRU and favors byte hit rate.
 type GreedyDualSize struct {
-	heap *pqueue.Heap[*Entry]
+	heap *entryHeap
 	l    float64
 	cost func(e *Entry) float64
 	name string
@@ -34,16 +32,19 @@ func NewGDSBytes() *GreedyDualSize {
 
 func newGDS(name string, cost func(e *Entry) float64) *GreedyDualSize {
 	g := &GreedyDualSize{cost: cost, name: name}
-	g.heap = pqueue.New(func(a, b *Entry) bool {
-		if a.prio != b.prio {
-			return a.prio < b.prio
-		}
-		if a.Rand != b.Rand {
-			return a.Rand < b.Rand
-		}
-		return a.URL < b.URL
-	})
+	g.heap = newEntryHeap(lessPrio)
 	return g
+}
+
+// lessPrio orders by the cached GD-Size priority with the universal
+// tiebreak; a named function rather than a per-policy closure so every
+// GD-Size instance shares one comparator, like the compiled taxonomy
+// comparators.
+func lessPrio(a, b *Entry) bool {
+	if a.prio != b.prio {
+		return a.prio < b.prio
+	}
+	return lessTie(a, b)
 }
 
 // Name implements Policy.
@@ -90,6 +91,9 @@ func (g *GreedyDualSize) Victim(int64) *Entry {
 
 // Len implements Policy.
 func (g *GreedyDualSize) Len() int { return g.heap.Len() }
+
+// Reserve implements Reserver.
+func (g *GreedyDualSize) Reserve(n int) { g.heap.Grow(n) }
 
 // NewGDSLatency returns GD-Size with miss cost equal to the document's
 // estimated refetch latency (H = L + latency/size): the principled way

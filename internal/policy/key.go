@@ -116,11 +116,12 @@ func log2Floor(size int64) int {
 	return bits.Len64(uint64(size)) - 1
 }
 
-// typeRemovalRank returns the removal rank of e's type under KeyType:
-// large media (video, audio) are sacrificed before graphics, and text is
-// retained longest so text latency stays low (§5, open problem 1).
-func typeRemovalRank(e *Entry) int {
-	switch e.Type {
+// typeRemovalRank returns the removal rank of a document type under
+// KeyType: large media (video, audio) are sacrificed before graphics,
+// and text is retained longest so text latency stays low (§5, open
+// problem 1).
+func typeRemovalRank(t trace.DocType) uint8 {
+	switch t {
 	case trace.Video:
 		return 0
 	case trace.Audio:
@@ -155,7 +156,7 @@ func compareKey(k Key, a, b *Entry, dayStart int64) int {
 	case KeyRandom:
 		return cmpUint64(a.Rand, b.Rand)
 	case KeyType:
-		return cmpInt(typeRemovalRank(a), typeRemovalRank(b))
+		return cmpInt(int(typeRemovalRank(a.Type)), int(typeRemovalRank(b.Type)))
 	case KeyLatency:
 		switch {
 		case a.Latency < b.Latency:
@@ -207,9 +208,17 @@ func cmpUint64(a, b uint64) int {
 	return 0
 }
 
-// Less builds a removal-order comparator over the given key sequence.
-// The RANDOM key followed by URL is always appended as the final
-// tiebreak, making the order total and deterministic.
+// Less builds a removal-order comparator over the given key sequence:
+// a loop over the keys with a switch dispatch per key, recomputing
+// every derived quantity (⌊log2 SIZE⌋, DAY(ATIME)) from the entry's
+// primary fields on each comparison. The RANDOM key followed by URL is
+// always appended as the final tiebreak, making the order total and
+// deterministic.
+//
+// Less is the reference semantics of the taxonomy and the oracle the
+// compiled-comparator property tests check against; hot paths use
+// CompileLess, which returns an unrolled specialization over the
+// cached derived keys for the common combinations.
 func Less(keys []Key, dayStart int64) func(a, b *Entry) bool {
 	ks := make([]Key, len(keys))
 	copy(ks, keys)

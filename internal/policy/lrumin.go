@@ -75,9 +75,13 @@ func sizeClass(size int64) int {
 	return c
 }
 
-// Add implements Policy.
+// Add implements Policy. The size class is the entry's cached
+// Log2Size, clamped.
 func (p *LRUMin) Add(e *Entry) {
-	c := sizeClass(e.Size)
+	c := int(e.Log2Size)
+	if c > maxSizeClass {
+		c = maxSizeClass
+	}
 	e.bucket = c
 	p.buckets[c].pushBack(e)
 	p.count++

@@ -1,7 +1,5 @@
 package policy
 
-import "webcache/internal/pqueue"
-
 // PitkowRecker implements the Pitkow/Recker policy (Table 3) as a proxy
 // cache removal policy:
 //
@@ -22,7 +20,7 @@ import "webcache/internal/pqueue"
 // periodic variant is provided by core.Cache's periodic-sweep option
 // (§1.3 of the paper) and benchmarked as an ablation.
 type PitkowRecker struct {
-	heap     *pqueue.Heap[*Entry]
+	heap     *entryHeap
 	dayStart int64
 	now      int64
 }
@@ -30,7 +28,7 @@ type PitkowRecker struct {
 // NewPitkowRecker returns the policy. dayStart anchors day boundaries.
 func NewPitkowRecker(dayStart int64) *PitkowRecker {
 	p := &PitkowRecker{dayStart: dayStart}
-	p.heap = pqueue.New(Less([]Key{KeyDayATime, KeySize}, dayStart))
+	p.heap = newEntryHeap(CompileLess([]Key{KeyDayATime, KeySize}, dayStart))
 	return p
 }
 
@@ -43,11 +41,21 @@ func (p *PitkowRecker) Name() string { return "Pitkow/Recker" }
 // automatic, so the value is retained only for introspection.
 func (p *PitkowRecker) SetNow(now int64) { p.now = now }
 
-// Add implements Policy.
-func (p *PitkowRecker) Add(e *Entry) { p.heap.Push(e) }
+// Add implements Policy. The cached DAY(ATIME) key is refreshed here
+// and in Touch, the only points where ATime changes.
+func (p *PitkowRecker) Add(e *Entry) {
+	e.DayATime = dayOf(e.ATime, p.dayStart)
+	p.heap.Push(e)
+}
 
 // Touch implements Policy.
-func (p *PitkowRecker) Touch(e *Entry) { p.heap.Fix(e) }
+func (p *PitkowRecker) Touch(e *Entry) {
+	e.DayATime = dayOf(e.ATime, p.dayStart)
+	p.heap.Fix(e)
+}
+
+// Reserve implements Reserver.
+func (p *PitkowRecker) Reserve(n int) { p.heap.Grow(n) }
 
 // Remove implements Policy.
 func (p *PitkowRecker) Remove(e *Entry) { p.heap.Remove(e) }

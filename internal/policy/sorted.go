@@ -1,10 +1,6 @@
 package policy
 
-import (
-	"strings"
-
-	"webcache/internal/pqueue"
-)
+import "strings"
 
 // Sorted is the taxonomy's generic policy: documents are kept in a total
 // removal order defined by a sequence of sorting keys, and the head of
@@ -12,21 +8,36 @@ import (
 // the paper, plus FIFO, LRU, LFU and Hyper-G, are Sorted instances.
 type Sorted struct {
 	name string
-	heap *pqueue.Heap[*Entry]
+	heap *entryHeap
+
+	// dayStart/trackDay maintain the cached DAY(ATIME) derived key: when
+	// the key sequence includes KeyDayATime, Add and Touch (the only
+	// points where ATime changes) refresh Entry.DayATime so comparators
+	// read a field instead of dividing per comparison.
+	dayStart int64
+	trackDay bool
 }
 
 // NewSorted returns a policy ordered by keys (primary first). dayStart
 // anchors the DAY(ATIME) key's day boundaries; pass the trace start.
 // The RANDOM tiebreak is always appended, so a single-key slice yields a
-// "<key> with random secondary" policy as used in Experiment 2.
+// "<key> with random secondary" policy as used in Experiment 2. The
+// comparator is the compiled specialization for the combination when
+// one exists (see CompileLess).
 func NewSorted(keys []Key, dayStart int64) *Sorted {
 	parts := make([]string, len(keys))
+	trackDay := false
 	for i, k := range keys {
 		parts[i] = k.String()
+		if k == KeyDayATime {
+			trackDay = true
+		}
 	}
 	return &Sorted{
-		name: strings.Join(parts, "/"),
-		heap: pqueue.New(Less(keys, dayStart)),
+		name:     strings.Join(parts, "/"),
+		heap:     newEntryHeap(CompileLess(keys, dayStart)),
+		dayStart: dayStart,
+		trackDay: trackDay,
 	}
 }
 
@@ -34,10 +45,24 @@ func NewSorted(keys []Key, dayStart int64) *Sorted {
 func (p *Sorted) Name() string { return p.name }
 
 // Add implements Policy.
-func (p *Sorted) Add(e *Entry) { p.heap.Push(e) }
+func (p *Sorted) Add(e *Entry) {
+	if p.trackDay {
+		e.DayATime = dayOf(e.ATime, p.dayStart)
+	}
+	p.heap.Push(e)
+}
 
 // Touch implements Policy.
-func (p *Sorted) Touch(e *Entry) { p.heap.Fix(e) }
+func (p *Sorted) Touch(e *Entry) {
+	if p.trackDay {
+		e.DayATime = dayOf(e.ATime, p.dayStart)
+	}
+	p.heap.Fix(e)
+}
+
+// Reserve implements Reserver: pre-size the heap's backing array for
+// an expected resident-document count.
+func (p *Sorted) Reserve(n int) { p.heap.Grow(n) }
 
 // Remove implements Policy.
 func (p *Sorted) Remove(e *Entry) { p.heap.Remove(e) }

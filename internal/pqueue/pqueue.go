@@ -16,17 +16,37 @@ type Item interface {
 	SetHeapIndex(int)
 }
 
+// Elem constrains heap elements to items with comparable identity (in
+// practice pointer types), so Remove and Fix can verify membership
+// with a direct == against the tracked slot instead of boxing both
+// sides through the empty interface.
+type Elem interface {
+	comparable
+	Item
+}
+
 // Heap is an indexed binary min-heap ordered by less. The zero value is
 // not usable; construct with New.
-type Heap[T Item] struct {
+type Heap[T Elem] struct {
 	items []T
 	less  func(a, b T) bool
 }
 
 // New returns an empty heap ordered by less (less(a, b) means a is closer
 // to the head, i.e. removed sooner).
-func New[T Item](less func(a, b T) bool) *Heap[T] {
+func New[T Elem](less func(a, b T) bool) *Heap[T] {
 	return &Heap[T]{less: less}
+}
+
+// Grow pre-sizes the backing array to hold at least n items without
+// further re-allocation, for callers with a capacity hint. It never
+// shrinks and has no effect on heap order.
+func (h *Heap[T]) Grow(n int) {
+	if cap(h.items) < n {
+		items := make([]T, len(h.items), n)
+		copy(items, h.items)
+		h.items = items
+	}
 }
 
 // Len reports the number of items on the heap.
@@ -65,7 +85,7 @@ func (h *Heap[T]) Pop() (T, bool) {
 // no-op (returning false) if the item is not on this heap.
 func (h *Heap[T]) Remove(item T) bool {
 	i := item.HeapIndex()
-	if i < 0 || i >= len(h.items) || any(h.items[i]) != any(item) {
+	if i < 0 || i >= len(h.items) || h.items[i] != item {
 		return false
 	}
 	h.removeAt(i)
@@ -76,7 +96,7 @@ func (h *Heap[T]) Remove(item T) bool {
 // whether the item was found on the heap.
 func (h *Heap[T]) Fix(item T) bool {
 	i := item.HeapIndex()
-	if i < 0 || i >= len(h.items) || any(h.items[i]) != any(item) {
+	if i < 0 || i >= len(h.items) || h.items[i] != item {
 		return false
 	}
 	if !h.down(i) {
@@ -116,7 +136,68 @@ func (h *Heap[T]) removeAt(i int) {
 	}
 }
 
+// DisableHoleSift reverts up and down to the pairwise-swap sift of the
+// original implementation. It exists so the benchmark harness can
+// reconstruct the pre-optimization hot path; the comparison sequence and
+// resulting heap layout are identical either way.
+var DisableHoleSift bool
+
+// up sifts i toward the root. The moving item is held aside while its
+// ancestors shift down into the hole, then written once at its final
+// position — one write and one SetHeapIndex per level instead of two.
 func (h *Heap[T]) up(i int) {
+	if DisableHoleSift {
+		h.upSwap(i)
+		return
+	}
+	item := h.items[i]
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h.less(item, h.items[parent]) {
+			break
+		}
+		h.items[i] = h.items[parent]
+		h.items[i].SetHeapIndex(i)
+		i = parent
+	}
+	h.items[i] = item
+	item.SetHeapIndex(i)
+}
+
+// down sifts i toward the leaves with the same hole scheme as up; it
+// reports whether the item moved.
+func (h *Heap[T]) down(i int) bool {
+	if DisableHoleSift {
+		return h.downSwap(i)
+	}
+	start := i
+	item := h.items[i]
+	n := len(h.items)
+	for {
+		left := 2*i + 1
+		if left >= n {
+			break
+		}
+		smallest := left
+		if right := left + 1; right < n && h.less(h.items[right], h.items[left]) {
+			smallest = right
+		}
+		if !h.less(h.items[smallest], item) {
+			break
+		}
+		h.items[i] = h.items[smallest]
+		h.items[i].SetHeapIndex(i)
+		i = smallest
+	}
+	if i == start {
+		return false
+	}
+	h.items[i] = item
+	item.SetHeapIndex(i)
+	return true
+}
+
+func (h *Heap[T]) upSwap(i int) {
 	for i > 0 {
 		parent := (i - 1) / 2
 		if !h.less(h.items[i], h.items[parent]) {
@@ -127,8 +208,7 @@ func (h *Heap[T]) up(i int) {
 	}
 }
 
-// down sifts i toward the leaves; it reports whether the item moved.
-func (h *Heap[T]) down(i int) bool {
+func (h *Heap[T]) downSwap(i int) bool {
 	moved := false
 	n := len(h.items)
 	for {

@@ -1,0 +1,77 @@
+package sim
+
+import (
+	"testing"
+
+	"webcache/internal/core"
+	"webcache/internal/policy"
+	"webcache/internal/pqueue"
+)
+
+// Full-replay microbenchmarks per policy family, the hot path the
+// compiled-comparator work targets. Each reports ns/request alongside
+// ns/op, and each family runs in two modes: the optimized engine and
+// the pre-optimization engine reconstructed through the ablation
+// switches, so
+//
+//	go test ./internal/sim -bench Replay -benchmem
+//
+// shows the compiled layer's contribution per family. The 36-policy
+// aggregate number lives in BENCH_replay.json (make bench-baseline).
+
+// replayFamilies samples one representative policy per structural
+// family: a single-key heap, a two-key heap, a day-keyed heap, the
+// scan-based LRU-MIN, the three-key Hyper-G, and the float-priority
+// GreedyDual-Size.
+var replayFamilies = []struct {
+	name string
+	spec string
+}{
+	{"Size", "SIZE"},
+	{"SizeATime", "SIZE/ATIME"},
+	{"PitkowRecker", "Pitkow-Recker"},
+	{"LRUMin", "LRU-MIN"},
+	{"HyperG", "Hyper-G"},
+	{"GDSize", "GD-Size(1)"},
+}
+
+func benchmarkReplayPolicy(b *testing.B, spec string, legacy bool) {
+	tr, base := benchExp2Workload(b)
+	policy.DisableCompiled = legacy
+	core.DisableAllocOpts = legacy
+	DisableDayIndex = legacy
+	pqueue.DisableHoleSift = legacy
+	defer func() {
+		policy.DisableCompiled = false
+		core.DisableAllocOpts = false
+		DisableDayIndex = false
+		pqueue.DisableHoleSift = false
+	}()
+	capacity := base.MaxNeeded / 10
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pol, err := policy.Parse(spec, tr.Start)
+		if err != nil {
+			b.Fatal(err)
+		}
+		run := RunPolicy(tr, base, pol, capacity, 3, RunOptions{})
+		if run.Final.Requests == 0 {
+			b.Fatal("empty replay")
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/float64(len(tr.Requests)), "ns/request")
+}
+
+func BenchmarkReplay(b *testing.B) {
+	for _, f := range replayFamilies {
+		b.Run(f.name, func(b *testing.B) { benchmarkReplayPolicy(b, f.spec, false) })
+	}
+}
+
+func BenchmarkReplayGeneric(b *testing.B) {
+	for _, f := range replayFamilies {
+		b.Run(f.name, func(b *testing.B) { benchmarkReplayPolicy(b, f.spec, true) })
+	}
+}

@@ -34,10 +34,6 @@ type replayState struct {
 	dayBytes, dayBH int64
 }
 
-func newReplayState() *replayState {
-	return &replayState{rates: DailyRates{HR: &stats.DailySeries{}, WHR: &stats.DailySeries{}}}
-}
-
 // observe records one request outcome at the given day index.
 func (st *replayState) observe(day int, hit bool, size int64) {
 	if st.started && day != st.day {
@@ -66,15 +62,35 @@ func (st *replayState) flush() {
 	st.dayReqs, st.dayHit, st.dayBytes, st.dayBH = 0, 0, 0, 0
 }
 
+// DisableDayIndex, when set, makes Replay recompute each request's day
+// index per replay instead of reading the trace's shared precomputed
+// index. It exists for the benchmark harness to measure the
+// precomputation's contribution; results are identical either way.
+var DisableDayIndex bool
+
 // Replay feeds every request of tr through cache and returns the daily
 // HR/WHR series. onDayEnd, when non-nil, runs at each day boundary (used
-// by the periodic-sweep ablation).
+// by the periodic-sweep ablation). The per-request day indexes come
+// from the trace's shared precomputed table (trace.DayIndex), so a
+// policy sweep divides each timestamp once rather than once per run;
+// the replay state itself lives on the stack and the loop allocates
+// only the returned daily series.
 func Replay(tr *trace.Trace, cache Accessor, onDayEnd func(day int)) DailyRates {
-	st := newReplayState()
+	var st replayState
+	st.rates = DailyRates{HR: &stats.DailySeries{}, WHR: &stats.DailySeries{}}
+	var days []int32
+	if !DisableDayIndex {
+		days = tr.DayIndex()
+	}
 	prevDay := -1
 	for i := range tr.Requests {
 		req := &tr.Requests[i]
-		day := req.Day(tr.Start)
+		var day int
+		if days != nil {
+			day = int(days[i])
+		} else {
+			day = req.Day(tr.Start)
+		}
 		if prevDay >= 0 && day != prevDay && onDayEnd != nil {
 			onDayEnd(prevDay)
 		}
@@ -155,6 +171,7 @@ func RunPolicy(tr *trace.Trace, base *Exp1Result, pol policy.Policy, capacity in
 		Seed:           seed,
 		ExcludeDynamic: opts.ExcludeDynamic,
 		LatencyOf:      opts.LatencyOf,
+		SizeHint:       sizeHint(base, capacity),
 	})
 	var onDay func(int)
 	if opts.Sweep > 0 {
@@ -175,4 +192,20 @@ func RunPolicy(tr *trace.Trace, base *Exp1Result, pol policy.Policy, capacity in
 		}
 	}
 	return run
+}
+
+// sizeHint estimates how many documents a cache of the given capacity
+// holds at once, from the infinite-cache baseline's mean document
+// size, with 3× headroom: size-keyed policies evict large documents
+// first and so retain far more documents than the mean size predicts.
+// It is only a pre-sizing hint; any value yields identical results.
+func sizeHint(base *Exp1Result, capacity int64) int {
+	if base == nil || base.MaxNeeded <= 0 || base.Final.Docs <= 0 || capacity <= 0 {
+		return 0
+	}
+	docs := 3 * capacity * base.Final.Docs / base.MaxNeeded
+	if docs > base.Final.Docs {
+		docs = base.Final.Docs
+	}
+	return int(docs)
 }

@@ -1,0 +1,222 @@
+// Command benchreplay measures the single-replay hot path on the
+// paper's 36-policy Experiment 2 sweep and records the result as
+// machine-readable JSON (BENCH_replay.json at the repo root), so the
+// engine's ns-per-request trajectory is tracked PR over PR.
+//
+// It times the same sweep twice in one process:
+//
+//   - baseline: the pre-optimization engine, reconstructed through the
+//     ablation switches — generic key-loop comparators
+//     (policy.DisableCompiled), per-insert entry allocation and no
+//     capacity pre-sizing (core.DisableAllocOpts), per-replay day
+//     recomputation (sim.DisableDayIndex), and pairwise-swap heap
+//     sifts (pqueue.DisableHoleSift);
+//   - optimized: compiled comparators over cached derived keys, entry
+//     recycling, pre-sized heaps, hole-based sifts, and the shared day
+//     index.
+//
+// Both modes replay every combination with identical seeds, and the
+// tool fails if any run's results differ between modes — the timing
+// harness doubles as an end-to-end equivalence check for the compiled
+// layer.
+//
+// Usage:
+//
+//	benchreplay                       # measure and print
+//	benchreplay -out BENCH_replay.json
+//	benchreplay -compare BENCH_replay.json   # print delta vs a saved run
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"reflect"
+	"runtime"
+	"runtime/pprof"
+	"time"
+
+	"webcache/internal/core"
+	"webcache/internal/policy"
+	"webcache/internal/pqueue"
+	"webcache/internal/sim"
+	"webcache/internal/trace"
+	"webcache/internal/workload"
+)
+
+// Result is the JSON schema of BENCH_replay.json.
+type Result struct {
+	Benchmark         string  `json:"benchmark"`
+	Workload          string  `json:"workload"`
+	Scale             float64 `json:"scale"`
+	Fraction          float64 `json:"fraction"`
+	Policies          int     `json:"policies"`
+	RequestsPerReplay int     `json:"requests_per_replay"`
+	Reps              int     `json:"reps"`
+	BaselineNsPerReq  float64 `json:"baseline_ns_per_request"`
+	OptimizedNsPerReq float64 `json:"optimized_ns_per_request"`
+	Speedup           float64 `json:"speedup"`
+	IdenticalOutput   bool    `json:"identical_output"`
+	GoMaxProcs        int     `json:"-"`
+	Generated         string  `json:"generated"`
+}
+
+func main() {
+	var (
+		wl         = flag.String("workload", "BL", "workload: U, G, C, BR, BL")
+		scale      = flag.Float64("scale", 0.05, "synthetic workload scale")
+		fraction   = flag.Float64("fraction", 0.10, "cache size as a fraction of MaxNeeded")
+		seed       = flag.Uint64("seed", 42, "workload generation seed")
+		reps       = flag.Int("reps", 3, "repetitions per mode; the fastest is kept")
+		out        = flag.String("out", "", "write the result as JSON to this file")
+		compare    = flag.String("compare", "", "read a previous result from this file and print the delta")
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile of the measurement (both modes) to this file")
+	)
+	flag.Parse()
+
+	if err := run(*wl, *scale, *fraction, *seed, *reps, *out, *compare, *cpuprofile); err != nil {
+		fmt.Fprintln(os.Stderr, "benchreplay:", err)
+		os.Exit(1)
+	}
+}
+
+func run(wl string, scale, fraction float64, seed uint64, reps int, out, compare, cpuprofile string) error {
+	if reps < 1 {
+		reps = 1
+	}
+	cfg, err := workload.ByName(wl, seed)
+	if err != nil {
+		return err
+	}
+	cfg.Scale = scale
+	tr, _, err := workload.GenerateValidated(cfg)
+	if err != nil {
+		return err
+	}
+	base := sim.Experiment1(tr, seed+1)
+	combos := policy.AllCombos()
+	tr.DayIndex() // build the shared index outside the timed region
+
+	fmt.Printf("benchreplay: %s scale %g (%d requests), %d policies at %g×MaxNeeded, %d reps\n",
+		tr.Name, scale, len(tr.Requests), len(combos), fraction, reps)
+
+	if cpuprofile != "" {
+		f, err := os.Create(cpuprofile)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return err
+		}
+		defer pprof.StopCPUProfile()
+	}
+
+	// Interleave the two modes rep by rep, keeping the fastest rep of
+	// each, so machine-load drift during the run lands on both sides of
+	// the ratio instead of skewing one.
+	runner := sim.NewRunner(sim.RunnerConfig{Workers: 1})
+	var baseRuns, optRuns []*sim.PolicyRun
+	baseBest, optBest := maxDuration, maxDuration
+	for r := 0; r < reps; r++ {
+		var d time.Duration
+		d, baseRuns = sweepOnce(runner, tr, base, combos, fraction, seed, true)
+		if d < baseBest {
+			baseBest = d
+		}
+		d, optRuns = sweepOnce(runner, tr, base, combos, fraction, seed, false)
+		if d < optBest {
+			optBest = d
+		}
+	}
+	total := float64(len(combos) * len(tr.Requests))
+	baseNs := float64(baseBest.Nanoseconds()) / total
+	optNs := float64(optBest.Nanoseconds()) / total
+
+	identical := reflect.DeepEqual(baseRuns, optRuns)
+	if !identical {
+		return fmt.Errorf("optimized sweep results differ from the generic baseline — the compiled layer is wrong")
+	}
+
+	res := Result{
+		Benchmark:         "exp2-36policy-replay",
+		Workload:          tr.Name,
+		Scale:             scale,
+		Fraction:          fraction,
+		Policies:          len(combos),
+		RequestsPerReplay: len(tr.Requests),
+		Reps:              reps,
+		BaselineNsPerReq:  baseNs,
+		OptimizedNsPerReq: optNs,
+		Speedup:           baseNs / optNs,
+		IdenticalOutput:   identical,
+		Generated:         time.Now().UTC().Format(time.RFC3339),
+	}
+
+	fmt.Printf("  baseline  (generic comparators, no alloc opts): %8.1f ns/request\n", res.BaselineNsPerReq)
+	fmt.Printf("  optimized (compiled comparators, alloc-free):   %8.1f ns/request\n", res.OptimizedNsPerReq)
+	fmt.Printf("  speedup: %.2f×  (outputs identical: %v)\n", res.Speedup, res.IdenticalOutput)
+
+	if compare != "" {
+		if err := printDelta(compare, res); err != nil {
+			return err
+		}
+	}
+	if out != "" {
+		data, err := json.MarshalIndent(res, "", "  ")
+		if err != nil {
+			return err
+		}
+		data = append(data, '\n')
+		if err := os.WriteFile(out, data, 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("  wrote %s\n", out)
+	}
+	return nil
+}
+
+const maxDuration = time.Duration(1<<63 - 1)
+
+// sweepOnce times one execution of the full combo sweep in the given
+// mode, returning the wall time and the run results for cross-mode
+// comparison.
+func sweepOnce(runner *sim.Runner, tr *trace.Trace, base *sim.Exp1Result, combos []policy.Combo, fraction float64, seed uint64, legacy bool) (time.Duration, []*sim.PolicyRun) {
+	policy.DisableCompiled = legacy
+	core.DisableAllocOpts = legacy
+	sim.DisableDayIndex = legacy
+	pqueue.DisableHoleSift = legacy
+	defer func() {
+		policy.DisableCompiled = false
+		core.DisableAllocOpts = false
+		sim.DisableDayIndex = false
+		pqueue.DisableHoleSift = false
+	}()
+
+	// Settle garbage from the previous rep so neither mode pays for the
+	// other's allocations.
+	runtime.GC()
+	start := time.Now()
+	res := sim.Experiment2R(runner, tr, base, combos, fraction, seed+2)
+	return time.Since(start), res.Runs
+}
+
+// printDelta reports this run against a previously saved result.
+func printDelta(path string, cur Result) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("no saved result to compare against: %w", err)
+	}
+	var prev Result
+	if err := json.Unmarshal(data, &prev); err != nil {
+		return fmt.Errorf("parsing %s: %w", path, err)
+	}
+	if prev.OptimizedNsPerReq <= 0 {
+		return fmt.Errorf("%s has no optimized_ns_per_request", path)
+	}
+	delta := (cur.OptimizedNsPerReq - prev.OptimizedNsPerReq) / prev.OptimizedNsPerReq * 100
+	fmt.Printf("  vs %s (%s): %8.1f → %8.1f ns/request (%+.1f%%)\n",
+		path, prev.Generated, prev.OptimizedNsPerReq, cur.OptimizedNsPerReq, delta)
+	return nil
+}
