@@ -46,9 +46,10 @@ verify: fmt-check build vet test-short race bench-smoke
 bench:
 	$(GO) test -bench=. -benchmem ./...
 
-# Measure the 36-policy replay hot path and record it as the tracked
-# baseline (BENCH_replay.json at the repo root). With benchstat on PATH
-# also snapshots the per-family replay benchmarks for bench-compare.
+# Measure the 36-policy replay hot path and append the result to the
+# tracked trajectory (BENCH_replay.json at the repo root, one array
+# entry per recorded run). With benchstat on PATH also snapshots the
+# per-family replay benchmarks.
 bench-baseline:
 	$(GO) run ./internal/tools/benchreplay -scale $(BENCH_SCALE) -reps $(BENCH_REPS) -out BENCH_replay.json
 	@if command -v benchstat >/dev/null 2>&1; then \
@@ -56,18 +57,19 @@ bench-baseline:
 		echo "wrote BENCH_families.txt (benchstat baseline)"; \
 	fi
 
-# Re-measure and report the delta against the recorded baseline:
-# benchstat over the per-family benchmarks when available, the
-# harness's plain ns/request delta otherwise.
+# Report the delta between the trajectory's last two recorded entries
+# (no measurement); benchstat over the per-family benchmarks when
+# available.
 bench-compare:
-	$(GO) run ./internal/tools/benchreplay -scale $(BENCH_SCALE) -reps $(BENCH_REPS) -compare BENCH_replay.json
+	$(GO) run ./internal/tools/benchreplay -diff BENCH_replay.json
 	@if command -v benchstat >/dev/null 2>&1 && [ -f BENCH_families.txt ]; then \
 		$(GO) test ./internal/sim -run NONE -bench Replay -benchtime 0.5s -count 6 > /tmp/BENCH_families_new.txt; \
 		benchstat BENCH_families.txt /tmp/BENCH_families_new.txt; \
 	fi
 
-# Quick harness run at a reduced scale: verifies that the optimized and
-# generic engines produce byte-identical sweep results.
+# Quick harness run at a reduced scale: verifies that the generic,
+# string-indexed, and interned engines produce byte-identical sweep
+# results.
 bench-smoke:
 	$(GO) run ./internal/tools/benchreplay -scale 0.02 -reps 1
 

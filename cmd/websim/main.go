@@ -20,14 +20,19 @@
 // the full per-day figure series instead of summaries. -workers fans
 // the independent replays of an experiment across a goroutine pool
 // (default GOMAXPROCS); results are identical for any worker count.
-// -cpuprofile and -memprofile write pprof profiles of the run, the
-// inputs to the hot-path work tracked in BENCH_replay.json.
+// -trace-cache DIR caches the validated synthetic workload in DIR as a
+// binary trace (written by the first run, reloaded by later ones), so a
+// multi-invocation study decodes each corpus once. -cpuprofile and
+// -memprofile write pprof profiles of the run, the inputs to the
+// hot-path work tracked in BENCH_replay.json.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"path/filepath"
 	"runtime"
 	"runtime/pprof"
 
@@ -43,6 +48,7 @@ func main() {
 		exp        = flag.String("exp", "1", "experiment: 1, 2, 2s, 2all, classics, 3, 4, 5, 6, table4, tables, all")
 		wl         = flag.String("workload", "BL", "workload: U, G, C, BR, BL")
 		traceFile  = flag.String("trace", "", "run on this common-log-format file instead of a synthetic workload")
+		traceCache = flag.String("trace-cache", "", "cache validated synthetic workloads as binary traces in this directory")
 		fraction   = flag.Float64("fraction", 0.10, "cache size as a fraction of MaxNeeded")
 		scale      = flag.Float64("scale", 1.0, "synthetic workload scale (1.0 = paper volume)")
 		seed       = flag.Uint64("seed", 42, "workload generation seed")
@@ -68,7 +74,11 @@ func main() {
 		defer pprof.StopCPUProfile()
 	}
 
-	err := run(*exp, *wl, *traceFile, *fraction, *scale, *seed, *workers, *series, *plot)
+	err := run(os.Stdout, runConfig{
+		exp: *exp, wl: *wl, traceFile: *traceFile, traceCache: *traceCache,
+		fraction: *fraction, scale: *scale, seed: *seed, workers: *workers,
+		series: *series, plot: *plot,
+	})
 
 	if *memprofile != "" {
 		f, merr := os.Create(*memprofile)
@@ -93,33 +103,44 @@ func main() {
 	}
 }
 
-func run(exp, wl, traceFile string, fraction, scale float64, seed uint64, workers int, series, plot bool) error {
-	runner := sim.NewRunner(sim.RunnerConfig{Workers: workers})
+// runConfig carries one invocation's flags; the golden tests drive run
+// directly with it.
+type runConfig struct {
+	exp, wl, traceFile, traceCache string
+	fraction, scale                float64
+	seed                           uint64
+	workers                        int
+	series, plot                   bool
+}
+
+func run(out io.Writer, rc runConfig) error {
+	runner := sim.NewRunner(sim.RunnerConfig{Workers: rc.workers})
+	exp, fraction, seed := rc.exp, rc.fraction, rc.seed
 	if exp == "tables" {
-		fmt.Println("Table 1 — sorting keys")
-		fmt.Println(sim.RenderTable1())
-		fmt.Println("Table 3 — literature policies")
-		fmt.Println(sim.RenderTable3())
+		fmt.Fprintln(out, "Table 1 — sorting keys")
+		fmt.Fprintln(out, sim.RenderTable1())
+		fmt.Fprintln(out, "Table 3 — literature policies")
+		fmt.Fprintln(out, sim.RenderTable3())
 		return nil
 	}
 
-	tr, err := loadTrace(wl, traceFile, scale, seed)
+	tr, err := loadTrace(rc.wl, rc.traceFile, rc.traceCache, rc.scale, seed)
 	if err != nil {
 		return err
 	}
 
 	if exp == "table4" {
-		fmt.Printf("Table 4 — file type distribution, workload %s\n", tr.Name)
-		fmt.Println(sim.RenderTypeMix(tr))
+		fmt.Fprintf(out, "Table 4 — file type distribution, workload %s\n", tr.Name)
+		fmt.Fprintln(out, sim.RenderTypeMix(tr))
 		return nil
 	}
 
 	base := sim.Experiment1(tr, seed+1)
 	switch exp {
 	case "1":
-		fmt.Println(sim.RenderExp1(base, series))
-		if plot {
-			fmt.Println(stats.PlotPercentSeries("Figs. 3-7: infinite-cache hit rates, 7-day moving average (%)",
+		fmt.Fprintln(out, sim.RenderExp1(base, rc.series))
+		if rc.plot {
+			fmt.Fprintln(out, stats.PlotPercentSeries("Figs. 3-7: infinite-cache hit rates, 7-day moving average (%)",
 				map[string][]stats.DayPoint{
 					"HR":  base.Rates.HR.MovingAverage(),
 					"WHR": base.Rates.WHR.MovingAverage(),
@@ -127,8 +148,8 @@ func run(exp, wl, traceFile string, fraction, scale float64, seed uint64, worker
 		}
 	case "2":
 		res := sim.Experiment2R(runner, tr, base, policy.PrimaryCombos(), fraction, seed+2)
-		fmt.Println(sim.RenderExp2(res))
-		if plot {
+		fmt.Fprintln(out, sim.RenderExp2(res))
+		if rc.plot {
 			named := map[string][]stats.DayPoint{}
 			for _, run := range res.Runs {
 				switch run.Policy {
@@ -136,36 +157,36 @@ func run(exp, wl, traceFile string, fraction, scale float64, seed uint64, worker
 					named[run.Policy] = run.Rates.HR.RatioTo(base.Rates.HR)
 				}
 			}
-			fmt.Println(stats.PlotPercentSeries("Figs. 8-12: % of infinite-cache HR", named))
+			fmt.Fprintln(out, stats.PlotPercentSeries("Figs. 8-12: % of infinite-cache HR", named))
 		}
-		if series {
+		if rc.series {
 			for _, name := range []string{"SIZE/RANDOM", "ETIME/RANDOM", "ATIME/RANDOM", "NREF/RANDOM"} {
-				fmt.Println(sim.RenderExp2Series(res, name))
+				fmt.Fprintln(out, sim.RenderExp2Series(res, name))
 			}
 		}
 	case "2all":
 		res := sim.Experiment2R(runner, tr, base, policy.AllCombos(), fraction, seed+2)
-		fmt.Println(sim.RenderExp2(res))
+		fmt.Fprintln(out, sim.RenderExp2(res))
 	case "2s":
 		res := sim.Experiment2SecondaryR(runner, tr, base, fraction, seed+3)
-		fmt.Println(sim.RenderExp2Secondary(res))
+		fmt.Fprintln(out, sim.RenderExp2Secondary(res))
 	case "classics":
 		res := sim.ExperimentClassicsR(runner, tr, base, fraction, seed+4)
-		fmt.Println(sim.RenderExp2(res))
+		fmt.Fprintln(out, sim.RenderExp2(res))
 	case "3":
 		res3 := sim.Experiment3(tr, base, fraction, seed+5)
-		fmt.Println(sim.RenderExp3(res3, series))
-		if plot {
-			fmt.Println(stats.PlotPercentSeries("Figs. 16-18: second-level cache rates over all requests (%)",
+		fmt.Fprintln(out, sim.RenderExp3(res3, rc.series))
+		if rc.plot {
+			fmt.Fprintln(out, stats.PlotPercentSeries("Figs. 16-18: second-level cache rates over all requests (%)",
 				map[string][]stats.DayPoint{
 					"L2 HR":  res3.L2HR.MovingAverage(),
 					"L2 WHR": res3.L2WHR.MovingAverage(),
 				}))
 		}
 	case "4":
-		fmt.Println(sim.RenderExp4(sim.Experiment4R(runner, tr, base, fraction, seed+6)))
+		fmt.Fprintln(out, sim.RenderExp4(sim.Experiment4R(runner, tr, base, fraction, seed+6)))
 	case "5":
-		fmt.Println(sim.RenderExp5(sim.Experiment5R(runner, tr, base, 4, fraction, seed+7)))
+		fmt.Fprintln(out, sim.RenderExp5(sim.Experiment5R(runner, tr, base, 4, fraction, seed+7)))
 	case "6":
 		res, err := sim.Experiment6R(runner, tr, base,
 			[]string{"SIZE", "LATENCY", "LRU", "NREF", "GD-Size(1)", "GD-Latency"},
@@ -173,30 +194,30 @@ func run(exp, wl, traceFile string, fraction, scale float64, seed uint64, worker
 		if err != nil {
 			return err
 		}
-		fmt.Println(sim.RenderExp6(res))
+		fmt.Fprintln(out, sim.RenderExp6(res))
 	case "all":
-		fmt.Println(sim.RenderExp1(base, false))
-		fmt.Println(sim.RenderExp2(sim.Experiment2R(runner, tr, base, policy.PrimaryCombos(), fraction, seed+2)))
-		fmt.Println(sim.RenderExp2Secondary(sim.Experiment2SecondaryR(runner, tr, base, fraction, seed+3)))
-		fmt.Println(sim.RenderExp3(sim.Experiment3(tr, base, fraction, seed+5), false))
-		fmt.Println(sim.RenderExp4(sim.Experiment4R(runner, tr, base, fraction, seed+6)))
-		fmt.Println(sim.RenderExp5(sim.Experiment5R(runner, tr, base, 4, fraction, seed+7)))
+		fmt.Fprintln(out, sim.RenderExp1(base, false))
+		fmt.Fprintln(out, sim.RenderExp2(sim.Experiment2R(runner, tr, base, policy.PrimaryCombos(), fraction, seed+2)))
+		fmt.Fprintln(out, sim.RenderExp2Secondary(sim.Experiment2SecondaryR(runner, tr, base, fraction, seed+3)))
+		fmt.Fprintln(out, sim.RenderExp3(sim.Experiment3(tr, base, fraction, seed+5), false))
+		fmt.Fprintln(out, sim.RenderExp4(sim.Experiment4R(runner, tr, base, fraction, seed+6)))
+		fmt.Fprintln(out, sim.RenderExp5(sim.Experiment5R(runner, tr, base, 4, fraction, seed+7)))
 		res6, err := sim.Experiment6R(runner, tr, base,
 			[]string{"SIZE", "LATENCY", "LRU", "NREF", "GD-Size(1)", "GD-Latency"},
 			fraction, nil, seed+8)
 		if err != nil {
 			return err
 		}
-		fmt.Println(sim.RenderExp6(res6))
+		fmt.Fprintln(out, sim.RenderExp6(res6))
 	default:
 		return fmt.Errorf("unknown experiment %q", exp)
 	}
 	return nil
 }
 
-// loadTrace returns the validated trace from a file or a synthetic
-// workload.
-func loadTrace(wl, traceFile string, scale float64, seed uint64) (*trace.Trace, error) {
+// loadTrace returns the validated trace from a file, the binary trace
+// cache, or a freshly generated synthetic workload.
+func loadTrace(wl, traceFile, traceCache string, scale float64, seed uint64) (*trace.Trace, error) {
 	if traceFile != "" {
 		raw, stats, err := trace.ReadCLFFile(traceFile, traceFile)
 		if err != nil {
@@ -211,11 +232,29 @@ func loadTrace(wl, traceFile string, scale float64, seed uint64) (*trace.Trace, 
 			vstats.Kept, vstats.Input, 100*vstats.SizeChangeFraction())
 		return valid, nil
 	}
+	var cachePath string
+	if traceCache != "" {
+		cachePath = filepath.Join(traceCache,
+			fmt.Sprintf("%s_seed%d_scale%g.wct", wl, seed, scale))
+		if tr, err := trace.ReadBinaryFile(cachePath); err == nil {
+			return tr, nil
+		} else if !os.IsNotExist(err) {
+			fmt.Fprintf(os.Stderr, "websim: ignoring unreadable trace cache %s: %v\n", cachePath, err)
+		}
+	}
 	cfg, err := workload.ByName(wl, seed)
 	if err != nil {
 		return nil, err
 	}
 	cfg.Scale = scale
 	tr, _, err := workload.GenerateValidated(cfg)
-	return tr, err
+	if err != nil {
+		return nil, err
+	}
+	if cachePath != "" {
+		if werr := trace.WriteBinaryFile(cachePath, tr); werr != nil {
+			fmt.Fprintf(os.Stderr, "websim: could not write trace cache %s: %v\n", cachePath, werr)
+		}
+	}
+	return tr, nil
 }

@@ -1,30 +1,42 @@
 package main
 
 import (
+	"bytes"
+	"io"
 	"os"
 	"path/filepath"
 	"testing"
 
+	"webcache/internal/sim"
 	"webcache/internal/trace"
 	"webcache/internal/workload"
 )
 
+// rc builds the runConfig the quick smoke tests share.
+func rc(exp, wl, traceFile string) runConfig {
+	return runConfig{
+		exp: exp, wl: wl, traceFile: traceFile,
+		fraction: 0.10, scale: 0.02, seed: 7, workers: 4,
+		series: true, plot: true,
+	}
+}
+
 func TestRunAllExperiments(t *testing.T) {
 	for _, exp := range []string{"tables", "table4", "1", "2", "2s", "classics", "3", "4", "5", "6"} {
-		if err := run(exp, "C", "", 0.10, 0.02, 7, 4, true, true); err != nil {
+		if err := run(io.Discard, rc(exp, "C", "")); err != nil {
 			t.Errorf("run(%q): %v", exp, err)
 		}
 	}
 }
 
 func TestRunUnknownExperiment(t *testing.T) {
-	if err := run("bogus", "C", "", 0.1, 0.02, 7, 1, false, false); err == nil {
+	if err := run(io.Discard, rc("bogus", "C", "")); err == nil {
 		t.Fatal("unknown experiment accepted")
 	}
 }
 
 func TestRunUnknownWorkload(t *testing.T) {
-	if err := run("1", "ZZ", "", 0.1, 0.02, 7, 1, false, false); err == nil {
+	if err := run(io.Discard, rc("1", "ZZ", "")); err == nil {
 		t.Fatal("unknown workload accepted")
 	}
 }
@@ -46,7 +58,7 @@ func TestLoadTraceFromFile(t *testing.T) {
 	}
 	f.Close()
 
-	tr, err := loadTrace("", path, 1, 1)
+	tr, err := loadTrace("", path, "", 1, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -60,13 +72,82 @@ func TestLoadTraceFromFile(t *testing.T) {
 			t.Fatal("validation not applied to file trace")
 		}
 	}
-	if err := run("1", "", path, 0.1, 1, 1, 2, false, false); err != nil {
+	fileRC := rc("1", "", path)
+	fileRC.scale, fileRC.seed, fileRC.workers = 1, 1, 2
+	if err := run(io.Discard, fileRC); err != nil {
 		t.Fatalf("run on file trace: %v", err)
 	}
 }
 
 func TestLoadTraceMissingFile(t *testing.T) {
-	if _, err := loadTrace("", "/nonexistent/nope.log", 1, 1); err == nil {
+	if _, err := loadTrace("", "/nonexistent/nope.log", "", 1, 1); err == nil {
 		t.Fatal("missing file accepted")
+	}
+}
+
+// TestTraceCache checks the binary trace cache: a cold load writes the
+// cache file, a warm load reads it back to the identical trace, and a
+// corrupt cache falls back to regeneration instead of failing the run.
+func TestTraceCache(t *testing.T) {
+	dir := t.TempDir()
+	cold, err := loadTrace("C", "", dir, 0.01, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, "C_seed3_scale0.01.wct")
+	if _, err := os.Stat(path); err != nil {
+		t.Fatalf("cold load did not write the cache: %v", err)
+	}
+	warm, err := loadTrace("C", "", dir, 0.01, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(warm.Requests) != len(cold.Requests) || warm.Name != cold.Name || warm.Start != cold.Start {
+		t.Fatalf("warm load differs: %d reqs %q/%d, want %d reqs %q/%d",
+			len(warm.Requests), warm.Name, warm.Start,
+			len(cold.Requests), cold.Name, cold.Start)
+	}
+	for i := range cold.Requests {
+		if warm.Requests[i] != cold.Requests[i] {
+			t.Fatalf("request %d differs after cache round trip", i)
+		}
+	}
+	if err := os.WriteFile(path, []byte("garbage"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := loadTrace("C", "", dir, 0.01, 3); err != nil {
+		t.Fatalf("corrupt cache not ignored: %v", err)
+	}
+}
+
+// TestGoldenExperiments replays the nine experiments against goldens
+// captured from the pre-interning engine, in both interning modes: the
+// interned columnar path must be byte-identical to the string path, and
+// both to the recorded output.
+func TestGoldenExperiments(t *testing.T) {
+	if testing.Short() {
+		t.Skip("golden replay is a full nine-experiment run")
+	}
+	for _, exp := range []string{"1", "2", "2s", "2all", "classics", "3", "4", "5", "6"} {
+		golden, err := os.ReadFile(filepath.Join("testdata", "exp"+exp+".golden"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, disable := range []bool{false, true} {
+			sim.DisableInterning = disable
+			var buf bytes.Buffer
+			cfg := runConfig{
+				exp: exp, wl: "BL", fraction: 0.10, scale: 0.05,
+				seed: 42, workers: 1,
+			}
+			err := run(&buf, cfg)
+			sim.DisableInterning = false
+			if err != nil {
+				t.Fatalf("exp %s (DisableInterning=%v): %v", exp, disable, err)
+			}
+			if !bytes.Equal(buf.Bytes(), golden) {
+				t.Errorf("exp %s (DisableInterning=%v): output differs from golden", exp, disable)
+			}
+		}
 	}
 }

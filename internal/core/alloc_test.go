@@ -65,6 +65,70 @@ func TestEvictCycleAllocs(t *testing.T) {
 	}
 }
 
+// internedAllocTrace builds a columnar view of nDocs documents of the
+// given size, cycled through rounds times, for the interned-mode
+// allocation pins.
+func internedAllocTrace(nDocs, rounds int, size int64) *trace.Columnar {
+	tr := &trace.Trace{Name: "alloc", Start: 0}
+	for r := 0; r < rounds; r++ {
+		for d := 0; d < nDocs; d++ {
+			tr.Requests = append(tr.Requests, trace.Request{
+				Time: int64(r*nDocs + d), URL: fmt.Sprintf("http://s/doc%02d", d),
+				Size: size, Type: trace.Text,
+			})
+		}
+	}
+	return tr.Columnar()
+}
+
+// TestAccessIndexHitAllocs pins the interned hot path: a hit — slice
+// index, metadata update, heap re-sift — must not allocate. The entry
+// table is pre-sized to the trace's ID count at construction, so the
+// steady state touches no allocator at all.
+func TestAccessIndexHitAllocs(t *testing.T) {
+	col := internedAllocTrace(64, 2, 100)
+	pol := policy.NewSorted([]policy.Key{policy.KeySize, policy.KeyATime}, 0)
+	c := NewColumnar(Config{Capacity: 1 << 30, Policy: pol, Seed: 1, SizeHint: 64}, col)
+	warm := col.Len() / 2
+	for i := 0; i < warm; i++ {
+		c.AccessIndex(i)
+	}
+	i := 0
+	avg := testing.AllocsPerRun(200, func() {
+		if !c.AccessIndex(warm + i%warm) {
+			t.Fatal("expected a hit")
+		}
+		i++
+	})
+	if avg != 0 {
+		t.Errorf("interned hit allocates %.1f objects per request, want 0", avg)
+	}
+}
+
+// TestEvictCycleAllocsInterned checks the interned evict→insert cycle:
+// a full cache cycling through a fixed population recycles entries and
+// never grows the ID table, so steady state allocates nothing.
+func TestEvictCycleAllocsInterned(t *testing.T) {
+	col := internedAllocTrace(8, 60, 600)
+	pol := policy.NewSorted([]policy.Key{policy.KeyATime}, 0)
+	// Capacity holds one 600-byte document: every access evicts+inserts.
+	c := NewColumnar(Config{Capacity: 1000, Policy: pol, Seed: 2, SizeHint: 4}, col)
+	warm := 8 * 30
+	for i := 0; i < warm; i++ {
+		c.AccessIndex(i)
+	}
+	i := 0
+	avg := testing.AllocsPerRun(200, func() {
+		if c.AccessIndex(warm + i%warm) {
+			t.Fatal("expected a miss")
+		}
+		i++
+	})
+	if avg != 0 {
+		t.Errorf("interned evict/insert cycle allocates %.1f objects per request, want 0", avg)
+	}
+}
+
 // TestRecyclingDisabledWithObserver checks the safety gate: with an
 // OnEvict observer set, evicted entries must never be recycled into
 // later inserts, since the observer may retain them.

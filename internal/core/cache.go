@@ -105,13 +105,24 @@ type Config struct {
 // production paths.
 var DisableAllocOpts bool
 
-// Cache is a simulated proxy cache.
+// Cache is a simulated proxy cache. It indexes resident documents
+// either by URL string (New) or, when built over an interned columnar
+// trace view (NewColumnar), by dense int32 URL ID — the two modes are
+// behaviorally identical; the ID table just removes string hashing
+// from the per-request path.
 type Cache struct {
 	cfg     Config
 	entries map[string]*policy.Entry
 	rnd     *rng.Rand
 	stats   Stats
 	now     int64
+
+	// col and byID implement the interned mode: byID is the ID-indexed
+	// entry table (nil slot = not cached), sized to col.NumIDs() at
+	// construction so steady-state replay never grows it. entries is
+	// nil in this mode.
+	col  *trace.Columnar
+	byID []*policy.Entry
 
 	// nowPol caches the cfg.Policy type assertion so the per-request
 	// hot path pays a nil check instead of an interface assertion.
@@ -127,16 +138,23 @@ type Cache struct {
 // (Pitkow/Recker's day test).
 type nowAware interface{ SetNow(int64) }
 
-// New returns a cache with the given configuration.
+// New returns a cache with the given configuration, indexing documents
+// by URL string.
 func New(cfg Config) *Cache {
 	hint := 1024
 	if !DisableAllocOpts && cfg.SizeHint > hint {
 		hint = cfg.SizeHint
 	}
+	c := newCache(cfg)
+	c.entries = make(map[string]*policy.Entry, hint)
+	return c
+}
+
+// newCache builds the index-independent parts of a cache.
+func newCache(cfg Config) *Cache {
 	c := &Cache{
-		cfg:     cfg,
-		entries: make(map[string]*policy.Entry, hint),
-		rnd:     rng.New(cfg.Seed ^ 0x9e3779b97f4a7c15),
+		cfg: cfg,
+		rnd: rng.New(cfg.Seed ^ 0x9e3779b97f4a7c15),
 	}
 	c.nowPol, _ = cfg.Policy.(nowAware)
 	c.recycle = !DisableAllocOpts && cfg.OnEvict == nil
@@ -163,7 +181,7 @@ func (c *Cache) Capacity() int64 {
 func (c *Cache) Stats() Stats { return c.stats }
 
 // Len returns the number of cached documents.
-func (c *Cache) Len() int { return len(c.entries) }
+func (c *Cache) Len() int { return int(c.stats.Docs) }
 
 // Used returns the bytes currently cached.
 func (c *Cache) Used() int64 { return c.stats.Used }
@@ -171,13 +189,26 @@ func (c *Cache) Used() int64 { return c.stats.Used }
 // Contains reports whether the cache holds a copy of url with the given
 // size (the §1.1 hit test) without touching any metadata.
 func (c *Cache) Contains(url string, size int64) bool {
+	if c.byID != nil {
+		id, ok := c.col.ID(url)
+		if !ok {
+			return false
+		}
+		e := c.byID[id]
+		return e != nil && e.Size == size
+	}
 	e, ok := c.entries[url]
 	return ok && e.Size == size
 }
 
 // Access processes one validated trace request and reports whether it
-// hit. All statistics are updated.
+// hit. All statistics are updated. On a cache built with NewColumnar,
+// use AccessIndex instead — Access panics there, since a request not
+// drawn from the interned trace has no ID to store an entry under.
 func (c *Cache) Access(req *trace.Request) bool {
+	if c.byID != nil {
+		panic("core: Access called on an interned cache; use AccessIndex")
+	}
 	c.now = req.Time
 	if c.nowPol != nil {
 		c.nowPol.SetNow(req.Time)
@@ -280,7 +311,11 @@ func (c *Cache) evict(e *policy.Entry) {
 
 // remove detaches e from the cache and policy without eviction stats.
 func (c *Cache) remove(e *policy.Entry) {
-	delete(c.entries, e.URL)
+	if c.byID != nil {
+		c.byID[e.ID] = nil
+	} else {
+		delete(c.entries, e.URL)
+	}
 	c.stats.Used -= e.Size
 	c.stats.Docs--
 	if c.cfg.Policy != nil {
@@ -315,23 +350,40 @@ func (c *Cache) Sweep(comfort float64) int {
 // CheckInvariants panics if the cache's bookkeeping is inconsistent; it
 // is exercised by the property tests.
 func (c *Cache) CheckInvariants() {
-	var used int64
-	for url, e := range c.entries {
-		if e.URL != url {
-			panic(fmt.Sprintf("core: entry key %q holds entry for %q", url, e.URL))
+	var used, docs int64
+	if c.byID != nil {
+		for id, e := range c.byID {
+			if e == nil {
+				continue
+			}
+			if e.ID != int32(id) {
+				panic(fmt.Sprintf("core: slot %d holds entry with ID %d", id, e.ID))
+			}
+			if e.URL != c.col.URLs[id] {
+				panic(fmt.Sprintf("core: slot %d holds entry for %q, want %q", id, e.URL, c.col.URLs[id]))
+			}
+			used += e.Size
+			docs++
 		}
-		used += e.Size
+	} else {
+		for url, e := range c.entries {
+			if e.URL != url {
+				panic(fmt.Sprintf("core: entry key %q holds entry for %q", url, e.URL))
+			}
+			used += e.Size
+			docs++
+		}
 	}
 	if used != c.stats.Used {
 		panic(fmt.Sprintf("core: used bytes %d != recorded %d", used, c.stats.Used))
 	}
-	if int64(len(c.entries)) != c.stats.Docs {
-		panic(fmt.Sprintf("core: %d entries != recorded %d", len(c.entries), c.stats.Docs))
+	if docs != c.stats.Docs {
+		panic(fmt.Sprintf("core: %d entries != recorded %d", docs, c.stats.Docs))
 	}
 	if !c.Infinite() && c.stats.Used > c.cfg.Capacity {
 		panic(fmt.Sprintf("core: used %d exceeds capacity %d", c.stats.Used, c.cfg.Capacity))
 	}
-	if c.cfg.Policy != nil && c.cfg.Policy.Len() != len(c.entries) {
-		panic(fmt.Sprintf("core: policy tracks %d entries, cache holds %d", c.cfg.Policy.Len(), len(c.entries)))
+	if c.cfg.Policy != nil && int64(c.cfg.Policy.Len()) != docs {
+		panic(fmt.Sprintf("core: policy tracks %d entries, cache holds %d", c.cfg.Policy.Len(), docs))
 	}
 }

@@ -24,6 +24,11 @@ type Entry struct {
 	Size int64
 	Type trace.DocType
 
+	// ID is the interned URL ID when the entry lives in a cache built
+	// over a columnar trace view (core's ID-indexed mode); -1 when the
+	// cache indexes entries by URL string.
+	ID int32
+
 	ETime int64 // time the document entered the cache (Unix seconds)
 	ATime int64 // time of last access (Unix seconds)
 	NRef  int64 // number of references to the document while cached
@@ -92,6 +97,7 @@ func (e *Entry) init(url string, size int64, typ trace.DocType, now int64, rand 
 	e.URL = url
 	e.Size = size
 	e.Type = typ
+	e.ID = -1
 	e.ETime = now
 	e.ATime = now
 	e.NRef = 1

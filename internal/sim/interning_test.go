@@ -1,0 +1,72 @@
+package sim
+
+import (
+	"reflect"
+	"testing"
+
+	"webcache/internal/policy"
+)
+
+// The interned columnar engine's contract: every experiment that runs
+// through RunPolicy produces results deeply equal to the string-indexed
+// engine's. These tests flip DisableInterning around the same seeded
+// workloads and require reflect.DeepEqual, the sim-level counterpart of
+// core's TestInternedMatchesStringEngine.
+
+// runBothModes invokes f once per interning mode (string engine first)
+// and returns the two results.
+func runBothModes(f func() any) (str, interned any) {
+	DisableInterning = true
+	str = f()
+	DisableInterning = false
+	interned = f()
+	return str, interned
+}
+
+func TestInterningExperiment1(t *testing.T) {
+	for _, wl := range []string{"C", "BL"} {
+		tr := detTrace(t, wl, 5)
+		str, interned := runBothModes(func() any { return Experiment1(tr, 1) })
+		if !reflect.DeepEqual(str, interned) {
+			t.Errorf("Experiment1 %s: interned result differs from string engine", wl)
+		}
+	}
+}
+
+func TestInterningExperiment2(t *testing.T) {
+	r := DefaultRunner()
+	for _, wl := range []string{"C", "BL"} {
+		tr := detTrace(t, wl, 5)
+		base := Experiment1(tr, 1)
+		str, interned := runBothModes(func() any {
+			return Experiment2R(r, tr, base, policy.PrimaryCombos(), 0.10, 2)
+		})
+		if !reflect.DeepEqual(str, interned) {
+			t.Errorf("Experiment2 %s: interned result differs from string engine", wl)
+		}
+	}
+}
+
+func TestInterningExperiment2Secondary(t *testing.T) {
+	r := DefaultRunner()
+	tr := detTrace(t, "G", 11)
+	base := Experiment1(tr, 1)
+	str, interned := runBothModes(func() any {
+		return Experiment2SecondaryR(r, tr, base, 0.10, 2)
+	})
+	if !reflect.DeepEqual(str, interned) {
+		t.Error("Experiment2Secondary: interned result differs from string engine")
+	}
+}
+
+func TestInterningClassics(t *testing.T) {
+	r := DefaultRunner()
+	tr := detTrace(t, "C", 7)
+	base := Experiment1(tr, 1)
+	str, interned := runBothModes(func() any {
+		return ExperimentClassicsR(r, tr, base, 0.10, 2)
+	})
+	if !reflect.DeepEqual(str, interned) {
+		t.Error("ExperimentClassics: interned result differs from string engine")
+	}
+}

@@ -41,11 +41,13 @@ func benchmarkReplayPolicy(b *testing.B, spec string, legacy bool) {
 	core.DisableAllocOpts = legacy
 	DisableDayIndex = legacy
 	pqueue.DisableHoleSift = legacy
+	DisableInterning = legacy
 	defer func() {
 		policy.DisableCompiled = false
 		core.DisableAllocOpts = false
 		DisableDayIndex = false
 		pqueue.DisableHoleSift = false
+		DisableInterning = false
 	}()
 	capacity := base.MaxNeeded / 10
 	b.ReportAllocs()

@@ -68,6 +68,13 @@ func (st *replayState) flush() {
 // precomputation's contribution; results are identical either way.
 var DisableDayIndex bool
 
+// DisableInterning, when set, makes Experiment1 and RunPolicy replay
+// through the string-indexed engine instead of the interned columnar
+// one. It exists for the benchmark harness to measure interning's
+// contribution; results are identical either way (the equivalence test
+// and benchreplay's cross-mode DeepEqual enforce it).
+var DisableInterning bool
+
 // Replay feeds every request of tr through cache and returns the daily
 // HR/WHR series. onDayEnd, when non-nil, runs at each day boundary (used
 // by the periodic-sweep ablation). The per-request day indexes come
@@ -105,6 +112,30 @@ func Replay(tr *trace.Trace, cache Accessor, onDayEnd func(day int)) DailyRates 
 	return st.rates
 }
 
+// ReplayColumnar is Replay over the interned columnar view: every
+// per-request field (ID, size, time, day, type) is a column read, and
+// the cache's entry lookup is a slice index. Output is byte-identical
+// to Replay on the trace the view was built from.
+func ReplayColumnar(col *trace.Columnar, cache *core.Cache, onDayEnd func(day int)) DailyRates {
+	var st replayState
+	st.rates = DailyRates{HR: &stats.DailySeries{}, WHR: &stats.DailySeries{}}
+	prevDay := -1
+	for i := range col.IDs {
+		day := int(col.Day[i])
+		if prevDay >= 0 && day != prevDay && onDayEnd != nil {
+			onDayEnd(prevDay)
+		}
+		hit := cache.AccessIndex(i)
+		st.observe(day, hit, col.Sizes[i])
+		prevDay = day
+	}
+	if prevDay >= 0 && onDayEnd != nil {
+		onDayEnd(prevDay)
+	}
+	st.flush()
+	return st.rates
+}
+
 // Exp1Result reports Experiment 1 for one workload: the maximum
 // achievable hit rates (infinite cache) and MaxNeeded, the cache size at
 // which no document is ever removed (§3.1 objectives 1 and 2).
@@ -122,8 +153,16 @@ type Exp1Result struct {
 
 // Experiment1 simulates tr through an infinite cache.
 func Experiment1(tr *trace.Trace, seed uint64) *Exp1Result {
-	cache := core.New(core.Config{Capacity: 0, Seed: seed})
-	rates := Replay(tr, cache, nil)
+	var cache *core.Cache
+	var rates DailyRates
+	if DisableInterning {
+		cache = core.New(core.Config{Capacity: 0, Seed: seed})
+		rates = Replay(tr, cache, nil)
+	} else {
+		col := tr.Columnar()
+		cache = core.NewColumnar(core.Config{Capacity: 0, Seed: seed}, col)
+		rates = ReplayColumnar(col, cache, nil)
+	}
 	final := cache.Stats()
 	return &Exp1Result{
 		Workload:  tr.Name,
@@ -163,21 +202,37 @@ type RunOptions struct {
 }
 
 // RunPolicy replays tr through a finite cache of the given capacity and
-// policy, and scores it against the Experiment 1 baseline.
+// policy, and scores it against the Experiment 1 baseline. Unless
+// DisableInterning is set, the replay runs over the trace's shared
+// interned columnar view (built once per trace, fanned out read-only to
+// every run of a sweep) through an ID-indexed cache.
 func RunPolicy(tr *trace.Trace, base *Exp1Result, pol policy.Policy, capacity int64, seed uint64, opts RunOptions) *PolicyRun {
-	cache := core.New(core.Config{
+	cfg := core.Config{
 		Capacity:       capacity,
 		Policy:         pol,
 		Seed:           seed,
 		ExcludeDynamic: opts.ExcludeDynamic,
 		LatencyOf:      opts.LatencyOf,
 		SizeHint:       sizeHint(base, capacity),
-	})
-	var onDay func(int)
-	if opts.Sweep > 0 {
-		onDay = func(int) { cache.Sweep(opts.Sweep) }
 	}
-	rates := Replay(tr, cache, onDay)
+	var cache *core.Cache
+	var rates DailyRates
+	if DisableInterning {
+		cache = core.New(cfg)
+		var onDay func(int)
+		if opts.Sweep > 0 {
+			onDay = func(int) { cache.Sweep(opts.Sweep) }
+		}
+		rates = Replay(tr, cache, onDay)
+	} else {
+		col := tr.Columnar()
+		cache = core.NewColumnar(cfg, col)
+		var onDay func(int)
+		if opts.Sweep > 0 {
+			onDay = func(int) { cache.Sweep(opts.Sweep) }
+		}
+		rates = ReplayColumnar(col, cache, onDay)
+	}
 	run := &PolicyRun{
 		Policy:   pol.Name(),
 		Capacity: capacity,

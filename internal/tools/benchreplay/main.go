@@ -1,30 +1,37 @@
 // Command benchreplay measures the single-replay hot path on the
-// paper's 36-policy Experiment 2 sweep and records the result as
-// machine-readable JSON (BENCH_replay.json at the repo root), so the
-// engine's ns-per-request trajectory is tracked PR over PR.
+// paper's 36-policy Experiment 2 sweep and records the result in a
+// machine-readable trajectory (BENCH_replay.json at the repo root, one
+// JSON array entry per recorded run), so the engine's ns-per-request
+// history is tracked PR over PR.
 //
-// It times the same sweep twice in one process:
+// It times the same sweep three times in one process:
 //
 //   - baseline: the pre-optimization engine, reconstructed through the
 //     ablation switches — generic key-loop comparators
 //     (policy.DisableCompiled), per-insert entry allocation and no
 //     capacity pre-sizing (core.DisableAllocOpts), per-replay day
-//     recomputation (sim.DisableDayIndex), and pairwise-swap heap
-//     sifts (pqueue.DisableHoleSift);
-//   - optimized: compiled comparators over cached derived keys, entry
-//     recycling, pre-sized heaps, hole-based sifts, and the shared day
-//     index.
+//     recomputation (sim.DisableDayIndex), pairwise-swap heap sifts
+//     (pqueue.DisableHoleSift), and the string-indexed entry map
+//     (sim.DisableInterning);
+//   - nointern: the compiled/alloc-free engine with only interning
+//     disabled — the previous PR's endpoint, isolating the interned
+//     columnar layer's contribution;
+//   - optimized: everything on — compiled comparators over cached
+//     derived keys, entry recycling, pre-sized heaps, hole-based sifts,
+//     the shared day index, and map-free ID-indexed replay over the
+//     shared interned columnar trace view.
 //
-// Both modes replay every combination with identical seeds, and the
-// tool fails if any run's results differ between modes — the timing
-// harness doubles as an end-to-end equivalence check for the compiled
-// layer.
+// All modes replay every combination with identical seeds, and the tool
+// fails if any run's results differ between modes — the timing harness
+// doubles as an end-to-end equivalence check for the compiled and
+// interned layers.
 //
 // Usage:
 //
 //	benchreplay                       # measure and print
-//	benchreplay -out BENCH_replay.json
-//	benchreplay -compare BENCH_replay.json   # print delta vs a saved run
+//	benchreplay -out BENCH_replay.json        # measure and append to the trajectory
+//	benchreplay -compare BENCH_replay.json    # measure and print delta vs the last entry
+//	benchreplay -diff BENCH_replay.json       # print delta between the last two entries (no run)
 package main
 
 import (
@@ -32,9 +39,11 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"os/exec"
 	"reflect"
 	"runtime"
 	"runtime/pprof"
+	"strings"
 	"time"
 
 	"webcache/internal/core"
@@ -45,21 +54,35 @@ import (
 	"webcache/internal/workload"
 )
 
-// Result is the JSON schema of BENCH_replay.json.
-type Result struct {
-	Benchmark         string  `json:"benchmark"`
-	Workload          string  `json:"workload"`
-	Scale             float64 `json:"scale"`
-	Fraction          float64 `json:"fraction"`
-	Policies          int     `json:"policies"`
-	RequestsPerReplay int     `json:"requests_per_replay"`
-	Reps              int     `json:"reps"`
-	BaselineNsPerReq  float64 `json:"baseline_ns_per_request"`
-	OptimizedNsPerReq float64 `json:"optimized_ns_per_request"`
-	Speedup           float64 `json:"speedup"`
-	IdenticalOutput   bool    `json:"identical_output"`
-	GoMaxProcs        int     `json:"-"`
-	Generated         string  `json:"generated"`
+// Run is one measurement in the BENCH_replay.json trajectory.
+type Run struct {
+	Benchmark         string              `json:"benchmark"`
+	GitRev            string              `json:"git_rev"`
+	Workload          string              `json:"workload"`
+	Scale             float64             `json:"scale"`
+	Fraction          float64             `json:"fraction"`
+	Policies          int                 `json:"policies"`
+	RequestsPerReplay int                 `json:"requests_per_replay"`
+	Reps              int                 `json:"reps"`
+	BaselineNsPerReq  float64             `json:"baseline_ns_per_request"`
+	NoInternNsPerReq  float64             `json:"nointern_ns_per_request,omitempty"`
+	OptimizedNsPerReq float64             `json:"optimized_ns_per_request"`
+	Speedup           float64             `json:"speedup"`
+	InterningSpeedup  float64             `json:"interning_speedup,omitempty"`
+	IdenticalOutput   bool                `json:"identical_output"`
+	Ablations         map[string][]string `json:"ablations,omitempty"`
+	Generated         string              `json:"generated"`
+}
+
+// modeAblations documents which switches each timed mode sets; it is
+// recorded verbatim in every trajectory entry.
+var modeAblations = map[string][]string{
+	"baseline": {
+		"policy.DisableCompiled", "core.DisableAllocOpts",
+		"sim.DisableDayIndex", "pqueue.DisableHoleSift", "sim.DisableInterning",
+	},
+	"nointern":  {"sim.DisableInterning"},
+	"optimized": {},
 }
 
 func main() {
@@ -69,13 +92,20 @@ func main() {
 		fraction   = flag.Float64("fraction", 0.10, "cache size as a fraction of MaxNeeded")
 		seed       = flag.Uint64("seed", 42, "workload generation seed")
 		reps       = flag.Int("reps", 3, "repetitions per mode; the fastest is kept")
-		out        = flag.String("out", "", "write the result as JSON to this file")
-		compare    = flag.String("compare", "", "read a previous result from this file and print the delta")
-		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile of the measurement (both modes) to this file")
+		out        = flag.String("out", "", "append the result to this trajectory file")
+		compare    = flag.String("compare", "", "measure and print the delta vs this trajectory's last entry")
+		diff       = flag.String("diff", "", "print the delta between this trajectory's last two entries, without measuring")
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile of the measurement (all modes) to this file")
 	)
 	flag.Parse()
 
-	if err := run(*wl, *scale, *fraction, *seed, *reps, *out, *compare, *cpuprofile); err != nil {
+	var err error
+	if *diff != "" {
+		err = printTrajectoryDiff(*diff)
+	} else {
+		err = run(*wl, *scale, *fraction, *seed, *reps, *out, *compare, *cpuprofile)
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchreplay:", err)
 		os.Exit(1)
 	}
@@ -96,7 +126,10 @@ func run(wl string, scale, fraction float64, seed uint64, reps int, out, compare
 	}
 	base := sim.Experiment1(tr, seed+1)
 	combos := policy.AllCombos()
-	tr.DayIndex() // build the shared index outside the timed region
+	// Build the shared structures outside the timed region: the day
+	// index and the interned columnar view are per-trace, decoded once.
+	tr.DayIndex()
+	tr.Columnar()
 
 	fmt.Printf("benchreplay: %s scale %g (%d requests), %d policies at %g×MaxNeeded, %d reps\n",
 		tr.Name, scale, len(tr.Requests), len(combos), fraction, reps)
@@ -113,34 +146,43 @@ func run(wl string, scale, fraction float64, seed uint64, reps int, out, compare
 		defer pprof.StopCPUProfile()
 	}
 
-	// Interleave the two modes rep by rep, keeping the fastest rep of
-	// each, so machine-load drift during the run lands on both sides of
-	// the ratio instead of skewing one.
+	// Interleave the three modes rep by rep, keeping the fastest rep of
+	// each, so machine-load drift during the run lands on all sides of
+	// the ratios instead of skewing one.
 	runner := sim.NewRunner(sim.RunnerConfig{Workers: 1})
-	var baseRuns, optRuns []*sim.PolicyRun
-	baseBest, optBest := maxDuration, maxDuration
+	type mode struct {
+		legacy, nointern bool
+		best             time.Duration
+		runs             []*sim.PolicyRun
+	}
+	modes := []*mode{
+		{legacy: true, nointern: true, best: maxDuration},  // baseline
+		{legacy: false, nointern: true, best: maxDuration}, // nointern (PR-2 engine)
+		{legacy: false, nointern: false, best: maxDuration},
+	}
 	for r := 0; r < reps; r++ {
-		var d time.Duration
-		d, baseRuns = sweepOnce(runner, tr, base, combos, fraction, seed, true)
-		if d < baseBest {
-			baseBest = d
-		}
-		d, optRuns = sweepOnce(runner, tr, base, combos, fraction, seed, false)
-		if d < optBest {
-			optBest = d
+		for _, m := range modes {
+			d, runs := sweepOnce(runner, tr, base, combos, fraction, seed, m.legacy, m.nointern)
+			if d < m.best {
+				m.best = d
+			}
+			m.runs = runs
 		}
 	}
 	total := float64(len(combos) * len(tr.Requests))
-	baseNs := float64(baseBest.Nanoseconds()) / total
-	optNs := float64(optBest.Nanoseconds()) / total
+	baseNs := float64(modes[0].best.Nanoseconds()) / total
+	nointernNs := float64(modes[1].best.Nanoseconds()) / total
+	optNs := float64(modes[2].best.Nanoseconds()) / total
 
-	identical := reflect.DeepEqual(baseRuns, optRuns)
+	identical := reflect.DeepEqual(modes[0].runs, modes[2].runs) &&
+		reflect.DeepEqual(modes[1].runs, modes[2].runs)
 	if !identical {
-		return fmt.Errorf("optimized sweep results differ from the generic baseline — the compiled layer is wrong")
+		return fmt.Errorf("sweep results differ between modes — an ablation layer changed behavior")
 	}
 
-	res := Result{
+	res := Run{
 		Benchmark:         "exp2-36policy-replay",
+		GitRev:            gitRev(),
 		Workload:          tr.Name,
 		Scale:             scale,
 		Fraction:          fraction,
@@ -148,15 +190,20 @@ func run(wl string, scale, fraction float64, seed uint64, reps int, out, compare
 		RequestsPerReplay: len(tr.Requests),
 		Reps:              reps,
 		BaselineNsPerReq:  baseNs,
+		NoInternNsPerReq:  nointernNs,
 		OptimizedNsPerReq: optNs,
 		Speedup:           baseNs / optNs,
+		InterningSpeedup:  nointernNs / optNs,
 		IdenticalOutput:   identical,
+		Ablations:         modeAblations,
 		Generated:         time.Now().UTC().Format(time.RFC3339),
 	}
 
-	fmt.Printf("  baseline  (generic comparators, no alloc opts): %8.1f ns/request\n", res.BaselineNsPerReq)
-	fmt.Printf("  optimized (compiled comparators, alloc-free):   %8.1f ns/request\n", res.OptimizedNsPerReq)
-	fmt.Printf("  speedup: %.2f×  (outputs identical: %v)\n", res.Speedup, res.IdenticalOutput)
+	fmt.Printf("  baseline  (all ablation switches set):      %8.1f ns/request\n", res.BaselineNsPerReq)
+	fmt.Printf("  nointern  (compiled engine, string map):    %8.1f ns/request\n", res.NoInternNsPerReq)
+	fmt.Printf("  optimized (interned columnar, map-free):    %8.1f ns/request\n", res.OptimizedNsPerReq)
+	fmt.Printf("  speedup: %.2f× vs baseline, %.2f× vs nointern  (outputs identical: %v)\n",
+		res.Speedup, res.InterningSpeedup, res.IdenticalOutput)
 
 	if compare != "" {
 		if err := printDelta(compare, res); err != nil {
@@ -164,15 +211,10 @@ func run(wl string, scale, fraction float64, seed uint64, reps int, out, compare
 		}
 	}
 	if out != "" {
-		data, err := json.MarshalIndent(res, "", "  ")
-		if err != nil {
+		if err := appendRun(out, res); err != nil {
 			return err
 		}
-		data = append(data, '\n')
-		if err := os.WriteFile(out, data, 0o644); err != nil {
-			return err
-		}
-		fmt.Printf("  wrote %s\n", out)
+		fmt.Printf("  appended to %s\n", out)
 	}
 	return nil
 }
@@ -182,41 +224,120 @@ const maxDuration = time.Duration(1<<63 - 1)
 // sweepOnce times one execution of the full combo sweep in the given
 // mode, returning the wall time and the run results for cross-mode
 // comparison.
-func sweepOnce(runner *sim.Runner, tr *trace.Trace, base *sim.Exp1Result, combos []policy.Combo, fraction float64, seed uint64, legacy bool) (time.Duration, []*sim.PolicyRun) {
+func sweepOnce(runner *sim.Runner, tr *trace.Trace, base *sim.Exp1Result, combos []policy.Combo, fraction float64, seed uint64, legacy, nointern bool) (time.Duration, []*sim.PolicyRun) {
 	policy.DisableCompiled = legacy
 	core.DisableAllocOpts = legacy
 	sim.DisableDayIndex = legacy
 	pqueue.DisableHoleSift = legacy
+	sim.DisableInterning = nointern
 	defer func() {
 		policy.DisableCompiled = false
 		core.DisableAllocOpts = false
 		sim.DisableDayIndex = false
 		pqueue.DisableHoleSift = false
+		sim.DisableInterning = false
 	}()
 
-	// Settle garbage from the previous rep so neither mode pays for the
-	// other's allocations.
+	// Settle garbage from the previous rep so no mode pays for
+	// another's allocations.
 	runtime.GC()
 	start := time.Now()
 	res := sim.Experiment2R(runner, tr, base, combos, fraction, seed+2)
 	return time.Since(start), res.Runs
 }
 
-// printDelta reports this run against a previously saved result.
-func printDelta(path string, cur Result) error {
+// gitRev identifies the measured revision ("-dirty" when the tree has
+// uncommitted changes), "unknown" outside a work tree.
+func gitRev() string {
+	out, err := exec.Command("git", "rev-parse", "--short", "HEAD").Output()
+	if err != nil {
+		return "unknown"
+	}
+	rev := strings.TrimSpace(string(out))
+	if status, err := exec.Command("git", "status", "--porcelain").Output(); err == nil && len(status) > 0 {
+		rev += "-dirty"
+	}
+	return rev
+}
+
+// readTrajectory parses a trajectory file. A legacy file holding a
+// single run object (the pre-trajectory schema) is read as a one-entry
+// trajectory, so appending migrates it in place.
+func readTrajectory(path string) ([]Run, error) {
 	data, err := os.ReadFile(path)
 	if err != nil {
-		return fmt.Errorf("no saved result to compare against: %w", err)
+		return nil, err
 	}
-	var prev Result
-	if err := json.Unmarshal(data, &prev); err != nil {
-		return fmt.Errorf("parsing %s: %w", path, err)
+	var runs []Run
+	if err := json.Unmarshal(data, &runs); err == nil {
+		return runs, nil
 	}
+	var single Run
+	if err := json.Unmarshal(data, &single); err != nil {
+		return nil, fmt.Errorf("parsing %s: %w", path, err)
+	}
+	return []Run{single}, nil
+}
+
+// appendRun adds res to the trajectory at path, creating it if absent.
+func appendRun(path string, res Run) error {
+	var runs []Run
+	if _, err := os.Stat(path); err == nil {
+		runs, err = readTrajectory(path)
+		if err != nil {
+			return err
+		}
+	}
+	runs = append(runs, res)
+	data, err := json.MarshalIndent(runs, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// printDelta reports a fresh measurement against the trajectory's last
+// recorded entry.
+func printDelta(path string, cur Run) error {
+	runs, err := readTrajectory(path)
+	if err != nil {
+		return fmt.Errorf("no saved trajectory to compare against: %w", err)
+	}
+	if len(runs) == 0 {
+		return fmt.Errorf("%s holds no runs", path)
+	}
+	prev := runs[len(runs)-1]
 	if prev.OptimizedNsPerReq <= 0 {
-		return fmt.Errorf("%s has no optimized_ns_per_request", path)
+		return fmt.Errorf("%s's last entry has no optimized_ns_per_request", path)
 	}
 	delta := (cur.OptimizedNsPerReq - prev.OptimizedNsPerReq) / prev.OptimizedNsPerReq * 100
-	fmt.Printf("  vs %s (%s): %8.1f → %8.1f ns/request (%+.1f%%)\n",
-		path, prev.Generated, prev.OptimizedNsPerReq, cur.OptimizedNsPerReq, delta)
+	fmt.Printf("  vs %s (%s, %s): %8.1f → %8.1f ns/request (%+.1f%%)\n",
+		path, prev.GitRev, prev.Generated, prev.OptimizedNsPerReq, cur.OptimizedNsPerReq, delta)
+	return nil
+}
+
+// printTrajectoryDiff reports the delta between the last two recorded
+// entries without running a measurement.
+func printTrajectoryDiff(path string) error {
+	runs, err := readTrajectory(path)
+	if err != nil {
+		return err
+	}
+	if len(runs) < 2 {
+		return fmt.Errorf("%s holds %d run(s); need two to diff", path, len(runs))
+	}
+	a, b := runs[len(runs)-2], runs[len(runs)-1]
+	if a.OptimizedNsPerReq <= 0 {
+		return fmt.Errorf("%s's second-to-last entry has no optimized_ns_per_request", path)
+	}
+	delta := (b.OptimizedNsPerReq - a.OptimizedNsPerReq) / a.OptimizedNsPerReq * 100
+	fmt.Printf("%s: last two entries\n", path)
+	fmt.Printf("  %-10s %-20s %8s %8s %8s\n", "rev", "generated", "base", "opt", "speedup")
+	for _, r := range []Run{a, b} {
+		fmt.Printf("  %-10s %-20s %8.1f %8.1f %7.2f×\n",
+			r.GitRev, r.Generated, r.BaselineNsPerReq, r.OptimizedNsPerReq, r.Speedup)
+	}
+	fmt.Printf("  optimized ns/request: %8.1f → %8.1f (%+.1f%%)\n",
+		a.OptimizedNsPerReq, b.OptimizedNsPerReq, delta)
 	return nil
 }

@@ -1,0 +1,290 @@
+package trace
+
+// Binary trace format: a compact, URL-interned on-disk encoding of a
+// trace, so repeated experiment invocations load the trace in one pass
+// instead of re-running the synthetic generator (or re-parsing a log).
+// The layout is columnar in spirit — string tables up front, then
+// varint-packed per-request tuples referencing them by dense ID — and
+// round-trips a trace exactly: ReadBinary(WriteBinary(tr)) reproduces
+// Name, Start and every Request field bit for bit, so simulation
+// results are identical whether the trace was generated or loaded.
+//
+//	magic "WCT1"
+//	name        (uvarint len + bytes)
+//	start       (varint, Unix seconds)
+//	url table   (uvarint count, then len+bytes each; index = URL ID)
+//	client table(uvarint count, then len+bytes each; index = client ID)
+//	requests    (uvarint count, then per request:
+//	             time delta from previous request (varint),
+//	             client ID, URL ID, status (uvarints),
+//	             size, last-modified (varints), type (uvarint))
+//
+// Deltas make timestamps one or two bytes each on sorted traces, and
+// the shared string tables mean a loaded trace is already interned:
+// requests referencing the same URL share one string.
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+)
+
+// binMagic identifies (and versions) the binary trace format.
+const binMagic = "WCT1"
+
+// binary format sanity bounds: a corrupt length prefix must produce an
+// error, not an arbitrarily large allocation.
+const (
+	maxBinString = 1 << 24 // longest URL/client/name accepted
+	maxBinCount  = 1 << 31 // most table entries / requests accepted
+)
+
+// WriteBinary writes tr in the binary trace format.
+func WriteBinary(w io.Writer, tr *Trace) error {
+	bw := bufio.NewWriterSize(w, 1<<20)
+	if _, err := bw.WriteString(binMagic); err != nil {
+		return err
+	}
+	var buf [binary.MaxVarintLen64]byte
+	putUvarint := func(v uint64) error {
+		n := binary.PutUvarint(buf[:], v)
+		_, err := bw.Write(buf[:n])
+		return err
+	}
+	putVarint := func(v int64) error {
+		n := binary.PutVarint(buf[:], v)
+		_, err := bw.Write(buf[:n])
+		return err
+	}
+	putString := func(s string) error {
+		if err := putUvarint(uint64(len(s))); err != nil {
+			return err
+		}
+		_, err := bw.WriteString(s)
+		return err
+	}
+
+	if err := putString(tr.Name); err != nil {
+		return err
+	}
+	if err := putVarint(tr.Start); err != nil {
+		return err
+	}
+
+	// Build the string tables in first-appearance order.
+	urls := NewInterner(len(tr.Requests) / 3)
+	clients := NewInterner(256)
+	for i := range tr.Requests {
+		urls.Intern(tr.Requests[i].URL)
+		clients.Intern(tr.Requests[i].Client)
+	}
+	for _, table := range [][]string{urls.URLs(), clients.URLs()} {
+		if err := putUvarint(uint64(len(table))); err != nil {
+			return err
+		}
+		for _, s := range table {
+			if err := putString(s); err != nil {
+				return err
+			}
+		}
+	}
+
+	if err := putUvarint(uint64(len(tr.Requests))); err != nil {
+		return err
+	}
+	prev := tr.Start
+	for i := range tr.Requests {
+		r := &tr.Requests[i]
+		uid, _ := urls.Lookup(r.URL)
+		cid, _ := clients.Lookup(r.Client)
+		if err := putVarint(r.Time - prev); err != nil {
+			return err
+		}
+		prev = r.Time
+		if err := putUvarint(uint64(cid)); err != nil {
+			return err
+		}
+		if err := putUvarint(uint64(uid)); err != nil {
+			return err
+		}
+		if err := putUvarint(uint64(r.Status)); err != nil {
+			return err
+		}
+		if err := putVarint(r.Size); err != nil {
+			return err
+		}
+		if err := putVarint(r.LastModified); err != nil {
+			return err
+		}
+		if err := putUvarint(uint64(r.Type)); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadBinary reads a trace written by WriteBinary.
+func ReadBinary(r io.Reader) (*Trace, error) {
+	br := bufio.NewReaderSize(r, 1<<20)
+	magic := make([]byte, len(binMagic))
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, fmt.Errorf("trace: reading binary magic: %w", err)
+	}
+	if string(magic) != binMagic {
+		return nil, fmt.Errorf("trace: not a binary trace (magic %q, want %q)", magic, binMagic)
+	}
+	getUvarint := func(what string) (uint64, error) {
+		v, err := binary.ReadUvarint(br)
+		if err != nil {
+			return 0, fmt.Errorf("trace: reading %s: %w", what, err)
+		}
+		return v, nil
+	}
+	getVarint := func(what string) (int64, error) {
+		v, err := binary.ReadVarint(br)
+		if err != nil {
+			return 0, fmt.Errorf("trace: reading %s: %w", what, err)
+		}
+		return v, nil
+	}
+	getString := func(what string) (string, error) {
+		n, err := getUvarint(what + " length")
+		if err != nil {
+			return "", err
+		}
+		if n > maxBinString {
+			return "", fmt.Errorf("trace: %s length %d exceeds limit", what, n)
+		}
+		b := make([]byte, n)
+		if _, err := io.ReadFull(br, b); err != nil {
+			return "", fmt.Errorf("trace: reading %s: %w", what, err)
+		}
+		return string(b), nil
+	}
+	getTable := func(what string) ([]string, error) {
+		n, err := getUvarint(what + " count")
+		if err != nil {
+			return nil, err
+		}
+		if n > maxBinCount {
+			return nil, fmt.Errorf("trace: %s count %d exceeds limit", what, n)
+		}
+		table := make([]string, 0, min(int(n), 1<<20))
+		for i := uint64(0); i < n; i++ {
+			s, err := getString(what)
+			if err != nil {
+				return nil, err
+			}
+			table = append(table, s)
+		}
+		return table, nil
+	}
+
+	tr := &Trace{}
+	var err error
+	if tr.Name, err = getString("trace name"); err != nil {
+		return nil, err
+	}
+	if tr.Start, err = getVarint("trace start"); err != nil {
+		return nil, err
+	}
+	urls, err := getTable("url")
+	if err != nil {
+		return nil, err
+	}
+	clients, err := getTable("client")
+	if err != nil {
+		return nil, err
+	}
+
+	n, err := getUvarint("request count")
+	if err != nil {
+		return nil, err
+	}
+	if n > maxBinCount {
+		return nil, fmt.Errorf("trace: request count %d exceeds limit", n)
+	}
+	tr.Requests = make([]Request, 0, min(int(n), 1<<20))
+	prev := tr.Start
+	for i := uint64(0); i < n; i++ {
+		var req Request
+		delta, err := getVarint("request time")
+		if err != nil {
+			return nil, err
+		}
+		req.Time = prev + delta
+		prev = req.Time
+		cid, err := getUvarint("client ID")
+		if err != nil {
+			return nil, err
+		}
+		if cid >= uint64(len(clients)) {
+			return nil, fmt.Errorf("trace: client ID %d out of range (%d clients)", cid, len(clients))
+		}
+		req.Client = clients[cid]
+		uid, err := getUvarint("URL ID")
+		if err != nil {
+			return nil, err
+		}
+		if uid >= uint64(len(urls)) {
+			return nil, fmt.Errorf("trace: URL ID %d out of range (%d urls)", uid, len(urls))
+		}
+		req.URL = urls[uid]
+		status, err := getUvarint("status")
+		if err != nil {
+			return nil, err
+		}
+		req.Status = int(status)
+		if req.Size, err = getVarint("size"); err != nil {
+			return nil, err
+		}
+		if req.LastModified, err = getVarint("last-modified"); err != nil {
+			return nil, err
+		}
+		typ, err := getUvarint("type")
+		if err != nil {
+			return nil, err
+		}
+		if typ >= NumDocTypes {
+			return nil, fmt.Errorf("trace: document type %d out of range", typ)
+		}
+		req.Type = DocType(typ)
+		tr.Requests = append(tr.Requests, req)
+	}
+	return tr, nil
+}
+
+// WriteBinaryFile writes tr to path via a temporary file and rename, so
+// a concurrent reader never observes a half-written cache.
+func WriteBinaryFile(path string, tr *Trace) error {
+	tmp, err := os.CreateTemp(filepath.Dir(path), ".wct-*")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name())
+	if err := WriteBinary(tmp, tr); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp.Name(), path)
+}
+
+// ReadBinaryFile reads a binary trace from path.
+func ReadBinaryFile(path string) (*Trace, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	tr, err := ReadBinary(f)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return tr, nil
+}

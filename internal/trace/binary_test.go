@@ -1,0 +1,96 @@
+package trace
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// TestBinaryRoundTrip checks that the binary format reproduces a trace
+// exactly: name, start, and every request field.
+func TestBinaryRoundTrip(t *testing.T) {
+	tr := internTestTrace()
+	tr.Requests[2].LastModified = tr.Requests[2].Time - 1000
+	tr.Requests[3].Status = 404
+	tr.Requests[4].Size = 0
+
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadBinary(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Name != tr.Name || got.Start != tr.Start {
+		t.Fatalf("header %q/%d, want %q/%d", got.Name, got.Start, tr.Name, tr.Start)
+	}
+	if !reflect.DeepEqual(got.Requests, tr.Requests) {
+		t.Fatalf("requests differ after round trip:\n got %+v\nwant %+v", got.Requests, tr.Requests)
+	}
+}
+
+// TestBinaryRoundTripEmpty covers the zero-request edge.
+func TestBinaryRoundTripEmpty(t *testing.T) {
+	tr := &Trace{Name: "empty", Start: 86400}
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadBinary(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Name != "empty" || got.Start != 86400 || len(got.Requests) != 0 {
+		t.Fatalf("bad empty round trip: %+v", got)
+	}
+}
+
+// TestBinaryFile exercises the file helpers, including the atomic
+// write-then-rename.
+func TestBinaryFile(t *testing.T) {
+	tr := internTestTrace()
+	path := filepath.Join(t.TempDir(), "t.wct")
+	if err := WriteBinaryFile(path, tr); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadBinaryFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got.Requests, tr.Requests) {
+		t.Fatal("file round trip lost requests")
+	}
+	leftovers, _ := filepath.Glob(filepath.Join(filepath.Dir(path), ".wct-*"))
+	if len(leftovers) != 0 {
+		t.Fatalf("temporary files left behind: %v", leftovers)
+	}
+}
+
+// TestBinaryRejectsCorruption checks that bad magic and truncated input
+// produce errors, not panics or garbage traces.
+func TestBinaryRejectsCorruption(t *testing.T) {
+	if _, err := ReadBinary(strings.NewReader("NOPE")); err == nil {
+		t.Fatal("accepted bad magic")
+	}
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, internTestTrace()); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	for _, n := range []int{5, len(full) / 2, len(full) - 1} {
+		if _, err := ReadBinary(bytes.NewReader(full[:n])); err == nil {
+			t.Fatalf("accepted truncation at %d bytes", n)
+		}
+	}
+}
+
+// TestReadBinaryFileMissing checks the error path for an absent cache.
+func TestReadBinaryFileMissing(t *testing.T) {
+	if _, err := ReadBinaryFile(filepath.Join(t.TempDir(), "missing.wct")); !os.IsNotExist(err) {
+		t.Fatalf("want not-exist error, got %v", err)
+	}
+}

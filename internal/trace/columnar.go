@@ -1,0 +1,84 @@
+package trace
+
+// Columnar is the interned struct-of-arrays view of a trace: one int32
+// URL ID, size, time, day index and document type per request, plus
+// per-ID tables derived from each distinct URL exactly once. The view
+// is built in a single decode pass (Trace.Columnar) and is read-only
+// afterwards, so a policy sweep fans the same view out to every worker
+// and replays it with no string hashing, no day division and no URL
+// re-classification per request.
+type Columnar struct {
+	Name  string
+	Start int64 // Unix seconds of the first day's midnight
+
+	// Per-request columns, all of length Len().
+	IDs   []int32   // interned URL ID
+	Sizes []int64   // bytes transferred (after §1.1 validation)
+	Times []int64   // Unix seconds
+	Day   []int32   // day index relative to Start
+	Types []DocType // the request's logged media type (drives per-type stats)
+
+	// Per-ID tables, all of length NumIDs(), indexed by interned ID.
+	URLs []string // ID → URL, for reporting and the LatencyOf/ExpiresOf hooks
+	// Class is ClassifyURL(URL) computed once per distinct URL; Dynamic
+	// is Class == CGI, the §1.1 dynamically-generated test that the
+	// string engine re-derives from the URL on every insert.
+	Class   []DocType
+	Dynamic []bool
+
+	in *Interner
+}
+
+// BuildColumnar interns every URL of tr and materializes the columnar
+// view. hint pre-sizes the interner (expected distinct-URL count); any
+// value yields the same view.
+func BuildColumnar(tr *Trace, hint int) *Columnar {
+	n := len(tr.Requests)
+	c := &Columnar{
+		Name:  tr.Name,
+		Start: tr.Start,
+		IDs:   make([]int32, n),
+		Sizes: make([]int64, n),
+		Times: make([]int64, n),
+		Day:   make([]int32, n),
+		Types: make([]DocType, n),
+		in:    NewInterner(hint),
+	}
+	for i := range tr.Requests {
+		r := &tr.Requests[i]
+		c.IDs[i] = c.in.Intern(r.URL)
+		c.Sizes[i] = r.Size
+		c.Times[i] = r.Time
+		c.Day[i] = int32((r.Time - tr.Start) / 86400)
+		c.Types[i] = r.Type
+	}
+	c.URLs = c.in.URLs()
+	c.Class = make([]DocType, len(c.URLs))
+	c.Dynamic = make([]bool, len(c.URLs))
+	for id, url := range c.URLs {
+		dt := ClassifyURL(url)
+		c.Class[id] = dt
+		c.Dynamic[id] = dt == CGI
+	}
+	return c
+}
+
+// Len returns the number of requests in the view.
+func (c *Columnar) Len() int { return len(c.IDs) }
+
+// NumIDs returns the number of distinct URLs (IDs are 0..NumIDs()-1).
+func (c *Columnar) NumIDs() int { return len(c.URLs) }
+
+// ID returns the interned ID of url, if url appears in the trace.
+func (c *Columnar) ID(url string) (int32, bool) { return c.in.Lookup(url) }
+
+// Columnar returns the interned columnar view of t, built once and
+// shared between replays (safe for concurrent use; the requests must
+// not be mutated afterwards, the same contract as DayIndex). Traces
+// produced by the transform helpers get a fresh view.
+func (t *Trace) Columnar() *Columnar {
+	t.colOnce.Do(func() {
+		t.col = BuildColumnar(t, len(t.Requests)/3)
+	})
+	return t.col
+}

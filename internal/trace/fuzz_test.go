@@ -1,6 +1,9 @@
 package trace
 
-import "testing"
+import (
+	"bytes"
+	"testing"
+)
 
 // FuzzParseCLFLine: arbitrary log lines must parse or error, never
 // panic, and accepted lines must re-serialize consistently.
@@ -20,6 +23,71 @@ func FuzzParseCLFLine(f *testing.F) {
 		}
 		if req.URL == "" {
 			t.Fatalf("accepted empty URL: %q", line)
+		}
+	})
+}
+
+// FuzzInterner: URL↔ID round-trips for arbitrary strings, distinct
+// URLs never collide on an ID, and the §1.1 hit rule — a request hits
+// iff URL *and* size match — is preserved when URLs are replaced by
+// interned IDs.
+func FuzzInterner(f *testing.F) {
+	f.Add("http://s/a.gif", "http://s/b.gif", int64(100), int64(100))
+	f.Add("http://s/a.gif", "http://s/a.gif", int64(100), int64(200))
+	f.Add("", "\x00", int64(0), int64(0))
+	f.Add("u", "u", int64(-5), int64(-5))
+	f.Fuzz(func(t *testing.T, urlA, urlB string, sizeA, sizeB int64) {
+		in := NewInterner(0)
+		idA := in.Intern(urlA)
+		idB := in.Intern(urlB)
+		// Bijection: ID equality must coincide with URL equality.
+		if (urlA == urlB) != (idA == idB) {
+			t.Fatalf("IDs %d,%d for URLs %q,%q: interning broke URL identity", idA, idB, urlA, urlB)
+		}
+		// Round trip both directions.
+		if in.URL(idA) != urlA || in.URL(idB) != urlB {
+			t.Fatalf("URL(ID) round trip lost a URL: %q,%q", in.URL(idA), in.URL(idB))
+		}
+		for _, u := range []string{urlA, urlB} {
+			id, ok := in.Lookup(u)
+			if !ok || in.URL(id) != u {
+				t.Fatalf("Lookup(%q) = %d,%v: not the interned ID", u, id, ok)
+			}
+		}
+		// Re-interning is stable.
+		if in.Intern(urlA) != idA || in.Intern(urlB) != idB {
+			t.Fatal("re-interning changed an ID")
+		}
+		// §1.1 hit rule: a cached copy of (urlA, sizeA) serves a request
+		// for (urlB, sizeB) iff URL and size both match — identically
+		// under string comparison and under interned-ID comparison.
+		hitByURL := urlA == urlB && sizeA == sizeB
+		hitByID := idA == idB && sizeA == sizeB
+		if hitByURL != hitByID {
+			t.Fatalf("hit rule diverged: byURL=%v byID=%v for %q/%d vs %q/%d",
+				hitByURL, hitByID, urlA, sizeA, urlB, sizeB)
+		}
+	})
+}
+
+// FuzzReadBinary: arbitrary bytes must parse or error, never panic, and
+// anything WriteBinary produced must re-read exactly.
+func FuzzReadBinary(f *testing.F) {
+	var seed bytes.Buffer
+	if err := WriteBinary(&seed, internTestTrace()); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(seed.Bytes())
+	f.Add([]byte(binMagic))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tr, err := ReadBinary(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		var out bytes.Buffer
+		if err := WriteBinary(&out, tr); err != nil {
+			t.Fatalf("re-encoding an accepted trace failed: %v", err)
 		}
 	})
 }

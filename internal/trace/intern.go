@@ -1,0 +1,60 @@
+package trace
+
+// Interner assigns each distinct URL a dense int32 ID, so the replay
+// engine can index entries by integer instead of hashing URL strings on
+// every request. A trace is interned exactly once (Trace.Columnar); the
+// 36-policy Experiment 2 sweep then replays the same columnar view 36
+// times with no per-request string work.
+//
+// IDs are dense: the i-th distinct URL (in first-appearance order)
+// gets ID i, so a slice of length Len() indexed by ID covers every
+// interned URL. The §1.1 hit rule — a request hits iff the cache holds
+// a copy matching the requested URL *and* size — survives interning
+// because the URL↔ID mapping is a bijection: ID equality is URL
+// equality (FuzzInterner pins this).
+type Interner struct {
+	ids  map[string]int32
+	urls []string
+}
+
+// NewInterner returns an interner pre-sized for about hint distinct
+// URLs. The hint is purely a performance lever (it pre-sizes the map
+// and the ID→URL table); any value, including zero, yields the same
+// mapping.
+func NewInterner(hint int) *Interner {
+	if hint < 16 {
+		hint = 16
+	}
+	return &Interner{
+		ids:  make(map[string]int32, hint),
+		urls: make([]string, 0, hint),
+	}
+}
+
+// Intern returns the ID of url, assigning the next dense ID on first
+// sight.
+func (in *Interner) Intern(url string) int32 {
+	if id, ok := in.ids[url]; ok {
+		return id
+	}
+	id := int32(len(in.urls))
+	in.ids[url] = id
+	in.urls = append(in.urls, url)
+	return id
+}
+
+// Lookup returns the ID of url without assigning one.
+func (in *Interner) Lookup(url string) (int32, bool) {
+	id, ok := in.ids[url]
+	return id, ok
+}
+
+// URL returns the URL for an assigned ID.
+func (in *Interner) URL(id int32) string { return in.urls[id] }
+
+// Len returns the number of distinct URLs interned.
+func (in *Interner) Len() int { return len(in.urls) }
+
+// URLs returns the ID→URL table (shared, not copied; callers must not
+// mutate it).
+func (in *Interner) URLs() []string { return in.urls }

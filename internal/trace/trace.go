@@ -138,6 +138,11 @@ type Trace struct {
 	// timestamp per replay.
 	dayOnce sync.Once
 	dayIdx  []int32
+
+	// col caches the interned columnar view (Columnar), built lazily
+	// once per trace and shared by every replay of a sweep.
+	colOnce sync.Once
+	col     *Columnar
 }
 
 // DayIndex returns Requests[i].Day(t.Start) for every i, computed once
