@@ -20,6 +20,7 @@ import (
 	"fmt"
 	"os"
 
+	"webcache/internal/obs"
 	"webcache/internal/trace"
 	"webcache/internal/workload"
 )
@@ -33,8 +34,14 @@ func main() {
 		extended = flag.Bool("extended", true, "append Last-Modified extended fields where present")
 		validate = flag.Bool("validated", false, "apply §1.1 validation before writing (drop invalid lines)")
 		emitBin  = flag.String("emit-bin", "", "write the trace to this file in binary form instead of CLF on stdout")
+		version  = flag.Bool("version", false, "print build information and exit")
 	)
 	flag.Parse()
+
+	if *version {
+		fmt.Println("tracegen", obs.BuildInfo())
+		return
+	}
 
 	if err := run(*wl, *config, *scale, *seed, *extended, *validate, *emitBin); err != nil {
 		fmt.Fprintln(os.Stderr, "tracegen:", err)

@@ -25,6 +25,22 @@
 // multi-invocation study decodes each corpus once. -cpuprofile and
 // -memprofile write pprof profiles of the run, the inputs to the
 // hot-path work tracked in BENCH_replay.json.
+//
+// Observability (internal/obs; overhead only when enabled, zero when
+// off):
+//
+//	websim -exp 2all -metrics-out exp2.jsonl   # per-replay metric snapshots (JSONL)
+//	websim -exp 2all -progress                 # live replays-completed/ETA on stderr
+//	websim -version                            # build/revision stamp
+//
+// -metrics-out streams one JSONL record per replay (hits, misses,
+// evictions, evicted bytes, heap peak, occupancy high water,
+// ns/request) between an attributable header (git_rev, flags) and an
+// end-of-run summary (runner speedup, queue wait, aggregate event
+// counters). With observability on, replays also run under pprof
+// labels (policy=, workload=, experiment=), so -cpuprofile samples
+// attribute per policy. Simulation output on stdout is byte-identical
+// with observability on or off.
 package main
 
 import (
@@ -35,7 +51,9 @@ import (
 	"path/filepath"
 	"runtime"
 	"runtime/pprof"
+	"time"
 
+	"webcache/internal/obs"
 	"webcache/internal/policy"
 	"webcache/internal/sim"
 	"webcache/internal/stats"
@@ -57,8 +75,16 @@ func main() {
 		workers    = flag.Int("workers", 0, "parallel replay workers (0 = GOMAXPROCS); results are identical for any value")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile of the run to this file (go tool pprof)")
 		memprofile = flag.String("memprofile", "", "write an end-of-run heap profile to this file (go tool pprof)")
+		metricsOut = flag.String("metrics-out", "", "stream per-replay metric snapshots to this file as JSONL")
+		progress   = flag.Bool("progress", false, "show a live replays-completed/ETA ticker on stderr")
+		version    = flag.Bool("version", false, "print build information and exit")
 	)
 	flag.Parse()
+
+	if *version {
+		fmt.Println("websim", obs.BuildInfo())
+		return
+	}
 
 	if *cpuprofile != "" {
 		f, err := os.Create(*cpuprofile)
@@ -78,6 +104,7 @@ func main() {
 		exp: *exp, wl: *wl, traceFile: *traceFile, traceCache: *traceCache,
 		fraction: *fraction, scale: *scale, seed: *seed, workers: *workers,
 		series: *series, plot: *plot,
+		metricsOut: *metricsOut, progress: *progress,
 	})
 
 	if *memprofile != "" {
@@ -111,10 +138,23 @@ type runConfig struct {
 	seed                           uint64
 	workers                        int
 	series, plot                   bool
+	// metricsOut streams per-replay JSONL snapshots to this file;
+	// progress renders a live ticker on progressW (os.Stderr when nil —
+	// tests inject a buffer). Either enables the observability layer.
+	metricsOut string
+	progress   bool
+	progressW  io.Writer
 }
 
 func run(out io.Writer, rc runConfig) error {
 	runner := sim.NewRunner(sim.RunnerConfig{Workers: rc.workers})
+	if rc.metricsOut != "" || rc.progress {
+		stop, err := enableObservability(runner, rc)
+		if err != nil {
+			return err
+		}
+		defer stop()
+	}
 	exp, fraction, seed := rc.exp, rc.fraction, rc.seed
 	if exp == "tables" {
 		fmt.Fprintln(out, "Table 1 — sorting keys")
@@ -213,6 +253,58 @@ func run(out io.Writer, rc runConfig) error {
 		return fmt.Errorf("unknown experiment %q", exp)
 	}
 	return nil
+}
+
+// enableObservability wires the sim-wide observer from the run's
+// flags: a JSONL metric stream (header stamped with git_rev and the
+// invocation), a stderr progress ticker, or both. The returned stop
+// function emits the end-of-run summary, detaches the observer, and
+// closes the metrics file.
+func enableObservability(runner *sim.Runner, rc runConfig) (stop func(), err error) {
+	var f *os.File
+	var mw io.Writer
+	if rc.metricsOut != "" {
+		f, err = os.Create(rc.metricsOut)
+		if err != nil {
+			return nil, err
+		}
+		mw = f
+	}
+	var prog *obs.Progress
+	if rc.progress {
+		pw := rc.progressW
+		if pw == nil {
+			pw = os.Stderr
+		}
+		prog = obs.NewProgress(pw, "websim", time.Second)
+		prog.Start()
+	}
+	o := obs.New(obs.Options{
+		Metrics: mw,
+		Meta: map[string]any{
+			"tool":     "websim",
+			"git_rev":  obs.GitRev(),
+			"exp":      rc.exp,
+			"workload": rc.wl,
+			"fraction": rc.fraction,
+			"scale":    rc.scale,
+			"seed":     rc.seed,
+			"workers":  runner.Workers(),
+		},
+		Progress: prog,
+	})
+	o.SetExperiment(rc.exp)
+	sim.Observer = o
+	return func() {
+		if err := sim.CloseObserver(runner); err != nil {
+			fmt.Fprintln(os.Stderr, "websim: writing metrics summary:", err)
+		}
+		if f != nil {
+			if err := f.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, "websim: closing metrics file:", err)
+			}
+		}
+	}, nil
 }
 
 // loadTrace returns the validated trace from a file, the binary trace

@@ -2,9 +2,11 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
 	"io"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 
 	"webcache/internal/sim"
@@ -148,6 +150,82 @@ func TestGoldenExperiments(t *testing.T) {
 			if !bytes.Equal(buf.Bytes(), golden) {
 				t.Errorf("exp %s (DisableInterning=%v): output differs from golden", exp, disable)
 			}
+		}
+	}
+}
+
+// TestGoldenWithObservability replays the nine experiments with the
+// observability layer fully on (-metrics-out and -progress): stdout
+// must stay byte-identical to the goldens, and the metrics file must be
+// a well-formed JSONL stream — header, per-replay records, summary.
+func TestGoldenWithObservability(t *testing.T) {
+	if testing.Short() {
+		t.Skip("golden replay is a full nine-experiment run")
+	}
+	for _, exp := range []string{"1", "2", "2s", "2all", "classics", "3", "4", "5", "6"} {
+		golden, err := os.ReadFile(filepath.Join("testdata", "exp"+exp+".golden"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		metrics := filepath.Join(t.TempDir(), "metrics.jsonl")
+		var buf, progress bytes.Buffer
+		cfg := runConfig{
+			exp: exp, wl: "BL", fraction: 0.10, scale: 0.05,
+			seed: 42, workers: 1,
+			metricsOut: metrics, progress: true, progressW: &progress,
+		}
+		if err := run(&buf, cfg); err != nil {
+			t.Fatalf("exp %s with observability: %v", exp, err)
+		}
+		if sim.Observer != nil {
+			t.Fatal("observer still attached after run")
+		}
+		if !bytes.Equal(buf.Bytes(), golden) {
+			t.Errorf("exp %s: output differs from golden with observability on", exp)
+		}
+		if !strings.Contains(progress.String(), "websim:") {
+			t.Errorf("exp %s: no progress output rendered", exp)
+		}
+
+		raw, err := os.ReadFile(metrics)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lines := strings.Split(strings.TrimRight(string(raw), "\n"), "\n")
+		if len(lines) < 3 {
+			t.Fatalf("exp %s: metrics stream has %d lines, want header + replays + summary", exp, len(lines))
+		}
+		var records []map[string]any
+		for i, line := range lines {
+			var rec map[string]any
+			if err := json.Unmarshal([]byte(line), &rec); err != nil {
+				t.Fatalf("exp %s: metrics line %d is not JSON: %v", exp, i, err)
+			}
+			records = append(records, rec)
+		}
+		header := records[0]
+		if header["record"] != "header" || header["schema"] == "" || header["git_rev"] == "" {
+			t.Errorf("exp %s: malformed header record: %v", exp, header)
+		}
+		if header["exp"] != exp || header["workload"] != "BL" {
+			t.Errorf("exp %s: header misattributed: %v", exp, header)
+		}
+		summary := records[len(records)-1]
+		if summary["record"] != "summary" {
+			t.Fatalf("exp %s: final record is %v, want summary", exp, summary["record"])
+		}
+		replays := 0
+		for _, rec := range records[1 : len(records)-1] {
+			if rec["record"] != "replay" {
+				t.Fatalf("exp %s: interior record is %v, want replay", exp, rec["record"])
+			}
+			if rec["requests"].(float64) <= 0 || rec["policy"] == "" || rec["workload"] == "" {
+				t.Errorf("exp %s: implausible replay record: %v", exp, rec)
+			}
+			replays++
+		}
+		if got := int(summary["replays"].(float64)); got != replays {
+			t.Errorf("exp %s: summary counts %d replays, stream has %d", exp, got, replays)
 		}
 	}
 }

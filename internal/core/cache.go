@@ -38,6 +38,7 @@ type Stats struct {
 	Used    int64 // bytes currently cached
 	MaxUsed int64 // peak bytes cached (MaxNeeded when capacity is infinite)
 	Docs    int64 // documents currently cached
+	MaxDocs int64 // peak documents cached (the policy heap's deepest point)
 
 	ByType [trace.NumDocTypes]TypeStats
 }
@@ -91,11 +92,42 @@ type Config struct {
 	// hierarchy experiments and tests). Setting it disables entry
 	// recycling for evictions, since the observer may retain the entry.
 	OnEvict func(e *policy.Entry)
+	// Hooks observes per-request cache events for the observability
+	// layer (internal/obs). Unlike OnEvict, hooks must not retain
+	// entries past the call — recycling stays enabled — and unset slots
+	// cost exactly one nil check each, preserving the hot path's
+	// zero-overhead contract when observability is off.
+	Hooks CacheHooks
 	// SizeHint estimates how many documents will be resident at once.
 	// The cache pre-sizes its URL index and the policy's heap (via
 	// policy.Reserver) from it. Purely a performance hint: simulation
 	// results are identical for any value, including zero.
 	SizeHint int
+}
+
+// CacheHooks is the observability layer's view of a cache: one
+// nil-checked function slot per event, fired on both the string-indexed
+// (Access) and interned (AccessIndex) request paths at exactly the same
+// points. The zero value disables every event. Hooks run synchronously
+// on the replay goroutine and must be cheap (an atomic add) and must
+// not retain the *policy.Entry: entries are recycled into later inserts
+// once the hook returns.
+type CacheHooks struct {
+	// OnHit fires on every §1.1 hit, after the entry's metadata and the
+	// policy order have been refreshed.
+	OnHit func(e *policy.Entry)
+	// OnMiss fires on every miss — including size-change invalidations —
+	// with the requested document size, before any insertion work.
+	OnMiss func(size int64)
+	// OnEvict fires for every policy-chosen victim, after removal.
+	OnEvict func(e *policy.Entry)
+	// OnAdd fires after a document is stored and handed to the policy.
+	OnAdd func(e *policy.Entry)
+}
+
+// Any reports whether at least one hook slot is set.
+func (h *CacheHooks) Any() bool {
+	return h.OnHit != nil || h.OnMiss != nil || h.OnEvict != nil || h.OnAdd != nil
 }
 
 // DisableAllocOpts, when set before caches are constructed, turns off
@@ -231,6 +263,9 @@ func (c *Cache) Access(req *trace.Request) bool {
 			c.stats.BytesHit += req.Size
 			ts.Hits++
 			ts.BytesHit += req.Size
+			if c.cfg.Hooks.OnHit != nil {
+				c.cfg.Hooks.OnHit(e)
+			}
 			return true
 		}
 		// The document changed on the origin server: the cached copy is
@@ -242,6 +277,9 @@ func (c *Cache) Access(req *trace.Request) bool {
 		}
 	}
 
+	if c.cfg.Hooks.OnMiss != nil {
+		c.cfg.Hooks.OnMiss(req.Size)
+	}
 	c.insert(req)
 	return false
 }
@@ -289,8 +327,14 @@ func (c *Cache) insert(req *trace.Request) {
 	if c.stats.Used > c.stats.MaxUsed {
 		c.stats.MaxUsed = c.stats.Used
 	}
+	if c.stats.Docs > c.stats.MaxDocs {
+		c.stats.MaxDocs = c.stats.Docs
+	}
 	if c.cfg.Policy != nil {
 		c.cfg.Policy.Add(e)
+	}
+	if c.cfg.Hooks.OnAdd != nil {
+		c.cfg.Hooks.OnAdd(e)
 	}
 }
 
@@ -301,6 +345,9 @@ func (c *Cache) evict(e *policy.Entry) {
 	c.remove(e)
 	c.stats.Evictions++
 	c.stats.EvictedBytes += e.Size
+	if c.cfg.Hooks.OnEvict != nil {
+		c.cfg.Hooks.OnEvict(e)
+	}
 	if c.cfg.OnEvict != nil {
 		c.cfg.OnEvict(e)
 	}

@@ -61,6 +61,9 @@ func (c *Cache) AccessIndex(i int) bool {
 			c.stats.BytesHit += size
 			ts.Hits++
 			ts.BytesHit += size
+			if c.cfg.Hooks.OnHit != nil {
+				c.cfg.Hooks.OnHit(e)
+			}
 			return true
 		}
 		// Size mismatch: the origin document changed, the cached copy
@@ -72,6 +75,9 @@ func (c *Cache) AccessIndex(i int) bool {
 		}
 	}
 
+	if c.cfg.Hooks.OnMiss != nil {
+		c.cfg.Hooks.OnMiss(size)
+	}
 	c.insertID(id, size, typ, now)
 	return false
 }
@@ -117,7 +123,13 @@ func (c *Cache) insertID(id int32, size int64, typ trace.DocType, now int64) {
 	if c.stats.Used > c.stats.MaxUsed {
 		c.stats.MaxUsed = c.stats.Used
 	}
+	if c.stats.Docs > c.stats.MaxDocs {
+		c.stats.MaxDocs = c.stats.Docs
+	}
 	if c.cfg.Policy != nil {
 		c.cfg.Policy.Add(e)
+	}
+	if c.cfg.Hooks.OnAdd != nil {
+		c.cfg.Hooks.OnAdd(e)
 	}
 }

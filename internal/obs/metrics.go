@@ -1,0 +1,227 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math/bits"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing atomic counter.
+type Counter struct{ v atomic.Int64 }
+
+// Add increments the counter by n.
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Load returns the current value.
+func (c *Counter) Load() int64 { return c.v.Load() }
+
+// Gauge is an atomic instantaneous value that also tracks its high
+// water mark.
+type Gauge struct{ v, max atomic.Int64 }
+
+// Set records a new value and raises the high water mark if exceeded.
+func (g *Gauge) Set(v int64) {
+	g.v.Store(v)
+	for {
+		m := g.max.Load()
+		if v <= m || g.max.CompareAndSwap(m, v) {
+			return
+		}
+	}
+}
+
+// Add shifts the value by delta and raises the high water mark if the
+// result exceeds it.
+func (g *Gauge) Add(delta int64) {
+	v := g.v.Add(delta)
+	for {
+		m := g.max.Load()
+		if v <= m || g.max.CompareAndSwap(m, v) {
+			return
+		}
+	}
+}
+
+// Load returns the current value.
+func (g *Gauge) Load() int64 { return g.v.Load() }
+
+// Max returns the high water mark.
+func (g *Gauge) Max() int64 { return g.max.Load() }
+
+// histBuckets is the number of power-of-two histogram buckets: bucket i
+// counts observations v with bits.Len64(v) == i, i.e. bucket 0 holds
+// v<=0, bucket i holds [2^(i-1), 2^i).
+const histBuckets = 64
+
+// Histogram is a lock-free power-of-two histogram for non-negative
+// values (nanoseconds, bytes, depths). Observations and reads may race
+// benignly: a concurrent snapshot sees each observation in either the
+// before or after state, never torn.
+type Histogram struct {
+	count, sum atomic.Int64
+	buckets    [histBuckets]atomic.Int64
+}
+
+// Observe records one value. Negative values count into bucket 0.
+func (h *Histogram) Observe(v int64) {
+	h.count.Add(1)
+	h.sum.Add(v)
+	i := 0
+	if v > 0 {
+		i = bits.Len64(uint64(v))
+	}
+	h.buckets[i].Add(1)
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() int64 { return h.sum.Load() }
+
+// Mean returns the mean observed value, 0 when empty.
+func (h *Histogram) Mean() float64 {
+	n := h.count.Load()
+	if n == 0 {
+		return 0
+	}
+	return float64(h.sum.Load()) / float64(n)
+}
+
+// Buckets returns the non-empty buckets as {upper bound, count} pairs
+// in ascending order; the bound is exclusive (bucket i < 2^i).
+func (h *Histogram) Buckets() []HistBucket {
+	var out []HistBucket
+	for i := range h.buckets {
+		if n := h.buckets[i].Load(); n > 0 {
+			bound := int64(0)
+			if i > 0 && i < 63 {
+				bound = int64(1) << uint(i)
+			} else if i >= 63 {
+				bound = 1<<63 - 1
+			}
+			out = append(out, HistBucket{UpperBound: bound, Count: n})
+		}
+	}
+	return out
+}
+
+// HistBucket is one non-empty histogram bucket.
+type HistBucket struct {
+	UpperBound int64 `json:"le"` // exclusive; 0 = the v<=0 bucket
+	Count      int64 `json:"count"`
+}
+
+// Registry is a named collection of metrics. Get-or-create lookups
+// take a mutex; the returned primitives are lock-free, so hooks hold a
+// pointer and never touch the registry on the event path.
+type Registry struct {
+	mu     sync.Mutex
+	counts map[string]*Counter
+	gauges map[string]*Gauge
+	hists  map[string]*Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counts: make(map[string]*Counter),
+		gauges: make(map[string]*Gauge),
+		hists:  make(map[string]*Histogram),
+	}
+}
+
+// Counter returns the named counter, creating it on first use.
+func (r *Registry) Counter(name string) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counts[name]
+	if !ok {
+		c = &Counter{}
+		r.counts[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use.
+func (r *Registry) Gauge(name string) *Gauge {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the named histogram, creating it on first use.
+func (r *Registry) Histogram(name string) *Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.hists[name]
+	if !ok {
+		h = &Histogram{}
+		r.hists[name] = h
+	}
+	return h
+}
+
+// Snapshot returns every counter and gauge as a flat name→value map;
+// gauges contribute both their value and a "name.max" high water mark.
+func (r *Registry) Snapshot() map[string]any {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make(map[string]any, len(r.counts)+2*len(r.gauges))
+	for name, c := range r.counts {
+		out[name] = c.Load()
+	}
+	for name, g := range r.gauges {
+		out[name] = g.Load()
+		out[name+".max"] = g.Max()
+	}
+	return out
+}
+
+// HistogramSnapshot returns every histogram's count, sum and non-empty
+// buckets keyed by name.
+func (r *Registry) HistogramSnapshot() map[string]any {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make(map[string]any, len(r.hists))
+	for name, h := range r.hists {
+		out[name] = map[string]any{
+			"count":   h.Count(),
+			"sum":     h.Sum(),
+			"buckets": h.Buckets(),
+		}
+	}
+	return out
+}
+
+// WriteText renders all metrics in sorted "name value" lines.
+func (r *Registry) WriteText(w io.Writer) error {
+	flat := r.Snapshot()
+	for name, h := range r.HistogramSnapshot() {
+		m := h.(map[string]any)
+		flat[name+".count"] = m["count"]
+		flat[name+".sum"] = m["sum"]
+	}
+	names := make([]string, 0, len(flat))
+	for name := range flat {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		if _, err := fmt.Fprintf(w, "%s %v\n", name, flat[name]); err != nil {
+			return err
+		}
+	}
+	return nil
+}

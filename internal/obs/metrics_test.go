@@ -1,0 +1,160 @@
+package obs
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounter(t *testing.T) {
+	var c Counter
+	c.Inc()
+	c.Add(41)
+	if got := c.Load(); got != 42 {
+		t.Fatalf("counter = %d, want 42", got)
+	}
+}
+
+func TestCounterConcurrent(t *testing.T) {
+	var c Counter
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				c.Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.Load(); got != 8000 {
+		t.Fatalf("concurrent counter = %d, want 8000", got)
+	}
+}
+
+func TestGaugeHighWater(t *testing.T) {
+	var g Gauge
+	g.Set(5)
+	g.Set(17)
+	g.Set(3)
+	if got := g.Load(); got != 3 {
+		t.Fatalf("gauge = %d, want 3", got)
+	}
+	if got := g.Max(); got != 17 {
+		t.Fatalf("gauge max = %d, want 17", got)
+	}
+	g.Add(20)
+	if got, max := g.Load(), g.Max(); got != 23 || max != 23 {
+		t.Fatalf("after Add: value %d max %d, want 23/23", got, max)
+	}
+	g.Add(-10)
+	if got, max := g.Load(), g.Max(); got != 13 || max != 23 {
+		t.Fatalf("after negative Add: value %d max %d, want 13/23", got, max)
+	}
+}
+
+func TestGaugeConcurrentMax(t *testing.T) {
+	var g Gauge
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				g.Set(int64(w*1000 + i))
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := g.Max(); got != 7499 {
+		t.Fatalf("concurrent gauge max = %d, want 7499", got)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	var h Histogram
+	for _, v := range []int64{0, 1, 1, 3, 500, -2} {
+		h.Observe(v)
+	}
+	if got := h.Count(); got != 6 {
+		t.Fatalf("count = %d, want 6", got)
+	}
+	if got := h.Sum(); got != 503 {
+		t.Fatalf("sum = %d, want 503", got)
+	}
+	if got, want := h.Mean(), 503.0/6; got != want {
+		t.Fatalf("mean = %g, want %g", got, want)
+	}
+	buckets := h.Buckets()
+	// 0 and -2 land in the v<=0 bucket; 1,1 in [1,2); 3 in [2,4);
+	// 500 in [256,512).
+	var total int64
+	for _, b := range buckets {
+		total += b.Count
+	}
+	if total != 6 {
+		t.Fatalf("bucket counts sum to %d, want 6", total)
+	}
+	if buckets[0].UpperBound != 0 || buckets[0].Count != 2 {
+		t.Fatalf("v<=0 bucket = %+v, want {0 2}", buckets[0])
+	}
+	last := buckets[len(buckets)-1]
+	if last.UpperBound != 512 || last.Count != 1 {
+		t.Fatalf("top bucket = %+v, want {512 1}", last)
+	}
+}
+
+func TestHistogramEmpty(t *testing.T) {
+	var h Histogram
+	if h.Mean() != 0 || h.Count() != 0 || len(h.Buckets()) != 0 {
+		t.Fatal("empty histogram not zero-valued")
+	}
+}
+
+func TestRegistryGetOrCreate(t *testing.T) {
+	r := NewRegistry()
+	c1 := r.Counter("cache.hits")
+	c1.Add(7)
+	if c2 := r.Counter("cache.hits"); c2 != c1 {
+		t.Fatal("second Counter lookup returned a different instance")
+	}
+	if r.Counter("cache.misses") == c1 {
+		t.Fatal("distinct names share a counter")
+	}
+	g := r.Gauge("cache.docs")
+	g.Set(12)
+	r.Histogram("replay.ns").Observe(100)
+
+	snap := r.Snapshot()
+	if snap["cache.hits"] != int64(7) {
+		t.Fatalf("snapshot cache.hits = %v, want 7", snap["cache.hits"])
+	}
+	if snap["cache.docs"] != int64(12) || snap["cache.docs.max"] != int64(12) {
+		t.Fatalf("snapshot gauge entries = %v / %v", snap["cache.docs"], snap["cache.docs.max"])
+	}
+	hs := r.HistogramSnapshot()
+	if _, ok := hs["replay.ns"]; !ok {
+		t.Fatal("histogram missing from snapshot")
+	}
+}
+
+func TestRegistryWriteText(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("b.count").Add(2)
+	r.Counter("a.count").Add(1)
+	r.Histogram("h").Observe(5)
+	var sb strings.Builder
+	if err := r.WriteText(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	// Sorted by name: a.count, b.count, then the histogram's derived rows.
+	if !strings.HasPrefix(lines[0], "a.count 1") || !strings.HasPrefix(lines[1], "b.count 2") {
+		t.Fatalf("text exposition not sorted:\n%s", out)
+	}
+	if !strings.Contains(out, "h.count 1") || !strings.Contains(out, "h.sum 5") {
+		t.Fatalf("histogram rows missing:\n%s", out)
+	}
+}

@@ -1,0 +1,18 @@
+package obs
+
+import (
+	"context"
+	"runtime/pprof"
+)
+
+// Span runs fn with the given pprof label pairs attached to the
+// goroutine, so CPU profile samples taken inside fn carry them
+// (`go tool pprof -tagfocus policy=...`). Labels must come in
+// key/value pairs. The previous label set is restored when fn returns.
+//
+// A span costs two goroutine label swaps — microseconds — so it wraps
+// whole replays, never per-request work, and callers gate it on the
+// observer being enabled.
+func Span(labels []string, fn func()) {
+	pprof.Do(context.Background(), pprof.Labels(labels...), func(context.Context) { fn() })
+}

@@ -28,9 +28,12 @@ func Experiment2(tr *trace.Trace, base *Exp1Result, combos []policy.Combo, fract
 // read-only trace and baseline; results come back in combo order.
 func Experiment2R(r *Runner, tr *trace.Trace, base *Exp1Result, combos []policy.Combo, fraction float64, seed uint64) *Exp2Result {
 	capacity := capacityFor(base, fraction)
+	if Observer != nil {
+		Observer.AddReplays(len(combos))
+	}
 	runs := RunAll(r, len(combos), func(i int) *PolicyRun {
 		c := combos[i]
-		run := RunPolicy(tr, base, c.New(tr.Start), capacity, seed+uint64(i)*7919, RunOptions{})
+		run := RunPolicy(tr, base, c.New(tr.Start), capacity, seed+uint64(i)*7919, RunOptions{Label: c.String()})
 		run.Policy = c.String()
 		return run
 	})
@@ -57,6 +60,9 @@ func ExperimentClassicsR(r *Runner, tr *trace.Trace, base *Exp1Result, fraction 
 		func() policy.Policy { return policy.NewPitkowRecker(tr.Start) },
 		func() policy.Policy { return policy.NewGDS1() },
 		func() policy.Policy { return policy.NewGDSBytes() },
+	}
+	if Observer != nil {
+		Observer.AddReplays(len(mks))
 	}
 	runs := RunAll(r, len(mks), func(i int) *PolicyRun {
 		return RunPolicy(tr, base, mks[i](), capacity, seed+uint64(i)*104729, RunOptions{})
@@ -110,9 +116,12 @@ func Experiment2SecondaryR(r *Runner, tr *trace.Trace, base *Exp1Result, fractio
 		}
 		jobs = append(jobs, job{c, seed + uint64(i+1)*31337})
 	}
+	if Observer != nil {
+		Observer.AddReplays(len(jobs))
+	}
 	runs := RunAll(r, len(jobs), func(i int) *PolicyRun {
 		j := jobs[i]
-		return RunPolicy(tr, base, j.combo.New(tr.Start), capacity, j.seed, RunOptions{})
+		return RunPolicy(tr, base, j.combo.New(tr.Start), capacity, j.seed, RunOptions{Label: j.combo.String()})
 	})
 	randomRun := runs[0]
 	res := &Exp2SecondaryResult{Workload: tr.Name, Fraction: fraction, Random: randomRun}

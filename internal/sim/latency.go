@@ -126,28 +126,43 @@ func Experiment6R(r *Runner, tr *trace.Trace, base *Exp1Result, specs []string, 
 		}
 	}
 	capacity := capacityFor(base, fraction)
+	if Observer != nil {
+		Observer.AddReplays(len(specs))
+	}
 	runs := RunAll(r, len(specs), func(i int) *LatencyRun {
 		spec := specs[i]
 		pol, err := policy.Parse(spec, tr.Start)
 		if err != nil { // validated above; unreachable
 			panic(err)
 		}
-		cache := core.New(core.Config{
+		cfg := core.Config{
 			Capacity:  capacity,
 			Policy:    pol,
 			Seed:      seed + uint64(i)*101,
 			LatencyOf: model.RefetchLatency,
-		})
+		}
+		o := Observer
+		if o != nil {
+			cfg.Hooks = cacheHooks(o)
+		}
+		cache := core.New(cfg)
 		run := &LatencyRun{Policy: spec}
-		for j := range tr.Requests {
-			req := &tr.Requests[j]
-			cost := model.OriginFetch(serverOf(req.URL), req.Size)
-			run.NoCache += cost
-			if cache.Access(req) {
-				run.WithCache += model.CacheServe(req.Size)
-			} else {
-				run.WithCache += cost
+		replay := func() {
+			for j := range tr.Requests {
+				req := &tr.Requests[j]
+				cost := model.OriginFetch(serverOf(req.URL), req.Size)
+				run.NoCache += cost
+				if cache.Access(req) {
+					run.WithCache += model.CacheServe(req.Size)
+				} else {
+					run.WithCache += cost
+				}
 			}
+		}
+		if o != nil {
+			observeReplay(o, spec, tr.Name, capacity, replay, cache.Stats)
+		} else {
+			replay()
 		}
 		st := cache.Stats()
 		run.HR = st.HitRate()

@@ -1,0 +1,161 @@
+package sim
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestServerOf(t *testing.T) {
+	cases := []struct {
+		url, want string
+	}{
+		{"http://www.bu.edu/courses/cs101.html", "www.bu.edu"},
+		{"http://host/", "host"},
+		{"http://host", "host"},
+		{"https://a.b.c:8080/x/y", "a.b.c:8080"},
+		{"no-scheme/path", "no-scheme"},
+		{"bare", "bare"},
+		{"", ""},
+	}
+	for _, tc := range cases {
+		if got := serverOf(tc.url); got != tc.want {
+			t.Errorf("serverOf(%q) = %q, want %q", tc.url, got, tc.want)
+		}
+	}
+}
+
+func TestServerRTTDeterministicAndBounded(t *testing.T) {
+	m := DefaultNetModel()
+	servers := []string{"a.edu", "b.com", "c.org", "www.bu.edu", "x", ""}
+	for _, s := range servers {
+		rtt := m.ServerRTT(s)
+		if rtt < m.MinRTT || rtt > m.MaxRTT {
+			t.Errorf("ServerRTT(%q) = %g outside [%g, %g]", s, rtt, m.MinRTT, m.MaxRTT)
+		}
+		if again := m.ServerRTT(s); again != rtt {
+			t.Errorf("ServerRTT(%q) not deterministic: %g then %g", s, rtt, again)
+		}
+	}
+	// Distinct servers should not all collapse to one RTT.
+	if m.ServerRTT("a.edu") == m.ServerRTT("b.com") && m.ServerRTT("b.com") == m.ServerRTT("c.org") {
+		t.Error("three distinct servers share an RTT; hash looks degenerate")
+	}
+}
+
+func TestNetModelPricing(t *testing.T) {
+	m := &NetModel{
+		LocalRTT:       0.010,
+		LocalBandwidth: 1000,
+		MinRTT:         0.100,
+		MaxRTT:         0.100, // pin the WAN RTT so the arithmetic is exact
+		WANBandwidth:   500,
+	}
+	const size = 1000
+	// Serving from cache: two local round trips plus the local transfer.
+	wantServe := 2*0.010 + float64(size)/1000
+	if got := m.CacheServe(size); math.Abs(got-wantServe) > 1e-12 {
+		t.Errorf("CacheServe = %g, want %g", got, wantServe)
+	}
+	// Origin fetch: two WAN round trips, the WAN transfer, then the
+	// local serve leg.
+	wantFetch := 2*0.100 + float64(size)/500 + wantServe
+	if got := m.OriginFetch("s", size); math.Abs(got-wantFetch) > 1e-12 {
+		t.Errorf("OriginFetch = %g, want %g", got, wantFetch)
+	}
+	// RefetchLatency prices the URL's host like OriginFetch.
+	if got := m.RefetchLatency("http://s/x", size); math.Abs(got-wantFetch) > 1e-12 {
+		t.Errorf("RefetchLatency = %g, want %g", got, wantFetch)
+	}
+	// A larger document must never be cheaper on either leg.
+	if m.OriginFetch("s", 2000) <= m.OriginFetch("s", 1000) {
+		t.Error("OriginFetch not monotone in size")
+	}
+}
+
+func TestDefaultNetModelConstants(t *testing.T) {
+	m := DefaultNetModel()
+	if m.MinRTT >= m.MaxRTT {
+		t.Fatalf("MinRTT %g >= MaxRTT %g", m.MinRTT, m.MaxRTT)
+	}
+	if m.WANBandwidth >= m.LocalBandwidth {
+		t.Fatalf("WAN bandwidth %g not below LAN %g", m.WANBandwidth, m.LocalBandwidth)
+	}
+}
+
+func TestExperiment6(t *testing.T) {
+	tr := dayTrace(30)
+	base := Experiment1(tr, 1)
+	r := NewRunner(RunnerConfig{Workers: 2})
+	specs := []string{"SIZE", "LRU", "LATENCY"}
+	res, err := Experiment6R(r, tr, base, specs, 0.25, nil, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Workload != tr.Name || len(res.Runs) != len(specs) {
+		t.Fatalf("result shape: %+v", res)
+	}
+	for i, run := range res.Runs {
+		if run.Policy != specs[i] {
+			t.Errorf("run %d policy %q, want %q (input order must be preserved)", i, run.Policy, specs[i])
+		}
+		if run.NoCache <= 0 {
+			t.Errorf("%s: no-cache cost %g", run.Policy, run.NoCache)
+		}
+		if run.WithCache > run.NoCache {
+			t.Errorf("%s: cache made latency worse: %g > %g", run.Policy, run.WithCache, run.NoCache)
+		}
+		if run.SavedFraction < 0 || run.SavedFraction > 1 {
+			t.Errorf("%s: saved fraction %g outside [0,1]", run.Policy, run.SavedFraction)
+		}
+		if run.HR < 0 || run.HR > 1 || run.WHR < 0 || run.WHR > 1 {
+			t.Errorf("%s: rates HR=%g WHR=%g", run.Policy, run.HR, run.WHR)
+		}
+		// A cache with hits must save something under the model.
+		if run.HR > 0 && run.SavedFraction == 0 {
+			t.Errorf("%s: hits but zero latency saved", run.Policy)
+		}
+	}
+}
+
+func TestExperiment6DeterministicAcrossWorkers(t *testing.T) {
+	tr := dayTrace(30)
+	base := Experiment1(tr, 1)
+	specs := []string{"SIZE", "LRU", "NREF", "LATENCY"}
+	one, err := Experiment6R(NewRunner(RunnerConfig{Workers: 1}), tr, base, specs, 0.25, nil, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eight, err := Experiment6R(NewRunner(RunnerConfig{Workers: 8}), tr, base, specs, 0.25, nil, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range one.Runs {
+		if *one.Runs[i] != *eight.Runs[i] {
+			t.Errorf("run %d differs across worker counts:\n1: %+v\n8: %+v", i, one.Runs[i], eight.Runs[i])
+		}
+	}
+}
+
+func TestExperiment6RejectsBadSpec(t *testing.T) {
+	tr := dayTrace(10)
+	base := Experiment1(tr, 1)
+	if _, err := Experiment6(tr, base, []string{"SIZE", "NOT-A-POLICY"}, 0.25, nil, 1); err == nil {
+		t.Fatal("invalid policy spec accepted")
+	}
+}
+
+func TestRenderExp6(t *testing.T) {
+	tr := dayTrace(30)
+	base := Experiment1(tr, 1)
+	res, err := Experiment6R(NewRunner(RunnerConfig{Workers: 2}), tr, base, []string{"SIZE", "LRU"}, 0.25, nil, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := RenderExp6(res)
+	for _, want := range []string{"Experiment 6", tr.Name, "SIZE", "LRU", "Latency saved"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("rendered output missing %q:\n%s", want, out)
+		}
+	}
+}

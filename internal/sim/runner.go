@@ -29,11 +29,12 @@ type Runner struct {
 	// remaining worker.
 	helpers chan struct{}
 
-	started  atomic.Int64
-	finished atomic.Int64
-	inFlight atomic.Int64
-	peak     atomic.Int64
-	cpuNanos atomic.Int64
+	started   atomic.Int64
+	finished  atomic.Int64
+	inFlight  atomic.Int64
+	peak      atomic.Int64
+	cpuNanos  atomic.Int64
+	waitNanos atomic.Int64
 
 	mu          sync.Mutex
 	activeCalls int
@@ -60,6 +61,11 @@ type RunnerStats struct {
 	// ratio is the effective parallel speedup.
 	Wall time.Duration
 	CPU  time.Duration
+	// QueueWait is the summed delay between each job's submission (its
+	// Do call starting) and a worker claiming it — the time work spent
+	// queued behind a saturated pool. QueueWait/RunsFinished is the
+	// mean per-job wait the observability summary reports.
+	QueueWait time.Duration
 }
 
 // Speedup returns CPU/Wall: how many sequential seconds of replay work
@@ -98,6 +104,7 @@ func (r *Runner) Stats() RunnerStats {
 		PeakInFlight: int(r.peak.Load()),
 		Wall:         wall,
 		CPU:          time.Duration(r.cpuNanos.Load()),
+		QueueWait:    time.Duration(r.waitNanos.Load()),
 	}
 }
 
@@ -112,6 +119,7 @@ func (r *Runner) Do(n int, job func(i int)) {
 	r.enterCall()
 	defer r.exitCall()
 
+	submitted := time.Now()
 	var next atomic.Int64
 	worker := func() {
 		for {
@@ -119,7 +127,7 @@ func (r *Runner) Do(n int, job func(i int)) {
 			if i >= n {
 				return
 			}
-			r.runJob(i, job)
+			r.runJob(i, submitted, job)
 		}
 	}
 
@@ -142,7 +150,7 @@ spawn:
 	wg.Wait()
 }
 
-func (r *Runner) runJob(i int, job func(i int)) {
+func (r *Runner) runJob(i int, submitted time.Time, job func(i int)) {
 	r.started.Add(1)
 	cur := r.inFlight.Add(1)
 	for {
@@ -152,6 +160,7 @@ func (r *Runner) runJob(i int, job func(i int)) {
 		}
 	}
 	begin := time.Now()
+	r.waitNanos.Add(int64(begin.Sub(submitted)))
 	defer func() {
 		r.cpuNanos.Add(int64(time.Since(begin)))
 		r.inFlight.Add(-1)

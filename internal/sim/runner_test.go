@@ -3,6 +3,7 @@ package sim
 import (
 	"runtime"
 	"testing"
+	"time"
 
 	"webcache/internal/policy"
 )
@@ -128,7 +129,77 @@ func TestRunnerStatsIdle(t *testing.T) {
 	if st.RunsStarted != 0 || st.Wall != 0 || st.CPU != 0 || st.Speedup() != 0 {
 		t.Fatalf("idle runner stats: %+v", st)
 	}
+	if st.QueueWait != 0 {
+		t.Fatalf("idle queue wait %v", st.QueueWait)
+	}
 	if st.Workers != 4 {
 		t.Fatalf("workers %d", st.Workers)
+	}
+}
+
+// TestRunnerStatsAccounting is the table-driven contract for the
+// runner's counters: every (workers, jobs) shape must balance started
+// against finished, bound peak in-flight by the pool, and record
+// non-negative monotone timing.
+func TestRunnerStatsAccounting(t *testing.T) {
+	cases := []struct {
+		name          string
+		workers, jobs int
+	}{
+		{"sequential", 1, 10},
+		{"undersubscribed", 8, 3},
+		{"saturated", 2, 40},
+		{"single job", 4, 1},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			r := NewRunner(RunnerConfig{Workers: tc.workers})
+			r.Do(tc.jobs, func(i int) {
+				n := 0
+				for k := 0; k < 20000; k++ {
+					n += k % 3
+				}
+				_ = n
+			})
+			st := r.Stats()
+			if st.RunsStarted != int64(tc.jobs) || st.RunsFinished != int64(tc.jobs) {
+				t.Fatalf("started/finished = %d/%d, want %d/%d",
+					st.RunsStarted, st.RunsFinished, tc.jobs, tc.jobs)
+			}
+			maxInFlight := tc.workers
+			if tc.jobs < maxInFlight {
+				maxInFlight = tc.jobs
+			}
+			if st.PeakInFlight < 1 || st.PeakInFlight > maxInFlight {
+				t.Fatalf("peak in-flight %d outside [1, %d]", st.PeakInFlight, maxInFlight)
+			}
+			if st.Wall <= 0 || st.CPU <= 0 {
+				t.Fatalf("timing not recorded: %+v", st)
+			}
+			if st.QueueWait < 0 {
+				t.Fatalf("negative queue wait %v", st.QueueWait)
+			}
+			// Wait is summed over jobs: it can never exceed jobs × wall.
+			if st.QueueWait > time.Duration(tc.jobs)*st.Wall {
+				t.Fatalf("queue wait %v exceeds jobs×wall %v", st.QueueWait, time.Duration(tc.jobs)*st.Wall)
+			}
+		})
+	}
+}
+
+// TestRunnerQueueWaitGrowsWhenSaturated checks that a saturated pool
+// records queueing delay: with one worker and several slow jobs, later
+// jobs wait for earlier ones, so the summed wait must cover at least
+// the serialized portion before the last job.
+func TestRunnerQueueWaitGrowsWhenSaturated(t *testing.T) {
+	r := NewRunner(RunnerConfig{Workers: 1})
+	const jobs = 4
+	const nap = 10 * time.Millisecond
+	r.Do(jobs, func(i int) { time.Sleep(nap) })
+	st := r.Stats()
+	// Job k starts after k naps; summed wait ≈ (1+2+3)×nap. Allow wide
+	// scheduling slack but require over half of one nap.
+	if st.QueueWait < nap/2 {
+		t.Fatalf("queue wait %v on a saturated 1-worker pool, want ≥ %v", st.QueueWait, nap/2)
 	}
 }

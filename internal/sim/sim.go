@@ -153,15 +153,28 @@ type Exp1Result struct {
 
 // Experiment1 simulates tr through an infinite cache.
 func Experiment1(tr *trace.Trace, seed uint64) *Exp1Result {
+	cfg := core.Config{Capacity: 0, Seed: seed}
+	o := Observer
+	if o != nil {
+		o.AddReplays(1)
+		cfg.Hooks = cacheHooks(o)
+	}
 	var cache *core.Cache
 	var rates DailyRates
-	if DisableInterning {
-		cache = core.New(core.Config{Capacity: 0, Seed: seed})
-		rates = Replay(tr, cache, nil)
+	replay := func() {
+		if DisableInterning {
+			cache = core.New(cfg)
+			rates = Replay(tr, cache, nil)
+		} else {
+			col := tr.Columnar()
+			cache = core.NewColumnar(cfg, col)
+			rates = ReplayColumnar(col, cache, nil)
+		}
+	}
+	if o != nil {
+		observeReplay(o, "(infinite)", tr.Name, 0, replay, func() core.Stats { return cache.Stats() })
 	} else {
-		col := tr.Columnar()
-		cache = core.NewColumnar(core.Config{Capacity: 0, Seed: seed}, col)
-		rates = ReplayColumnar(col, cache, nil)
+		replay()
 	}
 	final := cache.Stats()
 	return &Exp1Result{
@@ -199,6 +212,11 @@ type RunOptions struct {
 	ExcludeDynamic bool
 	// LatencyOf feeds the KeyLatency extension key.
 	LatencyOf func(url string, size int64) float64
+	// Label names the run in observability output (pprof labels and
+	// metric snapshots); empty means the policy's own Name. Experiment 2
+	// passes the combo's "PRIMARY/SECONDARY" grid notation, which a
+	// random-secondary policy's Name abbreviates.
+	Label string
 }
 
 // RunPolicy replays tr through a finite cache of the given capacity and
@@ -215,23 +233,38 @@ func RunPolicy(tr *trace.Trace, base *Exp1Result, pol policy.Policy, capacity in
 		LatencyOf:      opts.LatencyOf,
 		SizeHint:       sizeHint(base, capacity),
 	}
+	o := Observer
+	if o != nil {
+		cfg.Hooks = cacheHooks(o)
+	}
 	var cache *core.Cache
 	var rates DailyRates
-	if DisableInterning {
-		cache = core.New(cfg)
-		var onDay func(int)
-		if opts.Sweep > 0 {
-			onDay = func(int) { cache.Sweep(opts.Sweep) }
+	replay := func() {
+		if DisableInterning {
+			cache = core.New(cfg)
+			var onDay func(int)
+			if opts.Sweep > 0 {
+				onDay = func(int) { cache.Sweep(opts.Sweep) }
+			}
+			rates = Replay(tr, cache, onDay)
+		} else {
+			col := tr.Columnar()
+			cache = core.NewColumnar(cfg, col)
+			var onDay func(int)
+			if opts.Sweep > 0 {
+				onDay = func(int) { cache.Sweep(opts.Sweep) }
+			}
+			rates = ReplayColumnar(col, cache, onDay)
 		}
-		rates = Replay(tr, cache, onDay)
+	}
+	if o != nil {
+		label := opts.Label
+		if label == "" {
+			label = pol.Name()
+		}
+		observeReplay(o, label, tr.Name, capacity, replay, func() core.Stats { return cache.Stats() })
 	} else {
-		col := tr.Columnar()
-		cache = core.NewColumnar(cfg, col)
-		var onDay func(int)
-		if opts.Sweep > 0 {
-			onDay = func(int) { cache.Sweep(opts.Sweep) }
-		}
-		rates = ReplayColumnar(col, cache, onDay)
+		replay()
 	}
 	run := &PolicyRun{
 		Policy:   pol.Name(),

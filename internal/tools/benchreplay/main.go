@@ -4,7 +4,7 @@
 // JSON array entry per recorded run), so the engine's ns-per-request
 // history is tracked PR over PR.
 //
-// It times the same sweep three times in one process:
+// It times the same sweep four times in one process:
 //
 //   - baseline: the pre-optimization engine, reconstructed through the
 //     ablation switches — generic key-loop comparators
@@ -14,17 +14,21 @@
 //     (pqueue.DisableHoleSift), and the string-indexed entry map
 //     (sim.DisableInterning);
 //   - nointern: the compiled/alloc-free engine with only interning
-//     disabled — the previous PR's endpoint, isolating the interned
-//     columnar layer's contribution;
+//     disabled — the PR-2 endpoint, isolating the interned columnar
+//     layer's contribution;
 //   - optimized: everything on — compiled comparators over cached
 //     derived keys, entry recycling, pre-sized heaps, hole-based sifts,
 //     the shared day index, and map-free ID-indexed replay over the
-//     shared interned columnar trace view.
+//     shared interned columnar trace view;
+//   - observed: the optimized engine with the observability layer
+//     attached (sim.Observer: cache event hooks, pprof replay spans,
+//     JSONL snapshot emission) — the obs-on vs obs-off ablation that
+//     prices the enabled path, recorded as obs_overhead_pct.
 //
 // All modes replay every combination with identical seeds, and the tool
 // fails if any run's results differ between modes — the timing harness
-// doubles as an end-to-end equivalence check for the compiled and
-// interned layers.
+// doubles as an end-to-end equivalence check for the compiled layers
+// and a proof that observation does not perturb simulation results.
 //
 // Usage:
 //
@@ -32,12 +36,14 @@
 //	benchreplay -out BENCH_replay.json        # measure and append to the trajectory
 //	benchreplay -compare BENCH_replay.json    # measure and print delta vs the last entry
 //	benchreplay -diff BENCH_replay.json       # print delta between the last two entries (no run)
+//	benchreplay -metrics-out m.jsonl          # also keep the observed mode's JSONL stream
 package main
 
 import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"os/exec"
 	"reflect"
@@ -47,6 +53,7 @@ import (
 	"time"
 
 	"webcache/internal/core"
+	"webcache/internal/obs"
 	"webcache/internal/policy"
 	"webcache/internal/pqueue"
 	"webcache/internal/sim"
@@ -67,8 +74,10 @@ type Run struct {
 	BaselineNsPerReq  float64             `json:"baseline_ns_per_request"`
 	NoInternNsPerReq  float64             `json:"nointern_ns_per_request,omitempty"`
 	OptimizedNsPerReq float64             `json:"optimized_ns_per_request"`
+	ObservedNsPerReq  float64             `json:"observed_ns_per_request,omitempty"`
 	Speedup           float64             `json:"speedup"`
 	InterningSpeedup  float64             `json:"interning_speedup,omitempty"`
+	ObsOverheadPct    float64             `json:"obs_overhead_pct,omitempty"`
 	IdenticalOutput   bool                `json:"identical_output"`
 	Ablations         map[string][]string `json:"ablations,omitempty"`
 	Generated         string              `json:"generated"`
@@ -83,6 +92,9 @@ var modeAblations = map[string][]string{
 	},
 	"nointern":  {"sim.DisableInterning"},
 	"optimized": {},
+	// Observability is off-by-default (sim.Observer == nil), so the
+	// obs-on side of the ablation is the mode that *attaches* it.
+	"observed": {"sim.Observer attached (cache hooks, pprof spans, JSONL snapshots)"},
 }
 
 func main() {
@@ -96,6 +108,7 @@ func main() {
 		compare    = flag.String("compare", "", "measure and print the delta vs this trajectory's last entry")
 		diff       = flag.String("diff", "", "print the delta between this trajectory's last two entries, without measuring")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile of the measurement (all modes) to this file")
+		metricsOut = flag.String("metrics-out", "", "write the observed mode's final JSONL metric stream to this file")
 	)
 	flag.Parse()
 
@@ -103,7 +116,7 @@ func main() {
 	if *diff != "" {
 		err = printTrajectoryDiff(*diff)
 	} else {
-		err = run(*wl, *scale, *fraction, *seed, *reps, *out, *compare, *cpuprofile)
+		err = run(*wl, *scale, *fraction, *seed, *reps, *out, *compare, *cpuprofile, *metricsOut)
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchreplay:", err)
@@ -111,7 +124,7 @@ func main() {
 	}
 }
 
-func run(wl string, scale, fraction float64, seed uint64, reps int, out, compare, cpuprofile string) error {
+func run(wl string, scale, fraction float64, seed uint64, reps int, out, compare, cpuprofile, metricsOut string) error {
 	if reps < 1 {
 		reps = 1
 	}
@@ -146,23 +159,41 @@ func run(wl string, scale, fraction float64, seed uint64, reps int, out, compare
 		defer pprof.StopCPUProfile()
 	}
 
-	// Interleave the three modes rep by rep, keeping the fastest rep of
+	// Interleave the four modes rep by rep, keeping the fastest rep of
 	// each, so machine-load drift during the run lands on all sides of
 	// the ratios instead of skewing one.
 	runner := sim.NewRunner(sim.RunnerConfig{Workers: 1})
 	type mode struct {
-		legacy, nointern bool
-		best             time.Duration
-		runs             []*sim.PolicyRun
+		legacy, nointern, observed bool
+		best                       time.Duration
+		runs                       []*sim.PolicyRun
 	}
 	modes := []*mode{
 		{legacy: true, nointern: true, best: maxDuration},  // baseline
 		{legacy: false, nointern: true, best: maxDuration}, // nointern (PR-2 engine)
 		{legacy: false, nointern: false, best: maxDuration},
+		{legacy: false, nointern: false, observed: true, best: maxDuration},
+	}
+	var metricsFile *os.File
+	if metricsOut != "" {
+		metricsFile, err = os.Create(metricsOut)
+		if err != nil {
+			return err
+		}
+		defer metricsFile.Close()
 	}
 	for r := 0; r < reps; r++ {
 		for _, m := range modes {
-			d, runs := sweepOnce(runner, tr, base, combos, fraction, seed, m.legacy, m.nointern)
+			var mw io.Writer
+			if m.observed {
+				// Every observed rep pays for JSONL encoding; only the
+				// final rep's stream is kept when -metrics-out is set.
+				mw = io.Discard
+				if metricsFile != nil && r == reps-1 {
+					mw = metricsFile
+				}
+			}
+			d, runs := sweepOnce(runner, tr, base, combos, fraction, seed, m.legacy, m.nointern, mw)
 			if d < m.best {
 				m.best = d
 			}
@@ -173,9 +204,11 @@ func run(wl string, scale, fraction float64, seed uint64, reps int, out, compare
 	baseNs := float64(modes[0].best.Nanoseconds()) / total
 	nointernNs := float64(modes[1].best.Nanoseconds()) / total
 	optNs := float64(modes[2].best.Nanoseconds()) / total
+	obsNs := float64(modes[3].best.Nanoseconds()) / total
 
 	identical := reflect.DeepEqual(modes[0].runs, modes[2].runs) &&
-		reflect.DeepEqual(modes[1].runs, modes[2].runs)
+		reflect.DeepEqual(modes[1].runs, modes[2].runs) &&
+		reflect.DeepEqual(modes[3].runs, modes[2].runs)
 	if !identical {
 		return fmt.Errorf("sweep results differ between modes — an ablation layer changed behavior")
 	}
@@ -192,8 +225,10 @@ func run(wl string, scale, fraction float64, seed uint64, reps int, out, compare
 		BaselineNsPerReq:  baseNs,
 		NoInternNsPerReq:  nointernNs,
 		OptimizedNsPerReq: optNs,
+		ObservedNsPerReq:  obsNs,
 		Speedup:           baseNs / optNs,
 		InterningSpeedup:  nointernNs / optNs,
+		ObsOverheadPct:    (obsNs - optNs) / optNs * 100,
 		IdenticalOutput:   identical,
 		Ablations:         modeAblations,
 		Generated:         time.Now().UTC().Format(time.RFC3339),
@@ -202,8 +237,13 @@ func run(wl string, scale, fraction float64, seed uint64, reps int, out, compare
 	fmt.Printf("  baseline  (all ablation switches set):      %8.1f ns/request\n", res.BaselineNsPerReq)
 	fmt.Printf("  nointern  (compiled engine, string map):    %8.1f ns/request\n", res.NoInternNsPerReq)
 	fmt.Printf("  optimized (interned columnar, map-free):    %8.1f ns/request\n", res.OptimizedNsPerReq)
+	fmt.Printf("  observed  (optimized + obs hooks/snapshots):%8.1f ns/request\n", res.ObservedNsPerReq)
 	fmt.Printf("  speedup: %.2f× vs baseline, %.2f× vs nointern  (outputs identical: %v)\n",
 		res.Speedup, res.InterningSpeedup, res.IdenticalOutput)
+	fmt.Printf("  observability overhead when enabled: %+.1f%%\n", res.ObsOverheadPct)
+	if metricsFile != nil {
+		fmt.Printf("  observed metrics stream: %s\n", metricsOut)
+	}
 
 	if compare != "" {
 		if err := printDelta(compare, res); err != nil {
@@ -223,8 +263,11 @@ const maxDuration = time.Duration(1<<63 - 1)
 
 // sweepOnce times one execution of the full combo sweep in the given
 // mode, returning the wall time and the run results for cross-mode
-// comparison.
-func sweepOnce(runner *sim.Runner, tr *trace.Trace, base *sim.Exp1Result, combos []policy.Combo, fraction float64, seed uint64, legacy, nointern bool) (time.Duration, []*sim.PolicyRun) {
+// comparison. A non-nil metrics writer attaches the observability
+// layer for the duration of the sweep (the "observed" mode), streaming
+// its JSONL records there; the end-of-run summary is written outside
+// the timed region.
+func sweepOnce(runner *sim.Runner, tr *trace.Trace, base *sim.Exp1Result, combos []policy.Combo, fraction float64, seed uint64, legacy, nointern bool, metrics io.Writer) (time.Duration, []*sim.PolicyRun) {
 	policy.DisableCompiled = legacy
 	core.DisableAllocOpts = legacy
 	sim.DisableDayIndex = legacy
@@ -237,6 +280,25 @@ func sweepOnce(runner *sim.Runner, tr *trace.Trace, base *sim.Exp1Result, combos
 		pqueue.DisableHoleSift = false
 		sim.DisableInterning = false
 	}()
+	if metrics != nil {
+		o := obs.New(obs.Options{
+			Metrics: metrics,
+			Meta: map[string]any{
+				"tool":     "benchreplay",
+				"git_rev":  obs.GitRev(),
+				"workload": tr.Name,
+				"fraction": fraction,
+				"policies": len(combos),
+			},
+		})
+		o.SetExperiment("2all")
+		sim.Observer = o
+		defer func() {
+			if err := sim.CloseObserver(runner); err != nil {
+				fmt.Fprintln(os.Stderr, "benchreplay: writing metrics summary:", err)
+			}
+		}()
+	}
 
 	// Settle garbage from the previous rep so no mode pays for
 	// another's allocations.
@@ -317,14 +379,19 @@ func printDelta(path string, cur Run) error {
 }
 
 // printTrajectoryDiff reports the delta between the last two recorded
-// entries without running a measurement.
+// entries without running a measurement. A trajectory with fewer than
+// two entries is not an error — there is simply nothing to diff yet —
+// so the tool says so and exits cleanly (make bench-compare runs
+// before the first bench-baseline on a fresh clone).
 func printTrajectoryDiff(path string) error {
 	runs, err := readTrajectory(path)
 	if err != nil {
 		return err
 	}
 	if len(runs) < 2 {
-		return fmt.Errorf("%s holds %d run(s); need two to diff", path, len(runs))
+		fmt.Printf("%s holds %d recorded run(s); two are needed to diff.\n", path, len(runs))
+		fmt.Println("Run 'make bench-baseline' to append a measurement, then compare again.")
+		return nil
 	}
 	a, b := runs[len(runs)-2], runs[len(runs)-1]
 	if a.OptimizedNsPerReq <= 0 {
