@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-short race fmt-check verify bench bench-baseline bench-compare bench-smoke report examples clean
+.PHONY: all build vet test test-short race fmt-check verify cover bench bench-baseline bench-compare bench-smoke report examples clean
 
 # Workload scale for the replay benchmark harness; 0.3 is large enough
 # for stable ns/request numbers, small enough to finish in seconds.
@@ -41,6 +41,12 @@ fmt-check:
 # a smoke run of the replay benchmark harness (which doubles as an
 # end-to-end equivalence check of the compiled comparator layer).
 verify: fmt-check build vet test-short race bench-smoke
+
+# Whole-repo statement coverage (short mode, like the CI gate); writes
+# cover.out for tooling and prints the per-function summary tail.
+cover:
+	$(GO) test -short -coverprofile=cover.out -covermode=atomic ./...
+	$(GO) tool cover -func=cover.out | tail -n 1
 
 # One benchmark per paper table/figure, plus ablations.
 bench:

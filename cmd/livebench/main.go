@@ -15,6 +15,12 @@
 // simulated cache's tiebreak stream, so even tie-heavy policies (LRU at
 // one-second resolution, LFU) evict identically. The expected delta is
 // exactly zero.
+//
+// With -metrics, both replays report through one obs.Registry — the
+// simulated cache's hooks under sim.*, the live proxy and store under
+// proxy.* / store.* — and the run ends with the registry exposition
+// plus an event-level profile (eviction ages, occupancy) of the live
+// store, so the counter cross-check mirrors the hit-rate delta.
 package main
 
 import (
@@ -27,7 +33,9 @@ import (
 	"os"
 	"time"
 
+	"webcache/internal/analysis"
 	"webcache/internal/core"
+	"webcache/internal/obs"
 	"webcache/internal/origin"
 	"webcache/internal/policy"
 	"webcache/internal/proxy"
@@ -36,6 +44,10 @@ import (
 	"webcache/internal/workload"
 )
 
+// eventRingSize bounds the live store's event trace under -metrics;
+// livebench replays are small, so this usually holds the whole run.
+const eventRingSize = 1 << 16
+
 func main() {
 	var (
 		wl       = flag.String("workload", "BL", "workload: U, G, C, BR, BL")
@@ -43,15 +55,23 @@ func main() {
 		polSpec  = flag.String("policy", "SIZE", "removal policy for both systems")
 		fraction = flag.Float64("fraction", 0.10, "cache size as a fraction of MaxNeeded")
 		seed     = flag.Uint64("seed", 42, "workload seed")
+		metrics  = flag.Bool("metrics", false, "report both replays through a shared metric registry and print it")
 	)
 	flag.Parse()
-	if err := run(*wl, *scale, *polSpec, *fraction, *seed, os.Stdout); err != nil {
+	var reg *obs.Registry
+	if *metrics {
+		reg = obs.NewRegistry()
+	}
+	if err := run(*wl, *scale, *polSpec, *fraction, *seed, os.Stdout, reg); err != nil {
 		fmt.Fprintln(os.Stderr, "livebench:", err)
 		os.Exit(1)
 	}
 }
 
-func run(wl string, scale float64, polSpec string, fraction float64, seed uint64, out io.Writer) error {
+// run replays the workload through both systems. When reg is non-nil
+// both replays report into it and the run ends with the registry
+// exposition and the live store's event profile.
+func run(wl string, scale float64, polSpec string, fraction float64, seed uint64, out io.Writer, reg *obs.Registry) error {
 	cfg, err := workload.ByName(wl, seed)
 	if err != nil {
 		return err
@@ -77,12 +97,16 @@ func run(wl string, scale float64, polSpec string, fraction float64, seed uint64
 	if err != nil {
 		return err
 	}
-	simCache := core.New(core.Config{
+	simCfg := core.Config{
 		Capacity:       capacity,
 		Policy:         simPol,
 		Seed:           seed + 2,
 		ExcludeDynamic: true,
-	})
+	}
+	if reg != nil {
+		simCfg.Hooks = simHooks(reg)
+	}
+	simCache := core.New(simCfg)
 	for i := range tr.Requests {
 		simCache.Access(&tr.Requests[i])
 	}
@@ -91,7 +115,11 @@ func run(wl string, scale float64, polSpec string, fraction float64, seed uint64
 		100*simStats.HitRate(), 100*simStats.WeightedHitRate(), simStats.Evictions)
 
 	// --- Live run, with the same tiebreak stream as the simulated cache.
-	liveHits, liveBytesHit, liveBytes, err := replayLive(tr, polSpec, capacity, seed+2, out)
+	var ring *obs.EventRing
+	if reg != nil {
+		ring = obs.NewEventRing(eventRingSize)
+	}
+	liveHits, liveBytesHit, liveBytes, err := replayLive(tr, polSpec, capacity, seed+2, out, reg, ring)
 	if err != nil {
 		return err
 	}
@@ -100,13 +128,48 @@ func run(wl string, scale float64, polSpec string, fraction float64, seed uint64
 	fmt.Fprintf(out, "live:      HR %6.2f%%  WHR %6.2f%%\n", 100*liveHR, 100*liveWHR)
 	fmt.Fprintf(out, "delta:     HR %+.2f points  WHR %+.2f points\n",
 		100*(liveHR-simStats.HitRate()), 100*(liveWHR-simStats.WeightedHitRate()))
+
+	if reg != nil {
+		// The counter-level cross-check: the simulated cache's hooks and
+		// the live store's hooks landed in one registry, so agreement is
+		// visible without rederiving rates.
+		fmt.Fprintf(out, "registry:  sim hits %d / live hits %d, sim evictions %d / live evictions %d\n",
+			reg.Counter("sim.hits").Load(), reg.Counter("store.hits").Load(),
+			reg.Counter("sim.evictions").Load(), reg.Counter("store.evictions").Load())
+		fmt.Fprintln(out, "--- registry ---")
+		if err := reg.WriteText(out); err != nil {
+			return err
+		}
+		fmt.Fprintln(out, "--- live store event profile ---")
+		if err := analysis.AnalyzeEvents(ring).WriteReport(out); err != nil {
+			return err
+		}
+	}
 	return nil
+}
+
+// simHooks reports the simulated cache's events under the sim.* names,
+// next to the live side's proxy.* / store.* counters.
+func simHooks(reg *obs.Registry) core.CacheHooks {
+	hits := reg.Counter("sim.hits")
+	misses := reg.Counter("sim.misses")
+	evictions := reg.Counter("sim.evictions")
+	evictedBytes := reg.Counter("sim.evicted_bytes")
+	inserts := reg.Counter("sim.inserts")
+	return core.CacheHooks{
+		OnHit:   func(*policy.Entry) { hits.Inc() },
+		OnMiss:  func(int64, int64) { misses.Inc() },
+		OnEvict: func(e *policy.Entry, now int64) { evictions.Inc(); evictedBytes.Add(e.Size) },
+		OnAdd:   func(*policy.Entry) { inserts.Inc() },
+	}
 }
 
 // replayLive drives every trace request through a real proxy + origin.
 // cacheSeed matches the simulated cache's seed so per-entry tiebreak
 // values coincide and tie-heavy policies (LRU, LFU) evict identically.
-func replayLive(tr *trace.Trace, polSpec string, capacity int64, cacheSeed uint64, out io.Writer) (hits, bytesHit, bytesTotal int64, err error) {
+// When reg is non-nil, the proxy and its store report into it (and the
+// store's events into ring).
+func replayLive(tr *trace.Trace, polSpec string, capacity int64, cacheSeed uint64, out io.Writer, reg *obs.Registry, ring *obs.EventRing) (hits, bytesHit, bytesTotal int64, err error) {
 	org := origin.FromTrace(tr)
 	originTS := httptest.NewServer(org)
 	defer originTS.Close()
@@ -125,6 +188,10 @@ func replayLive(tr *trace.Trace, polSpec string, capacity int64, cacheSeed uint6
 	store.SetClock(func() time.Time { return time.Unix(simNow, 0) })
 
 	srv := proxy.New(store)
+	if reg != nil {
+		srv.Metrics = proxy.NewMetrics(reg)
+		store.SetHooks(proxy.StoreHooks(reg, ring))
+	}
 	srv.FreshFor = 100 * 365 * 24 * time.Hour // never revalidate
 	srv.MaxObjectBytes = 64 << 20
 	srv.Transport = origin.RewriteTransport(originTS.Listener.Addr().String())

@@ -5,6 +5,8 @@ import (
 	"regexp"
 	"strings"
 	"testing"
+
+	"webcache/internal/obs"
 )
 
 // TestLiveMatchesSimulated is the validation this command exists for:
@@ -16,7 +18,7 @@ func TestLiveMatchesSimulated(t *testing.T) {
 	}
 	for _, polSpec := range []string{"SIZE", "LRU", "LFU"} {
 		var out bytes.Buffer
-		if err := run("C", 0.005, polSpec, 0.10, 7, &out); err != nil {
+		if err := run("C", 0.005, polSpec, 0.10, 7, &out, nil); err != nil {
 			t.Fatalf("%s: %v", polSpec, err)
 		}
 		text := out.String()
@@ -28,11 +30,53 @@ func TestLiveMatchesSimulated(t *testing.T) {
 
 func TestRunRejectsBadInputs(t *testing.T) {
 	var out bytes.Buffer
-	if err := run("ZZ", 0.01, "SIZE", 0.1, 1, &out); err == nil {
+	if err := run("ZZ", 0.01, "SIZE", 0.1, 1, &out, nil); err == nil {
 		t.Error("unknown workload accepted")
 	}
-	if err := run("C", 0.005, "NOPE", 0.1, 1, &out); err == nil {
+	if err := run("C", 0.005, "NOPE", 0.1, 1, &out, nil); err == nil {
 		t.Error("unknown policy accepted")
+	}
+}
+
+// TestRegistryCrossCheck runs with the shared registry on: the
+// simulated cache's sim.* counters and the live store's store.*
+// counters must agree exactly, mirroring the hit-rate delta, and the
+// report must end with the registry exposition and the event profile.
+func TestRegistryCrossCheck(t *testing.T) {
+	if testing.Short() {
+		t.Skip("live HTTP replay in -short mode")
+	}
+	reg := obs.NewRegistry()
+	var out bytes.Buffer
+	if err := run("C", 0.005, "LRU", 0.10, 7, &out, reg); err != nil {
+		t.Fatal(err)
+	}
+	pairs := map[string]string{
+		"sim.hits":      "store.hits",
+		"sim.misses":    "store.misses",
+		"sim.evictions": "store.evictions",
+		"sim.inserts":   "store.inserts",
+	}
+	for simName, liveName := range pairs {
+		simV, liveV := reg.Counter(simName).Load(), reg.Counter(liveName).Load()
+		if simV == 0 {
+			t.Errorf("%s is zero — hooks not attached?", simName)
+		}
+		if simV != liveV {
+			t.Errorf("%s = %d but %s = %d", simName, simV, liveName, liveV)
+		}
+	}
+	if got := reg.Counter("proxy.requests").Load(); got == 0 {
+		t.Error("proxy.requests is zero — proxy metrics not attached")
+	}
+	if reg.Histogram("proxy.latency_ns").Count() == 0 {
+		t.Error("proxy latency histogram empty")
+	}
+	text := out.String()
+	for _, want := range []string{"registry:  sim hits", "--- registry ---", "proxy.latency_ns.p50", "--- live store event profile ---", "events profiled:"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("report missing %q:\n%s", want, text)
+		}
 	}
 }
 
@@ -41,7 +85,7 @@ func TestOutputShape(t *testing.T) {
 		t.Skip("live HTTP replay in -short mode")
 	}
 	var out bytes.Buffer
-	if err := run("BL", 0.003, "SIZE", 0.10, 3, &out); err != nil {
+	if err := run("BL", 0.003, "SIZE", 0.10, 3, &out, nil); err != nil {
 		t.Fatal(err)
 	}
 	for _, pat := range []string{

@@ -9,8 +9,13 @@
 //	proxy -listen :3128 -parent http://upstream:3128 -policy LRU-MIN
 //	proxy -listen :3128 -icp :3130 -siblings peer:3130=http://peer:3128
 //	proxy -listen :3128 -accesslog /var/log/webcache/access.log
+//	proxy -listen :3128 -admin :8081
 //
-// GET /._webcache/stats on the listen address reports statistics.
+// GET /._webcache/stats on the listen address reports statistics. With
+// -admin, a separate introspection listener serves /metrics, /healthz,
+// /buildinfo, /events (SSE serving-stats snapshots), /trace (Chrome
+// trace-event JSON of recent cache events), /accesslog (recent sampled
+// lines) and /debug/pprof/.
 package main
 
 import (
@@ -25,20 +30,186 @@ import (
 	"strings"
 	"time"
 
+	"webcache/internal/obs"
 	"webcache/internal/policy"
 	"webcache/internal/proxy"
 )
 
+// eventRingSize is the admin trace window: the most recent cache
+// events kept for /trace. 64Ki events ≈ a few MB, hours of typical
+// 1995-scale traffic.
+const eventRingSize = 1 << 16
+
+// options carries the parsed flag set; a struct so tests can exercise
+// the full wiring without a process.
+type options struct {
+	capacity  int64
+	polSpec   string
+	parent    string
+	freshFor  time.Duration
+	icpAddr   string
+	siblings  string
+	logPath   string
+	logSample int
+	admin     bool // build the admin surface (main Starts it on -admin ADDR)
+}
+
+// app is a fully wired proxy: traffic mux, optional admin surface, and
+// the resources Close releases.
+type app struct {
+	store  *proxy.Store
+	srv    *proxy.Server
+	logger *proxy.AccessLogger // nil unless -accesslog or -admin
+	mux    *http.ServeMux      // traffic listener handler
+
+	reg   *obs.Registry  // nil unless admin
+	ring  *obs.EventRing // nil unless admin
+	admin *obs.Server    // nil unless admin; caller Starts/Closes
+
+	responder *proxy.ICPResponder
+	logFile   *os.File
+}
+
+// buildApp wires the proxy from options. The admin server is built but
+// not started; callers serve a.mux on the traffic address and, when
+// a.admin is non-nil, Start it on the admin address.
+func buildApp(o options) (*app, error) {
+	pol, err := policy.Parse(o.polSpec, time.Now().Unix()/86400*86400)
+	if err != nil {
+		return nil, err
+	}
+	a := &app{store: proxy.NewStore(o.capacity, pol)}
+	a.srv = proxy.New(a.store)
+	a.srv.FreshFor = o.freshFor
+
+	if o.parent != "" {
+		pu, err := url.Parse(o.parent)
+		if err != nil {
+			return nil, fmt.Errorf("bad parent URL: %w", err)
+		}
+		a.srv.Transport = &http.Transport{Proxy: http.ProxyURL(pu)}
+		log.Printf("chaining to parent proxy %s", pu)
+	}
+
+	if o.icpAddr != "" {
+		a.responder, err = proxy.NewICPResponder(a.store, o.icpAddr)
+		if err != nil {
+			return nil, err
+		}
+		log.Printf("answering ICP queries on %s", a.responder.Addr())
+	}
+	if o.siblings != "" {
+		for _, pair := range strings.Split(o.siblings, ",") {
+			icpPart, httpPart, ok := strings.Cut(strings.TrimSpace(pair), "=")
+			if !ok {
+				a.Close()
+				return nil, fmt.Errorf("bad sibling %q (want icpHost:port=httpURL)", pair)
+			}
+			a.srv.Siblings = append(a.srv.Siblings, proxy.Sibling{ICPAddr: icpPart, Proxy: httpPart})
+		}
+		a.srv.ICP.Timeout = 100 * time.Millisecond
+		log.Printf("querying %d ICP siblings before origin fetches", len(a.srv.Siblings))
+	}
+
+	// The access logger runs when a log file is requested, and also —
+	// retain-only, no file — when the admin surface needs its
+	// /accesslog sample.
+	var logW *os.File
+	if o.logPath != "" {
+		logW, err = os.OpenFile(o.logPath, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			a.Close()
+			return nil, err
+		}
+		a.logFile = logW
+		log.Printf("writing access log to %s", o.logPath)
+	}
+	var root http.Handler = a.srv
+	if logW != nil || o.admin {
+		if logW != nil {
+			a.logger = proxy.NewAccessLogger(a.srv, logW)
+		} else {
+			a.logger = proxy.NewAccessLogger(a.srv, nil)
+		}
+		a.logger.SetSample(o.logSample)
+		root = a.logger
+	}
+
+	if o.admin {
+		a.reg = obs.NewRegistry()
+		a.ring = obs.NewEventRing(eventRingSize)
+		a.srv.Metrics = proxy.NewMetrics(a.reg)
+		a.store.SetHooks(proxy.StoreHooks(a.reg, a.ring))
+		a.srv.ICP.Queries = a.reg.Counter("proxy.icp_queries")
+		a.srv.ICP.Replies = a.reg.Counter("proxy.icp_replies")
+		a.admin = obs.NewServer(obs.ServerOptions{
+			Registry:         a.reg,
+			Ring:             a.ring,
+			Snapshot:         a.snapshot,
+			SnapshotInterval: time.Second,
+			BuildMeta: map[string]any{
+				"cmd":    "proxy",
+				"policy": pol.Name(),
+			},
+			Extra: map[string]http.Handler{
+				"/accesslog": a.logger.Handler(),
+			},
+		})
+	}
+
+	a.mux = http.NewServeMux()
+	a.mux.HandleFunc("/._webcache/stats", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(a.snapshot())
+	})
+	a.mux.Handle("/", root)
+	return a, nil
+}
+
+// snapshot is the serving-stats document: the /._webcache/stats body
+// and the admin /events SSE frame.
+func (a *app) snapshot() any {
+	doc := map[string]any{
+		"proxy": a.srv.Stats(),
+		"store": a.store.Stats(),
+	}
+	if a.responder != nil {
+		q, h := a.responder.Stats()
+		doc["icp"] = map[string]int64{"queries": q, "hits": h}
+	}
+	return doc
+}
+
+// Close releases everything buildApp opened.
+func (a *app) Close() {
+	if a.admin != nil {
+		a.admin.Close()
+	}
+	if a.responder != nil {
+		a.responder.Close()
+	}
+	if a.logger != nil {
+		a.logger.Flush()
+	}
+	if a.logFile != nil {
+		a.logFile.Close()
+	}
+}
+
 func main() {
 	var (
-		listen   = flag.String("listen", ":3128", "address to listen on")
-		capFlag  = flag.String("capacity", "64MiB", "cache capacity (bytes, or with KiB/MiB/GiB suffix)")
-		polSpec  = flag.String("policy", "SIZE", "removal policy (SIZE, LRU, LFU, LRU-MIN, Hyper-G, key1/key2, ...)")
-		parent   = flag.String("parent", "", "optional parent proxy URL (second-level cache)")
-		freshFor = flag.Duration("fresh", 5*time.Minute, "serve cached objects this long before revalidating")
-		icpAddr  = flag.String("icp", "", "UDP address to answer ICP sibling queries on (e.g. :3130)")
-		siblings = flag.String("siblings", "", "comma-separated sibling list as icpHost:port=httpURL pairs")
-		logPath  = flag.String("accesslog", "", "write a common-log-format access log to this file")
+		listen    = flag.String("listen", ":3128", "address to listen on")
+		capFlag   = flag.String("capacity", "64MiB", "cache capacity (bytes, or with KiB/MiB/GiB suffix)")
+		polSpec   = flag.String("policy", "SIZE", "removal policy (SIZE, LRU, LFU, LRU-MIN, Hyper-G, key1/key2, ...)")
+		parent    = flag.String("parent", "", "optional parent proxy URL (second-level cache)")
+		freshFor  = flag.Duration("fresh", 5*time.Minute, "serve cached objects this long before revalidating")
+		icpAddr   = flag.String("icp", "", "UDP address to answer ICP sibling queries on (e.g. :3130)")
+		siblings  = flag.String("siblings", "", "comma-separated sibling list as icpHost:port=httpURL pairs")
+		logPath   = flag.String("accesslog", "", "write a common-log-format access log to this file")
+		logSample = flag.Int("log-sample", 1, "log every nth request (1 = all)")
+		adminAddr = flag.String("admin", "", "serve the introspection endpoints on this address (e.g. :8081)")
 	)
 	flag.Parse()
 
@@ -47,74 +218,34 @@ func main() {
 		fmt.Fprintln(os.Stderr, "proxy:", err)
 		os.Exit(2)
 	}
-	pol, err := policy.Parse(*polSpec, time.Now().Unix()/86400*86400)
+	a, err := buildApp(options{
+		capacity:  capacity,
+		polSpec:   *polSpec,
+		parent:    *parent,
+		freshFor:  *freshFor,
+		icpAddr:   *icpAddr,
+		siblings:  *siblings,
+		logPath:   *logPath,
+		logSample: *logSample,
+		admin:     *adminAddr != "",
+	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "proxy:", err)
 		os.Exit(2)
 	}
+	defer a.Close()
 
-	store := proxy.NewStore(capacity, pol)
-	srv := proxy.New(store)
-	srv.FreshFor = *freshFor
-	if *parent != "" {
-		pu, err := url.Parse(*parent)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "proxy: bad parent URL:", err)
-			os.Exit(2)
-		}
-		srv.Transport = &http.Transport{Proxy: http.ProxyURL(pu)}
-		log.Printf("chaining to parent proxy %s", pu)
-	}
-
-	if *icpAddr != "" {
-		responder, err := proxy.NewICPResponder(store, *icpAddr)
+	if a.admin != nil {
+		addr, err := a.admin.Start(*adminAddr)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "proxy:", err)
 			os.Exit(2)
 		}
-		defer responder.Close()
-		log.Printf("answering ICP queries on %s", responder.Addr())
-	}
-	if *siblings != "" {
-		for _, pair := range strings.Split(*siblings, ",") {
-			icpPart, httpPart, ok := strings.Cut(strings.TrimSpace(pair), "=")
-			if !ok {
-				fmt.Fprintf(os.Stderr, "proxy: bad sibling %q (want icpHost:port=httpURL)\n", pair)
-				os.Exit(2)
-			}
-			srv.Siblings = append(srv.Siblings, proxy.Sibling{ICPAddr: icpPart, Proxy: httpPart})
-		}
-		srv.ICP.Timeout = 100 * time.Millisecond
-		log.Printf("querying %d ICP siblings before origin fetches", len(srv.Siblings))
+		log.Printf("introspection endpoints on http://%s/ (metrics, healthz, events, trace, pprof)", addr)
 	}
 
-	mux := http.NewServeMux()
-	mux.HandleFunc("/._webcache/stats", func(w http.ResponseWriter, r *http.Request) {
-		w.Header().Set("Content-Type", "application/json")
-		enc := json.NewEncoder(w)
-		enc.SetIndent("", "  ")
-		_ = enc.Encode(map[string]any{
-			"proxy": srv.Stats(),
-			"store": store.Stats(),
-		})
-	})
-	var root http.Handler = srv
-	if *logPath != "" {
-		f, err := os.OpenFile(*logPath, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "proxy:", err)
-			os.Exit(2)
-		}
-		defer f.Close()
-		logger := proxy.NewAccessLogger(srv, f)
-		defer logger.Flush()
-		root = logger
-		log.Printf("writing access log to %s", *logPath)
-	}
-	mux.Handle("/", root)
-
-	log.Printf("caching proxy on %s: capacity=%s policy=%s", *listen, *capFlag, pol.Name())
-	if err := http.ListenAndServe(*listen, mux); err != nil {
+	log.Printf("caching proxy on %s: capacity=%s policy=%s", *listen, *capFlag, *polSpec)
+	if err := http.ListenAndServe(*listen, a.mux); err != nil {
 		log.Fatal(err)
 	}
 }

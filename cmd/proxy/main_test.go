@@ -1,6 +1,16 @@
 package main
 
-import "testing"
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
 
 func TestParseBytes(t *testing.T) {
 	good := map[string]int64{
@@ -23,4 +33,195 @@ func TestParseBytes(t *testing.T) {
 			t.Errorf("parseBytes(%q) accepted", in)
 		}
 	}
+}
+
+// TestAdminEndToEnd wires the full cmd/proxy app with the admin
+// surface on, proxies real traffic through it, and checks every admin
+// endpoint — with the metric counters agreeing with the access log.
+func TestAdminEndToEnd(t *testing.T) {
+	origin := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/html")
+		fmt.Fprintf(w, "<html>%s</html>", r.URL.Path)
+	}))
+	defer origin.Close()
+
+	a, err := buildApp(options{
+		capacity: 1 << 20,
+		polSpec:  "SIZE",
+		freshFor: time.Hour,
+		admin:    true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+
+	traffic := httptest.NewServer(a.mux)
+	defer traffic.Close()
+	adminAddr, err := a.admin.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	adminURL := "http://" + adminAddr.String()
+
+	// Proxy traffic: three distinct documents, one of them re-fetched
+	// twice more → 5 requests, 2 hits, 3 origin fetches.
+	fetch := func(path string) {
+		t.Helper()
+		req, err := http.NewRequest(http.MethodGet, traffic.URL+path, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		req.Host = strings.TrimPrefix(origin.URL, "http://")
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s = %d", path, resp.StatusCode)
+		}
+	}
+	for _, path := range []string{"/a.html", "/b.html", "/c.html", "/a.html", "/a.html"} {
+		fetch(path)
+	}
+
+	body, status := adminGet(t, adminURL+"/healthz")
+	if status != http.StatusOK || !strings.Contains(body, "ok") {
+		t.Fatalf("healthz = %d %q", status, body)
+	}
+
+	// /metrics counters must match both the proxy's own stats and the
+	// access log's line count.
+	body, status = adminGet(t, adminURL+"/metrics")
+	if status != http.StatusOK {
+		t.Fatalf("metrics status = %d", status)
+	}
+	st := a.srv.Stats()
+	if st.Requests != 5 || st.Hits != 2 || st.Misses != 3 {
+		t.Fatalf("stats = %+v, want 5 requests / 2 hits / 3 misses", st)
+	}
+	wantLines := []string{
+		fmt.Sprintf("proxy.requests %d", st.Requests),
+		fmt.Sprintf("proxy.hits %d", st.Hits),
+		fmt.Sprintf("proxy.misses %d", st.Misses),
+		"proxy.origin_fetches 3",
+		"proxy.latency_ns.count 5",
+		"proxy.latency_ns.p50 ",
+		"proxy.latency_ns.p99 ",
+		"store.inserts 3",
+	}
+	for _, want := range wantLines {
+		if !strings.Contains(body, want) {
+			t.Errorf("metrics missing %q:\n%s", want, body)
+		}
+	}
+	if got := a.logger.Lines(); got != uint64(st.Requests) {
+		t.Errorf("access log has %d lines, proxy served %d requests", got, st.Requests)
+	}
+
+	// The access-log sample endpoint serves the same lines.
+	body, status = adminGet(t, adminURL+"/accesslog")
+	if status != http.StatusOK || strings.Count(body, "\n") != int(st.Requests) {
+		t.Errorf("accesslog = %d with %d lines, want %d", status, strings.Count(body, "\n"), st.Requests)
+	}
+
+	// /trace is loadable Chrome trace-event JSON covering the cache
+	// events the traffic generated (3 misses, 3 adds, 2 hits).
+	body, status = adminGet(t, adminURL+"/trace")
+	if status != http.StatusOK {
+		t.Fatalf("trace status = %d", status)
+	}
+	var records []map[string]any
+	if err := json.Unmarshal([]byte(body), &records); err != nil {
+		t.Fatalf("trace unparsable: %v", err)
+	}
+	if len(records) != 8 {
+		t.Errorf("trace has %d records, want 8", len(records))
+	}
+	for i, rec := range records {
+		for _, key := range []string{"ph", "ts", "pid", "name"} {
+			if _, ok := rec[key]; !ok {
+				t.Errorf("trace record %d missing %q", i, key)
+			}
+		}
+	}
+
+	// /events streams serving-stats snapshots; the first frame arrives
+	// immediately and reflects the traffic above.
+	resp, err := http.Get(adminURL + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	br := bufio.NewReader(resp.Body)
+	deadline := time.Now().Add(5 * time.Second)
+	var frame string
+	for time.Now().Before(deadline) {
+		line, err := br.ReadString('\n')
+		if err != nil {
+			t.Fatalf("reading SSE stream: %v", err)
+		}
+		if strings.HasPrefix(line, "data: ") {
+			frame = strings.TrimSpace(strings.TrimPrefix(line, "data: "))
+			break
+		}
+	}
+	var snap struct {
+		Proxy struct{ Requests, Hits int64 }
+		Store struct{ Docs int64 }
+	}
+	if err := json.Unmarshal([]byte(frame), &snap); err != nil {
+		t.Fatalf("SSE frame unparsable: %v\n%s", err, frame)
+	}
+	if snap.Proxy.Requests != 5 || snap.Proxy.Hits != 2 || snap.Store.Docs != 3 {
+		t.Errorf("SSE snapshot = %+v, want 5 requests / 2 hits / 3 docs", snap)
+	}
+
+	// pprof and buildinfo answer on the same mux.
+	if _, status := adminGet(t, adminURL+"/debug/pprof/"); status != http.StatusOK {
+		t.Errorf("pprof status = %d", status)
+	}
+	body, status = adminGet(t, adminURL+"/buildinfo")
+	if status != http.StatusOK || !strings.Contains(body, `"cmd": "proxy"`) {
+		t.Errorf("buildinfo = %d %q", status, body)
+	}
+
+	// The traffic listener still serves its legacy stats endpoint.
+	body, status = adminGet(t, traffic.URL+"/._webcache/stats")
+	if status != http.StatusOK || !strings.Contains(body, `"Requests": 5`) {
+		t.Errorf("legacy stats = %d %q", status, body)
+	}
+}
+
+// TestBuildAppWithoutAdmin pins the default path: no registry, no
+// ring, no admin server, no access logger — the pre-observability
+// wiring byte for byte.
+func TestBuildAppWithoutAdmin(t *testing.T) {
+	a, err := buildApp(options{capacity: 1 << 20, polSpec: "LRU", freshFor: time.Minute})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	if a.admin != nil || a.reg != nil || a.ring != nil || a.logger != nil {
+		t.Fatal("admin machinery built without -admin")
+	}
+	if a.srv.Metrics != nil {
+		t.Fatal("proxy metrics attached without -admin")
+	}
+}
+
+func adminGet(t *testing.T, url string) (string, int) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("reading %s: %v", url, err)
+	}
+	return string(body), resp.StatusCode
 }

@@ -1,0 +1,120 @@
+package analysis
+
+// Event-level cache profiling: where analysis.Analyze characterizes a
+// request trace (what was asked for), AnalyzeEvents characterizes a
+// cache's behaviour under a policy — eviction-age and occupancy
+// distributions over time, the view Einziger et al. and Olmos et al.
+// use to diagnose removal policies, built from the obs.EventRing the
+// cache hooks feed.
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"webcache/internal/obs"
+	"webcache/internal/stats"
+)
+
+// OccupancySample is the resident byte count after one cache event —
+// the occupancy trajectory sampled at event resolution.
+type OccupancySample struct {
+	Time  int64 // event time, Unix seconds
+	Bytes int64 // resident bytes after the event
+}
+
+// EventProfile summarizes a cache event stream.
+type EventProfile struct {
+	Events int // events profiled (the ring's retained window)
+
+	Hits, Misses, Evictions, Adds int
+
+	// Eviction-age view: how long victims were resident before the
+	// policy removed them. A SIZE-like policy shows long tails (big
+	// documents die young, small ones grow old); LRU's ages concentrate
+	// near the recency horizon.
+	EvictionAges    stats.Summary       // seconds
+	EvictionAgeHist *stats.LogHistogram // power-of-two age classes
+	EvictedNRefs    stats.Summary       // victims' reference counts
+
+	// Occupancy view: resident bytes over the event window,
+	// reconstructed from add/evict sizes (relative to the window's
+	// start, which is 0 for a trace covering the whole run).
+	Occupancy    []OccupancySample
+	OccupancyMax int64
+}
+
+// AnalyzeEvents profiles the events retained in ring. The ring is a
+// bounded window: for short runs it is the whole event stream, for long
+// ones the most recent Cap() events — Events reports which.
+func AnalyzeEvents(ring *obs.EventRing) *EventProfile {
+	if ring == nil {
+		return &EventProfile{}
+	}
+	return ProfileEvents(ring.Snapshot())
+}
+
+// ProfileEvents profiles an explicit event slice (oldest first).
+func ProfileEvents(events []obs.Event) *EventProfile {
+	p := &EventProfile{
+		Events:          len(events),
+		EvictionAgeHist: stats.NewLogHistogram(2),
+	}
+	var ages, nrefs []float64
+	var resident int64
+	for _, ev := range events {
+		switch ev.Kind {
+		case obs.EventHit:
+			p.Hits++
+		case obs.EventMiss:
+			p.Misses++
+		case obs.EventAdd:
+			p.Adds++
+			resident += ev.Size
+		case obs.EventEvict:
+			p.Evictions++
+			resident -= ev.Size
+			ages = append(ages, float64(ev.Age))
+			nrefs = append(nrefs, float64(ev.NRef))
+			if ev.Age > 0 {
+				p.EvictionAgeHist.Add(float64(ev.Age))
+			}
+		}
+		if ev.Kind == obs.EventAdd || ev.Kind == obs.EventEvict {
+			p.Occupancy = append(p.Occupancy, OccupancySample{Time: ev.Time, Bytes: resident})
+			if resident > p.OccupancyMax {
+				p.OccupancyMax = resident
+			}
+		}
+	}
+	p.EvictionAges = stats.Summarize(ages)
+	p.EvictedNRefs = stats.Summarize(nrefs)
+	return p
+}
+
+// WriteReport renders the profile as text: the per-kind event counts,
+// the eviction-age distribution (summary plus power-of-two class
+// table), and the occupancy high-water mark.
+func (p *EventProfile) WriteReport(w io.Writer) error {
+	fmt.Fprintf(w, "events profiled: %d (hits %d, misses %d, adds %d, evictions %d)\n",
+		p.Events, p.Hits, p.Misses, p.Adds, p.Evictions)
+	if p.Evictions > 0 {
+		fmt.Fprintf(w, "eviction age (s): mean %.1f median %.1f max %.1f\n",
+			p.EvictionAges.Mean, p.EvictionAges.Median, p.EvictionAges.Max)
+		fmt.Fprintf(w, "evicted NREF: mean %.2f median %.1f\n",
+			p.EvictedNRefs.Mean, p.EvictedNRefs.Median)
+		fmt.Fprintln(w, "eviction-age classes (power-of-two seconds):")
+		bins := p.EvictionAgeHist.Bins()
+		sort.Ints(bins)
+		for _, b := range bins {
+			lo := int64(1) << uint(b)
+			fmt.Fprintf(w, "  >=%8ds  %d\n", lo, p.EvictionAgeHist.Counts[b])
+		}
+	}
+	if len(p.Occupancy) > 0 {
+		_, err := fmt.Fprintf(w, "occupancy high water (relative bytes): %d over %d samples\n",
+			p.OccupancyMax, len(p.Occupancy))
+		return err
+	}
+	return nil
+}

@@ -117,10 +117,13 @@ type CacheHooks struct {
 	// policy order have been refreshed.
 	OnHit func(e *policy.Entry)
 	// OnMiss fires on every miss — including size-change invalidations —
-	// with the requested document size, before any insertion work.
-	OnMiss func(size int64)
-	// OnEvict fires for every policy-chosen victim, after removal.
-	OnEvict func(e *policy.Entry)
+	// with the requested document size and the request time, before any
+	// insertion work.
+	OnMiss func(size, now int64)
+	// OnEvict fires for every policy-chosen victim, after removal, with
+	// the eviction time — now-e.ETime is the victim's exact age in
+	// cache, the quantity the eviction-age histograms bin.
+	OnEvict func(e *policy.Entry, now int64)
 	// OnAdd fires after a document is stored and handed to the policy.
 	OnAdd func(e *policy.Entry)
 }
@@ -278,7 +281,7 @@ func (c *Cache) Access(req *trace.Request) bool {
 	}
 
 	if c.cfg.Hooks.OnMiss != nil {
-		c.cfg.Hooks.OnMiss(req.Size)
+		c.cfg.Hooks.OnMiss(req.Size, req.Time)
 	}
 	c.insert(req)
 	return false
@@ -346,7 +349,7 @@ func (c *Cache) evict(e *policy.Entry) {
 	c.stats.Evictions++
 	c.stats.EvictedBytes += e.Size
 	if c.cfg.Hooks.OnEvict != nil {
-		c.cfg.Hooks.OnEvict(e)
+		c.cfg.Hooks.OnEvict(e, c.now)
 	}
 	if c.cfg.OnEvict != nil {
 		c.cfg.OnEvict(e)

@@ -17,8 +17,8 @@ type hookCounts struct {
 func (h *hookCounts) hooks() CacheHooks {
 	return CacheHooks{
 		OnHit:  func(e *policy.Entry) { h.hits++ },
-		OnMiss: func(size int64) { h.misses++; h.missBytes += size },
-		OnEvict: func(e *policy.Entry) {
+		OnMiss: func(size, now int64) { h.misses++; h.missBytes += size },
+		OnEvict: func(e *policy.Entry, now int64) {
 			h.evicts++
 			h.evictBytes += e.Size
 		},
@@ -215,7 +215,7 @@ func TestCacheHooksAny(t *testing.T) {
 	if h.Any() {
 		t.Fatal("zero-value hooks report Any")
 	}
-	h.OnMiss = func(int64) {}
+	h.OnMiss = func(int64, int64) {}
 	if !h.Any() {
 		t.Fatal("hooks with OnMiss set report !Any")
 	}

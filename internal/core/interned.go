@@ -76,7 +76,7 @@ func (c *Cache) AccessIndex(i int) bool {
 	}
 
 	if c.cfg.Hooks.OnMiss != nil {
-		c.cfg.Hooks.OnMiss(size)
+		c.cfg.Hooks.OnMiss(size, now)
 	}
 	c.insertID(id, size, typ, now)
 	return false

@@ -118,6 +118,54 @@ type HistBucket struct {
 	Count      int64 `json:"count"`
 }
 
+// Quantile estimates the q-quantile (0 < q <= 1) of the observed
+// values from the power-of-two buckets, interpolating linearly inside
+// the bucket holding the target rank. The estimate is exact for the
+// bucket boundaries and within a factor of two elsewhere — good enough
+// for the p50/p95/p99 latency lines the exposition reports. Returns 0
+// when the histogram is empty.
+func (h *Histogram) Quantile(q float64) int64 {
+	n := h.count.Load()
+	if n == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	} else if q > 1 {
+		q = 1
+	}
+	// rank is 1-based: the rank-th smallest observation.
+	rank := int64(q * float64(n))
+	if rank < 1 {
+		rank = 1
+	}
+	var cum int64
+	for i := 0; i < histBuckets; i++ {
+		c := h.buckets[i].Load()
+		if c == 0 {
+			continue
+		}
+		if cum+c < rank {
+			cum += c
+			continue
+		}
+		if i == 0 {
+			return 0 // the v<=0 bucket
+		}
+		lo := int64(1) << uint(i-1)
+		hi := int64(1<<63 - 1)
+		if i < 63 {
+			hi = lo << 1
+		}
+		// Midpoint-rank interpolation: the rank-th observation sits at
+		// the centre of its 1/c slice of the bucket, so the estimate
+		// stays strictly inside [lo, hi) even at the bucket edges.
+		frac := (float64(rank-cum) - 0.5) / float64(c)
+		return lo + int64(frac*float64(hi-lo))
+	}
+	return 0
+}
+
 // Registry is a named collection of metrics. Get-or-create lookups
 // take a mutex; the returned primitives are lock-free, so hooks hold a
 // pointer and never touch the registry on the event path.
@@ -199,6 +247,9 @@ func (r *Registry) HistogramSnapshot() map[string]any {
 		out[name] = map[string]any{
 			"count":   h.Count(),
 			"sum":     h.Sum(),
+			"p50":     h.Quantile(0.50),
+			"p95":     h.Quantile(0.95),
+			"p99":     h.Quantile(0.99),
 			"buckets": h.Buckets(),
 		}
 	}
@@ -206,12 +257,17 @@ func (r *Registry) HistogramSnapshot() map[string]any {
 }
 
 // WriteText renders all metrics in sorted "name value" lines.
+// Histograms contribute count, sum and the p50/p95/p99 quantile
+// estimates — the lines a latency report reads.
 func (r *Registry) WriteText(w io.Writer) error {
 	flat := r.Snapshot()
 	for name, h := range r.HistogramSnapshot() {
 		m := h.(map[string]any)
 		flat[name+".count"] = m["count"]
 		flat[name+".sum"] = m["sum"]
+		flat[name+".p50"] = m["p50"]
+		flat[name+".p95"] = m["p95"]
+		flat[name+".p99"] = m["p99"]
 	}
 	names := make([]string, 0, len(flat))
 	for name := range flat {

@@ -105,6 +105,84 @@ func TestHistogram(t *testing.T) {
 	}
 }
 
+func TestHistogramQuantile(t *testing.T) {
+	var h Histogram
+	// 100 observations of exactly 1000: every quantile lands in the
+	// [512, 1024) bucket.
+	for i := 0; i < 100; i++ {
+		h.Observe(1000)
+	}
+	for _, q := range []float64{0.50, 0.95, 0.99, 1.0} {
+		got := h.Quantile(q)
+		if got < 512 || got >= 1024 {
+			t.Errorf("Quantile(%.2f) = %d, want within [512,1024)", q, got)
+		}
+	}
+}
+
+func TestHistogramQuantileSpread(t *testing.T) {
+	var h Histogram
+	// 90 small values and 10 large ones: p50 must sit in the small
+	// bucket, p95/p99 in the large one — the latency-tail shape the
+	// exposition exists to report.
+	for i := 0; i < 90; i++ {
+		h.Observe(10) // bucket [8,16)
+	}
+	for i := 0; i < 10; i++ {
+		h.Observe(100000) // bucket [65536,131072)
+	}
+	if p50 := h.Quantile(0.50); p50 < 8 || p50 >= 16 {
+		t.Errorf("p50 = %d, want within [8,16)", p50)
+	}
+	if p95 := h.Quantile(0.95); p95 < 65536 || p95 >= 131072 {
+		t.Errorf("p95 = %d, want within [65536,131072)", p95)
+	}
+	if p99 := h.Quantile(0.99); p99 < 65536 || p99 >= 131072 {
+		t.Errorf("p99 = %d, want within [65536,131072)", p99)
+	}
+	// Interpolation is monotone inside the bucket.
+	if h.Quantile(0.99) < h.Quantile(0.95) {
+		t.Errorf("p99 %d < p95 %d", h.Quantile(0.99), h.Quantile(0.95))
+	}
+}
+
+func TestHistogramQuantileEdgeCases(t *testing.T) {
+	var empty Histogram
+	if got := empty.Quantile(0.5); got != 0 {
+		t.Errorf("empty Quantile = %d, want 0", got)
+	}
+	var h Histogram
+	h.Observe(-5)
+	h.Observe(0)
+	if got := h.Quantile(0.99); got != 0 {
+		t.Errorf("all-nonpositive Quantile = %d, want 0 (the v<=0 bucket)", got)
+	}
+	h.Observe(7)
+	// Out-of-range q is clamped, not a panic.
+	if got := h.Quantile(1.5); got < 4 || got >= 8 {
+		t.Errorf("Quantile(1.5) = %d, want within [4,8)", got)
+	}
+	if got := h.Quantile(-0.5); got != 0 {
+		t.Errorf("Quantile(-0.5) = %d, want 0 (lowest observation's bucket)", got)
+	}
+}
+
+func TestHistogramSnapshotHasQuantiles(t *testing.T) {
+	r := NewRegistry()
+	r.Histogram("lat").Observe(100)
+	hs := r.HistogramSnapshot()
+	m := hs["lat"].(map[string]any)
+	for _, key := range []string{"p50", "p95", "p99"} {
+		v, ok := m[key].(int64)
+		if !ok {
+			t.Fatalf("snapshot missing %s: %v", key, m)
+		}
+		if v < 64 || v >= 128 {
+			t.Errorf("%s = %d, want within [64,128)", key, v)
+		}
+	}
+}
+
 func TestHistogramEmpty(t *testing.T) {
 	var h Histogram
 	if h.Mean() != 0 || h.Count() != 0 || len(h.Buckets()) != 0 {
@@ -156,5 +234,10 @@ func TestRegistryWriteText(t *testing.T) {
 	}
 	if !strings.Contains(out, "h.count 1") || !strings.Contains(out, "h.sum 5") {
 		t.Fatalf("histogram rows missing:\n%s", out)
+	}
+	for _, want := range []string{"h.p50 ", "h.p95 ", "h.p99 "} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("quantile row %q missing:\n%s", want, out)
+		}
 	}
 }

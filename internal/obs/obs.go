@@ -82,6 +82,8 @@ type RunSummary struct {
 type Observer struct {
 	reg      *Registry
 	progress *Progress
+	ring     *EventRing
+	events   *Broadcaster
 
 	mu         sync.Mutex
 	sink       io.Writer // JSONL metric stream; nil = in-memory only
@@ -104,6 +106,14 @@ type Options struct {
 	// replay snapshot; pair it with AddReplays from the experiment
 	// entry points.
 	Progress *Progress
+	// Ring, when non-nil, receives event-level cache traces
+	// (hit/miss/evict/add) from the cache hooks — the source for the
+	// Chrome trace export and the eviction-age histograms.
+	Ring *EventRing
+	// Events, when non-nil, has every emitted replay snapshot published
+	// to it — the push source behind an introspection Server's /events
+	// SSE stream.
+	Events *Broadcaster
 }
 
 // New returns an observer. When opts.Metrics is set, the JSONL header
@@ -112,6 +122,8 @@ func New(opts Options) *Observer {
 	o := &Observer{
 		reg:      NewRegistry(),
 		progress: opts.Progress,
+		ring:     opts.Ring,
+		events:   opts.Events,
 		sink:     opts.Metrics,
 	}
 	if o.sink != nil {
@@ -133,6 +145,12 @@ func New(opts Options) *Observer {
 // Registry returns the observer's metric registry, shared by the cache
 // event hooks.
 func (o *Observer) Registry() *Registry { return o.reg }
+
+// Ring returns the event trace ring, nil when event tracing is off.
+func (o *Observer) Ring() *EventRing { return o.ring }
+
+// Events returns the snapshot broadcaster, nil when none is attached.
+func (o *Observer) Events() *Broadcaster { return o.events }
 
 // SetExperiment records the experiment name stamped on subsequent
 // snapshots and pprof spans.
@@ -172,6 +190,9 @@ func (o *Observer) EmitReplay(s ReplaySnapshot) {
 	o.mu.Unlock()
 	if o.progress != nil {
 		o.progress.Done(1)
+	}
+	if o.events != nil {
+		o.events.Publish(s)
 	}
 }
 

@@ -22,6 +22,7 @@ type Progress struct {
 	mu      sync.Mutex
 	w       io.Writer
 	stop    chan struct{}
+	started bool
 	stopped bool
 }
 
@@ -73,13 +74,17 @@ func (p *Progress) Line() string {
 }
 
 // Start launches the ticker goroutine; it renders a line per interval
-// until Stop. Starting an already-stopped progress is a no-op.
+// until Stop. Starting an already-started or already-stopped progress
+// is a no-op — without the started guard a double Start would leak a
+// second ticker goroutine that Stop's single channel close does halt,
+// but that duplicates every rendered line until then.
 func (p *Progress) Start() {
 	p.mu.Lock()
-	if p.stopped {
+	if p.stopped || p.started {
 		p.mu.Unlock()
 		return
 	}
+	p.started = true
 	stop := p.stop
 	p.mu.Unlock()
 	go func() {

@@ -13,22 +13,41 @@ import (
 	"net/http"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
+// recentLines is how many emitted log lines the logger retains for the
+// admin /accesslog sample.
+const recentLines = 128
+
 // AccessLogger wraps an http.Handler (normally the proxy Server) and
-// writes one common-log-format line per completed request.
+// writes one common-log-format line per completed request. It can
+// sample (log every nth request) for high-volume deployments, and
+// retains the most recent emitted lines for the admin endpoint.
 type AccessLogger struct {
 	next http.Handler
+	seen atomic.Uint64 // requests observed, pre-sampling
 
-	mu  sync.Mutex
-	w   *bufio.Writer
-	now func() time.Time
+	mu      sync.Mutex
+	w       *bufio.Writer // nil: retain-only mode (no log sink)
+	now     func() time.Time
+	every   uint64 // log every nth request; 1 = all
+	lines   uint64 // lines actually emitted
+	recent  [recentLines]string
+	recentN uint64
 }
 
-// NewAccessLogger returns the wrapping handler; log lines go to w.
+// NewAccessLogger returns the wrapping handler; log lines go to w. A
+// nil w keeps the logger in retain-only mode: lines are still formatted
+// into the recent-lines buffer (the admin /accesslog view) but no
+// stream is written.
 func NewAccessLogger(next http.Handler, w io.Writer) *AccessLogger {
-	return &AccessLogger{next: next, w: bufio.NewWriterSize(w, 32*1024), now: time.Now}
+	l := &AccessLogger{next: next, now: time.Now, every: 1}
+	if w != nil {
+		l.w = bufio.NewWriterSize(w, 32*1024)
+	}
+	return l
 }
 
 // SetClock overrides the logger's time source (tests).
@@ -38,10 +57,60 @@ func (l *AccessLogger) SetClock(now func() time.Time) {
 	l.now = now
 }
 
+// SetSample makes the logger emit every nth request's line (n <= 1
+// logs every request). Sampling is deterministic over the request
+// arrival order — request 1, n+1, 2n+1, … are kept — so a sampled log
+// scales back to totals by multiplying counts by n.
+func (l *AccessLogger) SetSample(n int) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if n < 1 {
+		n = 1
+	}
+	l.every = uint64(n)
+}
+
+// Lines returns the number of log lines emitted (post-sampling).
+func (l *AccessLogger) Lines() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.lines
+}
+
+// Recent returns the most recent emitted lines, oldest first.
+func (l *AccessLogger) Recent() []string {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	n := l.recentN
+	if n > recentLines {
+		n = recentLines
+	}
+	out := make([]string, 0, n)
+	start := l.recentN - n
+	for i := start; i < l.recentN; i++ {
+		out = append(out, l.recent[i%recentLines])
+	}
+	return out
+}
+
+// Handler serves the recent sampled lines as plain text — mounted on
+// the admin mux at /accesslog.
+func (l *AccessLogger) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		for _, line := range l.Recent() {
+			io.WriteString(w, line)
+		}
+	})
+}
+
 // Flush forces buffered log lines out.
 func (l *AccessLogger) Flush() error {
 	l.mu.Lock()
 	defer l.mu.Unlock()
+	if l.w == nil {
+		return nil
+	}
 	return l.w.Flush()
 }
 
@@ -68,6 +137,7 @@ func (r *statusRecorder) Write(p []byte) (int, error) {
 
 // ServeHTTP implements http.Handler.
 func (l *AccessLogger) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	seq := l.seen.Add(1)
 	rec := &statusRecorder{ResponseWriter: w}
 	l.next.ServeHTTP(rec, r)
 	if rec.status == 0 {
@@ -84,8 +154,19 @@ func (l *AccessLogger) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	}
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	fmt.Fprintf(l.w, "%s - - [%s] \"%s %s HTTP/1.0\" %d %d\n",
+	// The sampling decision uses the pre-serve sequence number, so
+	// which requests are kept is a function of arrival order alone.
+	if l.every > 1 && (seq-1)%l.every != 0 {
+		return
+	}
+	line := fmt.Sprintf("%s - - [%s] \"%s %s HTTP/1.0\" %d %d\n",
 		client,
 		l.now().UTC().Format("02/Jan/2006:15:04:05 -0700"),
 		r.Method, url, rec.status, rec.bytes)
+	l.lines++
+	l.recent[l.recentN%recentLines] = line
+	l.recentN++
+	if l.w != nil {
+		l.w.WriteString(line)
+	}
 }

@@ -14,6 +14,8 @@ import (
 	"net"
 	"sync"
 	"time"
+
+	"webcache/internal/obs"
 )
 
 // ICP opcodes (RFC 2186 §3).
@@ -210,6 +212,11 @@ type Sibling struct {
 // ICPClient queries siblings.
 type ICPClient struct {
 	Timeout time.Duration
+	// Queries / Replies, when non-nil, count the datagrams sent and the
+	// replies received in time — the admin endpoint's view of sibling
+	// protocol health.
+	Queries *obs.Counter
+	Replies *obs.Counter
 
 	mu     sync.Mutex
 	reqNum uint32
@@ -264,6 +271,9 @@ func (c *ICPClient) queryOne(addr, url string, reqNum uint32, timeout time.Durat
 	if _, err := conn.Write(out); err != nil {
 		return false, fmt.Errorf("proxy: sending ICP query: %w", err)
 	}
+	if c.Queries != nil {
+		c.Queries.Inc()
+	}
 	if err := conn.SetReadDeadline(time.Now().Add(timeout)); err != nil {
 		return false, err
 	}
@@ -275,6 +285,9 @@ func (c *ICPClient) queryOne(addr, url string, reqNum uint32, timeout time.Durat
 	reply, err := UnmarshalICP(buf[:n])
 	if err != nil {
 		return false, err
+	}
+	if c.Replies != nil {
+		c.Replies.Inc()
 	}
 	if reply.ReqNum != reqNum {
 		return false, fmt.Errorf("proxy: ICP reply for request %d, want %d", reply.ReqNum, reqNum)

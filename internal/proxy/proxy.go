@@ -48,6 +48,10 @@ type Server struct {
 	Siblings []Sibling
 	// ICP issues the sibling queries.
 	ICP ICPClient
+	// Metrics, when non-nil, mirrors every outcome into a shared
+	// obs.Registry (plus a per-request latency histogram) for the admin
+	// endpoint. Nil — the default — costs one branch per site.
+	Metrics *Metrics
 
 	stats struct {
 		requests, hits, revalidated, misses atomic.Int64
@@ -111,6 +115,11 @@ func Cacheable(r *http.Request) bool {
 // ServeHTTP implements the proxy.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	s.stats.requests.Add(1)
+	if m := s.Metrics; m != nil {
+		m.Requests.Inc()
+		start := time.Now()
+		defer func() { m.Latency.Observe(time.Since(start).Nanoseconds()) }()
+	}
 
 	target := r.URL
 	if !target.IsAbs() {
@@ -118,6 +127,9 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		// reconstructing the absolute URL from the Host header.
 		if r.Host == "" {
 			s.stats.errors.Add(1)
+			if m := s.Metrics; m != nil {
+				m.Errors.Inc()
+			}
 			http.Error(w, "proxy: request URL is not absolute", http.StatusBadRequest)
 			return
 		}
@@ -129,6 +141,9 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 
 	if !Cacheable(r) {
 		s.stats.uncacheable.Add(1)
+		if m := s.Metrics; m != nil {
+			m.Uncacheable.Inc()
+		}
 		s.passThrough(w, r, target)
 		return
 	}
@@ -142,12 +157,20 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 			s.serveObject(w, obj, "HIT")
 			s.stats.hits.Add(1)
 			s.stats.bytesFromHit.Add(int64(len(obj.Body)))
+			if m := s.Metrics; m != nil {
+				m.Hits.Inc()
+				m.BytesFromHit.Add(int64(len(obj.Body)))
+			}
 			return
 		}
 		if s.revalidate(key, obj, target) {
 			s.serveObject(w, obj, "REVALIDATED")
 			s.stats.revalidated.Add(1)
 			s.stats.bytesFromHit.Add(int64(len(obj.Body)))
+			if m := s.Metrics; m != nil {
+				m.Revalidated.Inc()
+				m.BytesFromHit.Add(int64(len(obj.Body)))
+			}
 			return
 		}
 		// Revalidation says the document changed (or failed); fall
@@ -187,10 +210,12 @@ func (s *Server) revalidate(key string, obj *Object, target *url.URL) bool {
 // serves it, and caches it when eligible.
 func (s *Server) fetchAndServe(w http.ResponseWriter, r *http.Request, target *url.URL, key string) {
 	s.stats.misses.Add(1)
+	if m := s.Metrics; m != nil {
+		m.Misses.Inc()
+	}
 	req, err := http.NewRequest(http.MethodGet, target.String(), nil)
 	if err != nil {
-		s.stats.errors.Add(1)
-		http.Error(w, fmt.Sprintf("proxy: building origin request: %v", err), http.StatusBadGateway)
+		s.countError(w, fmt.Sprintf("proxy: building origin request: %v", err))
 		return
 	}
 	copyHopByHopSafe(req.Header, r.Header)
@@ -202,15 +227,20 @@ func (s *Server) fetchAndServe(w http.ResponseWriter, r *http.Request, target *u
 		if sibURL, err := url.Parse(sib.Proxy); err == nil {
 			rt = &http.Transport{Proxy: http.ProxyURL(sibURL)}
 			s.stats.siblingHits.Add(1)
+			if m := s.Metrics; m != nil {
+				m.SiblingHits.Inc()
+			}
 		}
 	}
 	resp, err := rt.RoundTrip(req)
 	if err != nil {
-		s.stats.errors.Add(1)
-		http.Error(w, fmt.Sprintf("proxy: origin fetch failed: %v", err), http.StatusBadGateway)
+		s.countError(w, fmt.Sprintf("proxy: origin fetch failed: %v", err))
 		return
 	}
 	defer resp.Body.Close()
+	if m := s.Metrics; m != nil {
+		m.OriginFetches.Inc()
+	}
 
 	if resp.StatusCode != http.StatusOK {
 		// Serve non-200 responses uncached.
@@ -219,9 +249,11 @@ func (s *Server) fetchAndServe(w http.ResponseWriter, r *http.Request, target *u
 	}
 	body, err := io.ReadAll(io.LimitReader(resp.Body, s.MaxObjectBytes+1))
 	if err != nil {
-		s.stats.errors.Add(1)
-		http.Error(w, fmt.Sprintf("proxy: reading origin body: %v", err), http.StatusBadGateway)
+		s.countError(w, fmt.Sprintf("proxy: reading origin body: %v", err))
 		return
+	}
+	if m := s.Metrics; m != nil {
+		m.OriginBytes.Add(int64(len(body)))
 	}
 	contentType, lastMod := headerSubset(resp.Header)
 	obj := &Object{
@@ -234,6 +266,15 @@ func (s *Server) fetchAndServe(w http.ResponseWriter, r *http.Request, target *u
 		s.store.Put(key, obj)
 	}
 	s.serveObject(w, obj, "MISS")
+}
+
+// countError records an error outcome and answers 502.
+func (s *Server) countError(w http.ResponseWriter, msg string) {
+	s.stats.errors.Add(1)
+	if m := s.Metrics; m != nil {
+		m.Errors.Inc()
+	}
+	http.Error(w, msg, http.StatusBadGateway)
 }
 
 // serveObject writes a cached object to the client.
@@ -250,6 +291,9 @@ func (s *Server) serveObject(w http.ResponseWriter, obj *Object, verdict string)
 	w.WriteHeader(http.StatusOK)
 	n, _ := w.Write(obj.Body)
 	s.stats.bytesServed.Add(int64(n))
+	if m := s.Metrics; m != nil {
+		m.BytesServed.Add(int64(n))
+	}
 }
 
 // relay streams an origin response to the client without caching.
@@ -264,21 +308,22 @@ func (s *Server) relay(w http.ResponseWriter, resp *http.Response) {
 	w.WriteHeader(resp.StatusCode)
 	n, _ := io.Copy(w, resp.Body)
 	s.stats.bytesServed.Add(n)
+	if m := s.Metrics; m != nil {
+		m.BytesServed.Add(n)
+	}
 }
 
 // passThrough forwards an uncacheable request verbatim.
 func (s *Server) passThrough(w http.ResponseWriter, r *http.Request, target *url.URL) {
 	req, err := http.NewRequest(r.Method, target.String(), r.Body)
 	if err != nil {
-		s.stats.errors.Add(1)
-		http.Error(w, fmt.Sprintf("proxy: building pass-through request: %v", err), http.StatusBadGateway)
+		s.countError(w, fmt.Sprintf("proxy: building pass-through request: %v", err))
 		return
 	}
 	copyHopByHopSafe(req.Header, r.Header)
 	resp, err := s.transport().RoundTrip(req)
 	if err != nil {
-		s.stats.errors.Add(1)
-		http.Error(w, fmt.Sprintf("proxy: pass-through fetch failed: %v", err), http.StatusBadGateway)
+		s.countError(w, fmt.Sprintf("proxy: pass-through fetch failed: %v", err))
 		return
 	}
 	defer resp.Body.Close()

@@ -9,6 +9,7 @@ import (
 	"sync"
 	"time"
 
+	"webcache/internal/core"
 	"webcache/internal/policy"
 	"webcache/internal/rng"
 	"webcache/internal/trace"
@@ -46,6 +47,7 @@ type Store struct {
 	rnd      *rng.Rand
 	stats    StoreStats
 	now      func() time.Time
+	hooks    core.CacheHooks
 }
 
 // NewStore returns a store with the given capacity in bytes and policy.
@@ -83,6 +85,17 @@ func (s *Store) SetSeed(seed uint64) {
 	s.rnd = rng.New(seed)
 }
 
+// SetHooks attaches the same nil-checked cache event hooks the
+// simulated core.Cache fires, so the live store feeds the identical
+// observability surface (hit/miss/evict/add events with the evicted
+// entry's age and NREF). Call before serving; unset hooks cost one
+// branch per event, same contract as core.
+func (s *Store) SetHooks(h core.CacheHooks) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.hooks = h
+}
+
 // Get returns the cached object for url, updating recency/frequency
 // bookkeeping on a hit.
 func (s *Store) Get(url string) (*Object, bool) {
@@ -91,12 +104,20 @@ func (s *Store) Get(url string) (*Object, bool) {
 	s.stats.Gets++
 	e, ok := s.entries[url]
 	if !ok {
+		if s.hooks.OnMiss != nil {
+			// Size 0: a live miss's size is unknown until the origin
+			// responds (the fetch path counts the bytes).
+			s.hooks.OnMiss(0, s.now().Unix())
+		}
 		return nil, false
 	}
 	e.ATime = s.now().Unix()
 	e.NRef++
 	s.pol.Touch(e)
 	s.stats.Hits++
+	if s.hooks.OnHit != nil {
+		s.hooks.OnHit(e)
+	}
 	return s.objects[url], true
 }
 
@@ -123,6 +144,7 @@ func (s *Store) Put(url string, obj *Object) bool {
 	if old, ok := s.entries[url]; ok {
 		s.removeLocked(old)
 	}
+	now := s.now().Unix()
 	for s.stats.Used+size > s.capacity {
 		v := s.pol.Victim(size)
 		if v == nil {
@@ -130,8 +152,10 @@ func (s *Store) Put(url string, obj *Object) bool {
 		}
 		s.removeLocked(v)
 		s.stats.Evictions++
+		if s.hooks.OnEvict != nil {
+			s.hooks.OnEvict(v, now)
+		}
 	}
-	now := s.now().Unix()
 	e := policy.NewEntry(url, size, trace.ClassifyURL(url), now, s.rnd.Uint64())
 	s.entries[url] = e
 	s.objects[url] = obj
@@ -140,6 +164,9 @@ func (s *Store) Put(url string, obj *Object) bool {
 	s.stats.Docs++
 	if s.stats.Used > s.stats.MaxUsed {
 		s.stats.MaxUsed = s.stats.Used
+	}
+	if s.hooks.OnAdd != nil {
+		s.hooks.OnAdd(e)
 	}
 	return true
 }

@@ -21,9 +21,11 @@ import (
 // consult it once at start.
 var Observer *obs.Observer
 
-// cacheHooks builds core event hooks feeding o's registry. The
-// counters are resolved once per replay here, so the per-event work is
-// a single atomic add.
+// cacheHooks builds core event hooks feeding o's registry and, when o
+// carries an event ring, the event-level trace. The counters are
+// resolved once per replay here, so the per-event work is a single
+// atomic add (plus one ring slot store when tracing is on — the cost
+// benchreplay's "observed" mode prices).
 func cacheHooks(o *obs.Observer) core.CacheHooks {
 	reg := o.Registry()
 	hits := reg.Counter("cache.hits")
@@ -31,11 +33,36 @@ func cacheHooks(o *obs.Observer) core.CacheHooks {
 	evictions := reg.Counter("cache.evictions")
 	evictedBytes := reg.Counter("cache.evicted_bytes")
 	inserts := reg.Counter("cache.inserts")
+	ring := o.Ring()
+	if ring == nil {
+		return core.CacheHooks{
+			OnHit:   func(*policy.Entry) { hits.Inc() },
+			OnMiss:  func(int64, int64) { misses.Inc() },
+			OnEvict: func(e *policy.Entry, now int64) { evictions.Inc(); evictedBytes.Add(e.Size) },
+			OnAdd:   func(*policy.Entry) { inserts.Inc() },
+		}
+	}
 	return core.CacheHooks{
-		OnHit:   func(*policy.Entry) { hits.Inc() },
-		OnMiss:  func(int64) { misses.Inc() },
-		OnEvict: func(e *policy.Entry) { evictions.Inc(); evictedBytes.Add(e.Size) },
-		OnAdd:   func(*policy.Entry) { inserts.Inc() },
+		OnHit: func(e *policy.Entry) {
+			hits.Inc()
+			// e.ATime was just refreshed to the request time — it is the
+			// event timestamp, no extra plumbing needed.
+			ring.Record(obs.Event{Kind: obs.EventHit, Time: e.ATime, ID: e.ID, Size: e.Size, NRef: e.NRef})
+		},
+		OnMiss: func(size, now int64) {
+			misses.Inc()
+			ring.Record(obs.Event{Kind: obs.EventMiss, Time: now, ID: -1, Size: size})
+		},
+		OnEvict: func(e *policy.Entry, now int64) {
+			evictions.Inc()
+			evictedBytes.Add(e.Size)
+			ring.Record(obs.Event{Kind: obs.EventEvict, Time: now, ID: e.ID, Size: e.Size, Age: now - e.ETime, NRef: e.NRef})
+		},
+		OnAdd: func(e *policy.Entry) {
+			inserts.Inc()
+			// e.ETime is the insert time by construction.
+			ring.Record(obs.Event{Kind: obs.EventAdd, Time: e.ETime, ID: e.ID, Size: e.Size})
+		},
 	}
 }
 

@@ -21,9 +21,10 @@
 //     the shared day index, and map-free ID-indexed replay over the
 //     shared interned columnar trace view;
 //   - observed: the optimized engine with the observability layer
-//     attached (sim.Observer: cache event hooks, pprof replay spans,
-//     JSONL snapshot emission) — the obs-on vs obs-off ablation that
-//     prices the enabled path, recorded as obs_overhead_pct.
+//     attached (sim.Observer: cache event hooks, the event-trace ring,
+//     pprof replay spans, JSONL snapshot emission) — the obs-on vs
+//     obs-off ablation that prices the enabled path, recorded as
+//     obs_overhead_pct.
 //
 // All modes replay every combination with identical seeds, and the tool
 // fails if any run's results differ between modes — the timing harness
@@ -94,7 +95,7 @@ var modeAblations = map[string][]string{
 	"optimized": {},
 	// Observability is off-by-default (sim.Observer == nil), so the
 	// obs-on side of the ablation is the mode that *attaches* it.
-	"observed": {"sim.Observer attached (cache hooks, pprof spans, JSONL snapshots)"},
+	"observed": {"sim.Observer attached (cache hooks, event ring, pprof spans, JSONL snapshots)"},
 }
 
 func main() {
@@ -290,6 +291,11 @@ func sweepOnce(runner *sim.Runner, tr *trace.Trace, base *sim.Exp1Result, combos
 				"fraction": fraction,
 				"policies": len(combos),
 			},
+			// The event ring rides along so the observed mode prices the
+			// full enabled path: counter adds plus one ring slot store
+			// per cache event — what cmd/proxy -admin and websim -listen
+			// actually run.
+			Ring: obs.NewEventRing(1 << 16),
 		})
 		o.SetExperiment("2all")
 		sim.Observer = o
