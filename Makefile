@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-short race fmt-check verify cover bench bench-baseline bench-compare bench-smoke report examples clean
+.PHONY: all build vet test test-short race fmt-check verify cover bench bench-baseline bench-compare bench-smoke bench-proxy bench-proxy-smoke report examples clean
 
 # Workload scale for the replay benchmark harness; 0.3 is large enough
 # for stable ns/request numbers, small enough to finish in seconds.
@@ -38,9 +38,10 @@ fmt-check:
 	fi
 
 # The CI gate: formatting, build, vet, short tests, race coverage, and
-# a smoke run of the replay benchmark harness (which doubles as an
-# end-to-end equivalence check of the compiled comparator layer).
-verify: fmt-check build vet test-short race bench-smoke
+# smoke runs of both benchmark harnesses (replay, which doubles as an
+# end-to-end equivalence check of the compiled comparator layer, and
+# the contended-store loadgen with its trajectory schema check).
+verify: fmt-check build vet test-short race bench-smoke bench-proxy-smoke
 
 # Whole-repo statement coverage (short mode, like the CI gate); writes
 # cover.out for tooling and prints the per-function summary tail.
@@ -78,6 +79,26 @@ bench-compare:
 # results.
 bench-smoke:
 	$(GO) run ./internal/tools/benchreplay -scale 0.02 -reps 1
+
+# Contended-store throughput: single-mutex Store vs N-way ShardedStore
+# under zipf load, appended to the tracked trajectory (BENCH_proxy.json
+# at the repo root — same append-only, git_rev'd arrangement as
+# BENCH_replay.json; the speedup only means something relative to the
+# recorded gomaxprocs).
+LOADGEN_GOROUTINES ?= 8
+LOADGEN_SHARDS     ?= 16
+bench-proxy:
+	$(GO) run ./cmd/loadgen -goroutines $(LOADGEN_GOROUTINES) -shards $(LOADGEN_SHARDS) -out BENCH_proxy.json
+
+# Tiny loadgen run for CI: exercises the full harness (both stores,
+# timed reps, trajectory append + schema check) in well under a second,
+# against a throwaway file so the tracked trajectory only ever holds
+# deliberate bench-proxy entries.
+bench-proxy-smoke:
+	$(GO) run ./cmd/loadgen -keys 256 -goroutines 4 -shards 4 -ops 5000 -reps 1 -out /tmp/BENCH_proxy_smoke.json
+	$(GO) run ./cmd/loadgen -check /tmp/BENCH_proxy_smoke.json
+	@rm -f /tmp/BENCH_proxy_smoke.json
+	$(GO) run ./cmd/loadgen -check BENCH_proxy.json
 
 # Full-scale paper-vs-measured numbers (the EXPERIMENTS.md data).
 report:

@@ -55,6 +55,7 @@ func main() {
 		polSpec  = flag.String("policy", "SIZE", "removal policy for both systems")
 		fraction = flag.Float64("fraction", 0.10, "cache size as a fraction of MaxNeeded")
 		seed     = flag.Uint64("seed", 42, "workload seed")
+		shards   = flag.Int("shards", 0, "live store shard count (0 = single-mutex store; 1-shard sharded replays byte-identically to it)")
 		metrics  = flag.Bool("metrics", false, "report both replays through a shared metric registry and print it")
 	)
 	flag.Parse()
@@ -62,16 +63,20 @@ func main() {
 	if *metrics {
 		reg = obs.NewRegistry()
 	}
-	if err := run(*wl, *scale, *polSpec, *fraction, *seed, os.Stdout, reg); err != nil {
+	if err := run(*wl, *scale, *polSpec, *fraction, *seed, *shards, os.Stdout, reg); err != nil {
 		fmt.Fprintln(os.Stderr, "livebench:", err)
 		os.Exit(1)
 	}
 }
 
-// run replays the workload through both systems. When reg is non-nil
-// both replays report into it and the run ends with the registry
-// exposition and the live store's event profile.
-func run(wl string, scale float64, polSpec string, fraction float64, seed uint64, out io.Writer, reg *obs.Registry) error {
+// run replays the workload through both systems. shards selects the
+// live store: 0 is the single-mutex Store, N >= 1 an N-way
+// ShardedStore (1 shard replays byte-identically to the single-mutex
+// store; more shards partition capacity into per-shard quotas, so
+// small deltas against the unsharded simulator are expected). When reg
+// is non-nil both replays report into it and the run ends with the
+// registry exposition and the live store's event profile.
+func run(wl string, scale float64, polSpec string, fraction float64, seed uint64, shards int, out io.Writer, reg *obs.Registry) error {
 	cfg, err := workload.ByName(wl, seed)
 	if err != nil {
 		return err
@@ -119,7 +124,7 @@ func run(wl string, scale float64, polSpec string, fraction float64, seed uint64
 	if reg != nil {
 		ring = obs.NewEventRing(eventRingSize)
 	}
-	liveHits, liveBytesHit, liveBytes, err := replayLive(tr, polSpec, capacity, seed+2, out, reg, ring)
+	liveHits, liveBytesHit, liveBytes, err := replayLive(tr, polSpec, capacity, seed+2, shards, out, reg, ring)
 	if err != nil {
 		return err
 	}
@@ -169,7 +174,7 @@ func simHooks(reg *obs.Registry) core.CacheHooks {
 // values coincide and tie-heavy policies (LRU, LFU) evict identically.
 // When reg is non-nil, the proxy and its store report into it (and the
 // store's events into ring).
-func replayLive(tr *trace.Trace, polSpec string, capacity int64, cacheSeed uint64, out io.Writer, reg *obs.Registry, ring *obs.EventRing) (hits, bytesHit, bytesTotal int64, err error) {
+func replayLive(tr *trace.Trace, polSpec string, capacity int64, cacheSeed uint64, shards int, out io.Writer, reg *obs.Registry, ring *obs.EventRing) (hits, bytesHit, bytesTotal int64, err error) {
 	org := origin.FromTrace(tr)
 	originTS := httptest.NewServer(org)
 	defer originTS.Close()
@@ -178,7 +183,16 @@ func replayLive(tr *trace.Trace, polSpec string, capacity int64, cacheSeed uint6
 	if err != nil {
 		return 0, 0, 0, err
 	}
-	store := proxy.NewStore(capacity, livePol)
+	var store proxy.ObjectStore
+	if shards >= 1 {
+		store = proxy.NewShardedStore(capacity, shards, func() policy.Policy {
+			p, _ := policy.Parse(polSpec, tr.Start)
+			return p
+		})
+		fmt.Fprintf(out, "live store: %d-way sharded\n", shards)
+	} else {
+		store = proxy.NewStore(capacity, livePol)
+	}
 	// Mirror core.New's internal seed derivation so the per-entry random
 	// tiebreak sequences of the two systems are identical.
 	store.SetSeed(cacheSeed ^ 0x9e3779b97f4a7c15)

@@ -18,7 +18,7 @@ func TestLiveMatchesSimulated(t *testing.T) {
 	}
 	for _, polSpec := range []string{"SIZE", "LRU", "LFU"} {
 		var out bytes.Buffer
-		if err := run("C", 0.005, polSpec, 0.10, 7, &out, nil); err != nil {
+		if err := run("C", 0.005, polSpec, 0.10, 7, 0, &out, nil); err != nil {
 			t.Fatalf("%s: %v", polSpec, err)
 		}
 		text := out.String()
@@ -28,12 +28,33 @@ func TestLiveMatchesSimulated(t *testing.T) {
 	}
 }
 
+// TestShardedOneShardMatchesSimulated repeats the validation with the
+// live side on a 1-shard ShardedStore: one shard holds the full
+// capacity and the base tiebreak seed, so the sharded path must replay
+// byte-identically to the single-mutex store — and therefore match the
+// simulator exactly too.
+func TestShardedOneShardMatchesSimulated(t *testing.T) {
+	if testing.Short() {
+		t.Skip("live HTTP replay in -short mode")
+	}
+	for _, polSpec := range []string{"SIZE", "LRU"} {
+		var out bytes.Buffer
+		if err := run("C", 0.005, polSpec, 0.10, 7, 1, &out, nil); err != nil {
+			t.Fatalf("%s: %v", polSpec, err)
+		}
+		text := out.String()
+		if !strings.Contains(text, "delta:     HR +0.00 points  WHR +0.00 points") {
+			t.Errorf("%s: 1-shard sharded replay and simulated disagree:\n%s", polSpec, text)
+		}
+	}
+}
+
 func TestRunRejectsBadInputs(t *testing.T) {
 	var out bytes.Buffer
-	if err := run("ZZ", 0.01, "SIZE", 0.1, 1, &out, nil); err == nil {
+	if err := run("ZZ", 0.01, "SIZE", 0.1, 1, 0, &out, nil); err == nil {
 		t.Error("unknown workload accepted")
 	}
-	if err := run("C", 0.005, "NOPE", 0.1, 1, &out, nil); err == nil {
+	if err := run("C", 0.005, "NOPE", 0.1, 1, 0, &out, nil); err == nil {
 		t.Error("unknown policy accepted")
 	}
 }
@@ -48,7 +69,7 @@ func TestRegistryCrossCheck(t *testing.T) {
 	}
 	reg := obs.NewRegistry()
 	var out bytes.Buffer
-	if err := run("C", 0.005, "LRU", 0.10, 7, &out, reg); err != nil {
+	if err := run("C", 0.005, "LRU", 0.10, 7, 0, &out, reg); err != nil {
 		t.Fatal(err)
 	}
 	pairs := map[string]string{
@@ -85,7 +106,7 @@ func TestOutputShape(t *testing.T) {
 		t.Skip("live HTTP replay in -short mode")
 	}
 	var out bytes.Buffer
-	if err := run("BL", 0.003, "SIZE", 0.10, 3, &out, nil); err != nil {
+	if err := run("BL", 0.003, "SIZE", 0.10, 3, 0, &out, nil); err != nil {
 		t.Fatal(err)
 	}
 	for _, pat := range []string{

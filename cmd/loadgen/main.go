@@ -1,0 +1,371 @@
+// Command loadgen measures the live store's contended hot path: G
+// goroutines hammer a prepopulated ObjectStore with a zipf-distributed
+// key stream (mostly Gets — the hit path — with a Put mixed in every
+// put-every ops), once against the single-mutex Store and once against
+// the N-way ShardedStore, and reports ops/sec for each plus the
+// sharded/single speedup.
+//
+// With -out, the result is appended to a trajectory file
+// (BENCH_proxy.json at the repo root — same append-only, git_rev'd
+// arrangement as BENCH_replay.json) and the whole file is
+// schema-checked after the append; -check validates an existing
+// trajectory without running anything (the CI smoke uses both).
+//
+// The recorded gomaxprocs field is how entries stay comparable across
+// machines: sharding removes the global serialization point, so the
+// speedup tracks available parallelism — near-linear to GOMAXPROCS on
+// multi-core hardware, and necessarily ~1× on a single-core box where
+// every op serializes anyway.
+//
+// Usage:
+//
+//	loadgen                                   # measure and print
+//	loadgen -goroutines 8 -shards 16 -out BENCH_proxy.json
+//	loadgen -check BENCH_proxy.json           # schema-check only
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"runtime"
+	"strings"
+	"sync"
+	"time"
+
+	"webcache/internal/policy"
+	"webcache/internal/proxy"
+	"webcache/internal/rng"
+)
+
+// Result is one measurement in the BENCH_proxy.json trajectory.
+type Result struct {
+	Benchmark        string  `json:"benchmark"`
+	GitRev           string  `json:"git_rev"`
+	GoMaxProcs       int     `json:"gomaxprocs"`
+	Goroutines       int     `json:"goroutines"`
+	Shards           int     `json:"shards"`
+	Keys             int     `json:"keys"`
+	ZipfS            float64 `json:"zipf_s"`
+	ValueBytes       int     `json:"value_bytes"`
+	OpsPerGoroutine  int     `json:"ops_per_goroutine"`
+	PutEvery         int     `json:"put_every"`
+	Policy           string  `json:"policy"`
+	Reps             int     `json:"reps"`
+	SingleOpsPerSec  float64 `json:"single_mutex_ops_per_sec"`
+	ShardedOpsPerSec float64 `json:"sharded_ops_per_sec"`
+	Speedup          float64 `json:"speedup"`
+	SingleHitRate    float64 `json:"single_mutex_hit_rate"`
+	ShardedHitRate   float64 `json:"sharded_hit_rate"`
+	Generated        string  `json:"generated"`
+}
+
+// config carries the parsed flag set; a struct so tests can drive the
+// full harness in-process.
+type config struct {
+	keys       int
+	zipfS      float64
+	goroutines int
+	shards     int
+	ops        int // per goroutine, per timed rep
+	valueBytes int
+	putEvery   int
+	polSpec    string
+	reps       int
+	seed       uint64
+	capacity   int64 // 0 = auto: 2× the working set, so the run measures the hit path
+}
+
+func main() {
+	var (
+		keys       = flag.Int("keys", 4096, "distinct URLs in the key population")
+		zipfS      = flag.Float64("zipf", 0.8, "zipf exponent of the key popularity distribution")
+		goroutines = flag.Int("goroutines", 8, "concurrent client goroutines")
+		shards     = flag.Int("shards", 16, "shard count for the sharded store side")
+		ops        = flag.Int("ops", 200000, "operations per goroutine per rep")
+		valueBytes = flag.Int("valuebytes", 2048, "cached object body size")
+		putEvery   = flag.Int("putevery", 64, "issue a Put every this many ops (rest are Gets)")
+		polSpec    = flag.String("policy", "SIZE", "removal policy for both stores")
+		reps       = flag.Int("reps", 3, "timed repetitions per store; the fastest is kept")
+		seed       = flag.Uint64("seed", 1, "zipf stream seed")
+		out        = flag.String("out", "", "append the result to this trajectory file (schema-checked after the append)")
+		check      = flag.String("check", "", "schema-check this trajectory file and exit (no measurement)")
+	)
+	flag.Parse()
+
+	if *check != "" {
+		if err := validateTrajectory(*check); err != nil {
+			fmt.Fprintln(os.Stderr, "loadgen:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("%s: schema ok\n", *check)
+		return
+	}
+	cfg := config{
+		keys: *keys, zipfS: *zipfS, goroutines: *goroutines, shards: *shards,
+		ops: *ops, valueBytes: *valueBytes, putEvery: *putEvery,
+		polSpec: *polSpec, reps: *reps, seed: *seed,
+	}
+	res, err := run(cfg, os.Stdout)
+	if err == nil && *out != "" {
+		err = appendResult(*out, *res)
+		if err == nil {
+			err = validateTrajectory(*out)
+		}
+		if err == nil {
+			fmt.Printf("  appended to %s (schema ok)\n", *out)
+		}
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "loadgen:", err)
+		os.Exit(1)
+	}
+}
+
+// run executes the full measurement and returns the trajectory entry.
+func run(cfg config, w *os.File) (*Result, error) {
+	if cfg.reps < 1 {
+		cfg.reps = 1
+	}
+	if cfg.putEvery < 2 {
+		cfg.putEvery = 2
+	}
+	if _, err := policy.Parse(cfg.polSpec, 0); err != nil {
+		return nil, err
+	}
+	capacity := cfg.capacity
+	if capacity == 0 {
+		// Twice the working set: every key stays resident, so the timed
+		// region measures the contended HIT path, not eviction churn.
+		capacity = 2 * int64(cfg.keys) * int64(cfg.valueBytes)
+	}
+	urls := make([]string, cfg.keys)
+	for i := range urls {
+		urls[i] = fmt.Sprintf("http://loadgen.example.com/doc%d.html", i)
+	}
+	plans := buildPlans(cfg)
+
+	fmt.Fprintf(w, "loadgen: %d keys (zipf %.2f), %d goroutines × %d ops, put every %d, policy %s, %d reps, GOMAXPROCS %d\n",
+		cfg.keys, cfg.zipfS, cfg.goroutines, cfg.ops, cfg.putEvery, cfg.polSpec, cfg.reps, runtime.GOMAXPROCS(0))
+
+	factory := func() policy.Policy {
+		p, _ := policy.Parse(cfg.polSpec, 0)
+		return p
+	}
+	single := proxy.NewStore(capacity, factory())
+	sharded := proxy.NewShardedStore(capacity, cfg.shards, factory)
+	stores := []struct {
+		name  string
+		store proxy.ObjectStore
+		best  time.Duration
+	}{
+		{name: "single-mutex", store: single, best: 1<<63 - 1},
+		{name: fmt.Sprintf("sharded-%d", cfg.shards), store: sharded, best: 1<<63 - 1},
+	}
+	for i := range stores {
+		prepopulate(stores[i].store, urls, cfg.valueBytes)
+	}
+
+	// Interleave the reps so machine-load drift lands on both sides of
+	// the ratio instead of skewing one (the benchreplay arrangement).
+	for r := 0; r < cfg.reps; r++ {
+		for i := range stores {
+			d := drive(stores[i].store, urls, plans, cfg.valueBytes)
+			if d < stores[i].best {
+				stores[i].best = d
+			}
+		}
+	}
+
+	totalOps := float64(cfg.goroutines * cfg.ops)
+	singleOps := totalOps / stores[0].best.Seconds()
+	shardedOps := totalOps / stores[1].best.Seconds()
+	singleSt, shardedSt := single.Stats(), sharded.Stats()
+	res := &Result{
+		Benchmark:        "proxy-contended-hotpath",
+		GitRev:           gitRev(),
+		GoMaxProcs:       runtime.GOMAXPROCS(0),
+		Goroutines:       cfg.goroutines,
+		Shards:           cfg.shards,
+		Keys:             cfg.keys,
+		ZipfS:            cfg.zipfS,
+		ValueBytes:       cfg.valueBytes,
+		OpsPerGoroutine:  cfg.ops,
+		PutEvery:         cfg.putEvery,
+		Policy:           cfg.polSpec,
+		Reps:             cfg.reps,
+		SingleOpsPerSec:  singleOps,
+		ShardedOpsPerSec: shardedOps,
+		Speedup:          shardedOps / singleOps,
+		SingleHitRate:    hitRate(singleSt),
+		ShardedHitRate:   hitRate(shardedSt),
+		Generated:        time.Now().UTC().Format(time.RFC3339),
+	}
+	fmt.Fprintf(w, "  single-mutex: %12.0f ops/sec  (hit rate %5.1f%%)\n", singleOps, 100*res.SingleHitRate)
+	fmt.Fprintf(w, "  sharded-%-4d: %12.0f ops/sec  (hit rate %5.1f%%)\n", cfg.shards, shardedOps, 100*res.ShardedHitRate)
+	fmt.Fprintf(w, "  speedup: %.2f× at %d goroutines on GOMAXPROCS %d\n", res.Speedup, cfg.goroutines, res.GoMaxProcs)
+	return res, nil
+}
+
+func hitRate(st proxy.StoreStats) float64 {
+	if st.Gets == 0 {
+		return 0
+	}
+	return float64(st.Hits) / float64(st.Gets)
+}
+
+// plan is one goroutine's pre-generated op stream: the key index of
+// every op, and which ops are Puts. Generating the zipf draws outside
+// the timed region keeps the measurement about the store, not the
+// sampler, and makes the stream identical for both store sides.
+type plan struct {
+	idx   []int32
+	isPut []bool
+}
+
+func buildPlans(cfg config) []plan {
+	plans := make([]plan, cfg.goroutines)
+	for g := range plans {
+		r := rng.New(cfg.seed + uint64(g)*0x9e3779b97f4a7c15)
+		z, err := rng.NewZipf(r, int64(cfg.keys), cfg.zipfS)
+		if err != nil {
+			panic(err) // flag-validated: keys >= 1, zipf > 0
+		}
+		p := plan{idx: make([]int32, cfg.ops), isPut: make([]bool, cfg.ops)}
+		for i := 0; i < cfg.ops; i++ {
+			p.idx[i] = int32(z.Rank() - 1)
+			p.isPut[i] = i%cfg.putEvery == cfg.putEvery-1
+		}
+		plans[g] = p
+	}
+	return plans
+}
+
+func prepopulate(s proxy.ObjectStore, urls []string, valueBytes int) {
+	body := make([]byte, valueBytes)
+	now := time.Now()
+	for _, url := range urls {
+		s.Put(url, &proxy.Object{Body: body, ContentType: "text/html", StoredAt: now})
+	}
+}
+
+// drive runs every plan against s concurrently and returns the wall
+// time from the moment all goroutines are released to the last one
+// finishing.
+func drive(s proxy.ObjectStore, urls []string, plans []plan, valueBytes int) time.Duration {
+	body := make([]byte, valueBytes)
+	storedAt := time.Now()
+	var wg sync.WaitGroup
+	start := make(chan struct{})
+	for g := range plans {
+		wg.Add(1)
+		go func(p plan) {
+			defer wg.Done()
+			<-start
+			for i, idx := range p.idx {
+				url := urls[idx]
+				if p.isPut[i] {
+					s.Put(url, &proxy.Object{Body: body, ContentType: "text/html", StoredAt: storedAt})
+				} else {
+					s.Get(url)
+				}
+			}
+		}(plans[g])
+	}
+	runtime.GC() // settle the previous rep's garbage outside the timed region
+	begin := time.Now()
+	close(start)
+	wg.Wait()
+	return time.Since(begin)
+}
+
+// gitRev identifies the measured revision ("-dirty" when the tree has
+// uncommitted changes), "unknown" outside a work tree.
+func gitRev() string {
+	out, err := exec.Command("git", "rev-parse", "--short", "HEAD").Output()
+	if err != nil {
+		return "unknown"
+	}
+	rev := strings.TrimSpace(string(out))
+	if status, err := exec.Command("git", "status", "--porcelain").Output(); err == nil && len(status) > 0 {
+		rev += "-dirty"
+	}
+	return rev
+}
+
+// readTrajectory parses a trajectory file (a JSON array of Results).
+func readTrajectory(path string) ([]Result, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var results []Result
+	if err := json.Unmarshal(data, &results); err != nil {
+		return nil, fmt.Errorf("parsing %s: %w", path, err)
+	}
+	return results, nil
+}
+
+// appendResult adds res to the trajectory at path, creating it if
+// absent — entries are only ever appended, never rewritten, so the
+// file reads as the store's throughput history PR over PR.
+func appendResult(path string, res Result) error {
+	var results []Result
+	if _, err := os.Stat(path); err == nil {
+		results, err = readTrajectory(path)
+		if err != nil {
+			return err
+		}
+	}
+	results = append(results, res)
+	data, err := json.MarshalIndent(results, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// validateTrajectory schema-checks every entry of the trajectory: the
+// fields CI and later sessions rely on must be present and sane.
+func validateTrajectory(path string) error {
+	results, err := readTrajectory(path)
+	if err != nil {
+		return err
+	}
+	if len(results) == 0 {
+		return fmt.Errorf("%s holds no entries", path)
+	}
+	for i, r := range results {
+		fail := func(field string) error {
+			return fmt.Errorf("%s entry %d: bad or missing %s", path, i, field)
+		}
+		switch {
+		case r.Benchmark == "":
+			return fail("benchmark")
+		case r.GitRev == "":
+			return fail("git_rev")
+		case r.GoMaxProcs < 1:
+			return fail("gomaxprocs")
+		case r.Goroutines < 1:
+			return fail("goroutines")
+		case r.Shards < 1:
+			return fail("shards")
+		case r.Keys < 1:
+			return fail("keys")
+		case r.OpsPerGoroutine < 1:
+			return fail("ops_per_goroutine")
+		case r.SingleOpsPerSec <= 0:
+			return fail("single_mutex_ops_per_sec")
+		case r.ShardedOpsPerSec <= 0:
+			return fail("sharded_ops_per_sec")
+		case r.Speedup <= 0:
+			return fail("speedup")
+		}
+		if _, err := time.Parse(time.RFC3339, r.Generated); err != nil {
+			return fail("generated")
+		}
+	}
+	return nil
+}

@@ -1,0 +1,119 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+// tinyConfig keeps the harness end-to-end but small enough for CI.
+func tinyConfig() config {
+	return config{
+		keys: 128, zipfS: 0.8, goroutines: 4, shards: 4,
+		ops: 2000, valueBytes: 256, putEvery: 32,
+		polSpec: "SIZE", reps: 1, seed: 7,
+	}
+}
+
+// TestRunProducesValidEntry drives the full harness (both stores,
+// prepopulation, timed reps) at a tiny scale, appends to a fresh
+// trajectory, and requires the schema check to pass on the result.
+func TestRunProducesValidEntry(t *testing.T) {
+	res, err := run(tinyConfig(), os.Stdout)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SingleOpsPerSec <= 0 || res.ShardedOpsPerSec <= 0 {
+		t.Fatalf("non-positive throughput: %+v", res)
+	}
+	if res.Speedup <= 0 {
+		t.Fatalf("non-positive speedup: %v", res.Speedup)
+	}
+	// The auto capacity is 2× the working set, so after prepopulation
+	// every Get must hit: the harness measures the hit path.
+	if res.SingleHitRate < 0.999 || res.ShardedHitRate < 0.999 {
+		t.Fatalf("hit rates %v / %v — the harness is not measuring the hit path",
+			res.SingleHitRate, res.ShardedHitRate)
+	}
+	if res.GoMaxProcs < 1 || res.Benchmark != "proxy-contended-hotpath" {
+		t.Fatalf("malformed entry: %+v", res)
+	}
+
+	path := filepath.Join(t.TempDir(), "BENCH_proxy.json")
+	if err := appendResult(path, *res); err != nil {
+		t.Fatal(err)
+	}
+	if err := validateTrajectory(path); err != nil {
+		t.Fatalf("fresh trajectory fails its own schema: %v", err)
+	}
+	// Appends accumulate: a second entry must leave both readable.
+	if err := appendResult(path, *res); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := readTrajectory(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 2 {
+		t.Fatalf("trajectory holds %d entries after two appends", len(entries))
+	}
+}
+
+// TestPlansAreDeterministic pins that the zipf op streams are a pure
+// function of the seed — both store sides must see identical load.
+func TestPlansAreDeterministic(t *testing.T) {
+	cfg := tinyConfig()
+	a, b := buildPlans(cfg), buildPlans(cfg)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("identical configs produced different op plans")
+	}
+	cfg.seed++
+	if reflect.DeepEqual(a, buildPlans(cfg)) {
+		t.Fatal("different seeds produced identical op plans")
+	}
+	for g, p := range a {
+		puts := 0
+		for i := range p.idx {
+			if int(p.idx[i]) < 0 || int(p.idx[i]) >= cfg.keys {
+				t.Fatalf("goroutine %d op %d: key index %d out of range", g, i, p.idx[i])
+			}
+			if p.isPut[i] {
+				puts++
+			}
+		}
+		if puts != cfg.ops/cfg.putEvery {
+			t.Fatalf("goroutine %d: %d puts, want %d", g, puts, cfg.ops/cfg.putEvery)
+		}
+	}
+}
+
+// TestValidateTrajectoryRejectsBadFiles covers the schema gate CI
+// relies on.
+func TestValidateTrajectoryRejectsBadFiles(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name, content string) string {
+		p := filepath.Join(dir, name)
+		if err := os.WriteFile(p, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	bad := map[string]string{
+		"not-json.json":   "hello",
+		"not-array.json":  `{"benchmark":"x"}`,
+		"empty.json":      `[]`,
+		"missing.json":    `[{"benchmark":"proxy-contended-hotpath"}]`,
+		"zero-stats.json": `[{"benchmark":"b","git_rev":"r","gomaxprocs":1,"goroutines":1,"shards":1,"keys":1,"ops_per_goroutine":1,"single_mutex_ops_per_sec":0,"sharded_ops_per_sec":1,"speedup":1,"generated":"2026-01-01T00:00:00Z"}]`,
+		"bad-time.json":   `[{"benchmark":"b","git_rev":"r","gomaxprocs":1,"goroutines":1,"shards":1,"keys":1,"ops_per_goroutine":1,"single_mutex_ops_per_sec":1,"sharded_ops_per_sec":1,"speedup":1,"generated":"yesterday"}]`,
+	}
+	for name, content := range bad {
+		if err := validateTrajectory(write(name, content)); err == nil {
+			t.Errorf("%s accepted", name)
+		}
+	}
+	good := `[{"benchmark":"b","git_rev":"r","gomaxprocs":1,"goroutines":1,"shards":1,"keys":1,"ops_per_goroutine":1,"single_mutex_ops_per_sec":1,"sharded_ops_per_sec":1,"speedup":1,"generated":"2026-01-01T00:00:00Z"}]`
+	if err := validateTrajectory(write("good.json", good)); err != nil {
+		t.Errorf("minimal valid trajectory rejected: %v", err)
+	}
+}

@@ -1,0 +1,84 @@
+package proxy
+
+import (
+	"net/http"
+	"testing"
+	"time"
+)
+
+// TestHeaderSubset pins the entity-header extraction a 1.0-era cache
+// performs on origin responses, including the malformed inputs a live
+// proxy actually sees.
+func TestHeaderSubset(t *testing.T) {
+	valid := "Tue, 15 Nov 1994 08:12:31 GMT"
+	validTime := time.Date(1994, time.November, 15, 8, 12, 31, 0, time.UTC)
+
+	cases := []struct {
+		name        string
+		headers     http.Header
+		wantType    string
+		wantLastMod time.Time
+	}{
+		{
+			name: "both present",
+			headers: http.Header{
+				"Content-Type":  {"text/html"},
+				"Last-Modified": {valid},
+			},
+			wantType:    "text/html",
+			wantLastMod: validTime,
+		},
+		{
+			name:     "missing Last-Modified",
+			headers:  http.Header{"Content-Type": {"image/gif"}},
+			wantType: "image/gif",
+		},
+		{
+			name: "malformed Last-Modified",
+			headers: http.Header{
+				"Content-Type":  {"text/plain"},
+				"Last-Modified": {"not a date"},
+			},
+			wantType: "text/plain",
+		},
+		{
+			name: "ANSI C asctime Last-Modified", // the third format ParseTime accepts
+			headers: http.Header{
+				"Last-Modified": {"Tue Nov 15 08:12:31 1994"},
+			},
+			wantLastMod: validTime,
+		},
+		{
+			name: "empty Content-Type",
+			headers: http.Header{
+				"Content-Type":  {""},
+				"Last-Modified": {valid},
+			},
+			wantLastMod: validTime,
+		},
+		{
+			name:    "no entity headers at all",
+			headers: http.Header{},
+		},
+		{
+			name: "empty Last-Modified value",
+			headers: http.Header{
+				"Content-Type":  {"audio/basic"},
+				"Last-Modified": {""},
+			},
+			wantType: "audio/basic",
+		},
+	}
+
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			gotType, gotLastMod := headerSubset(tc.headers)
+			if gotType != tc.wantType {
+				t.Errorf("content type = %q, want %q", gotType, tc.wantType)
+			}
+			if !gotLastMod.Equal(tc.wantLastMod) {
+				t.Errorf("last modified = %v, want %v", gotLastMod, tc.wantLastMod)
+			}
+		})
+	}
+}

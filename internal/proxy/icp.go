@@ -117,7 +117,7 @@ func UnmarshalICP(data []byte) (*ICPMessage, error) {
 
 // ICPResponder answers ICP queries against a store over UDP.
 type ICPResponder struct {
-	store *Store
+	store ObjectStore
 	conn  *net.UDPConn
 
 	mu      sync.Mutex
@@ -128,7 +128,7 @@ type ICPResponder struct {
 
 // NewICPResponder starts a responder listening on addr (e.g.
 // "127.0.0.1:0"). Close it to release the socket.
-func NewICPResponder(store *Store, addr string) (*ICPResponder, error) {
+func NewICPResponder(store ObjectStore, addr string) (*ICPResponder, error) {
 	udpAddr, err := net.ResolveUDPAddr("udp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("proxy: resolving ICP address %q: %w", addr, err)

@@ -70,6 +70,22 @@ func NewMetrics(reg *obs.Registry) *Metrics {
 // stream carries the same age/NREF detail as a replay's. Live entries
 // are string-indexed, so trace events carry ID -1.
 func StoreHooks(reg *obs.Registry, ring *obs.EventRing) core.CacheHooks {
+	return shardHooks(reg, ring, 0)
+}
+
+// ShardedStoreHooks returns the per-shard hook constructor a
+// ShardedStore wires through SetHooksPerShard: every shard increments
+// the same store.* counters (obs counters are atomic, so the merge is
+// free), and ring events are tagged with the shard of origin — the
+// merged obs.EventRing stays one timeline and analysis.AnalyzeEvents
+// keeps working, but each event remains attributable.
+func ShardedStoreHooks(reg *obs.Registry, ring *obs.EventRing) func(shard int) core.CacheHooks {
+	return func(shard int) core.CacheHooks {
+		return shardHooks(reg, ring, int32(shard))
+	}
+}
+
+func shardHooks(reg *obs.Registry, ring *obs.EventRing, shard int32) core.CacheHooks {
 	hits := reg.Counter("store.hits")
 	misses := reg.Counter("store.misses")
 	evictions := reg.Counter("store.evictions")
@@ -86,20 +102,20 @@ func StoreHooks(reg *obs.Registry, ring *obs.EventRing) core.CacheHooks {
 	return core.CacheHooks{
 		OnHit: func(e *policy.Entry) {
 			hits.Inc()
-			ring.Record(obs.Event{Kind: obs.EventHit, Time: e.ATime, ID: e.ID, Size: e.Size, NRef: e.NRef})
+			ring.Record(obs.Event{Kind: obs.EventHit, Time: e.ATime, ID: e.ID, Size: e.Size, NRef: e.NRef, Shard: shard})
 		},
 		OnMiss: func(size, now int64) {
 			misses.Inc()
-			ring.Record(obs.Event{Kind: obs.EventMiss, Time: now, ID: -1, Size: size})
+			ring.Record(obs.Event{Kind: obs.EventMiss, Time: now, ID: -1, Size: size, Shard: shard})
 		},
 		OnEvict: func(e *policy.Entry, now int64) {
 			evictions.Inc()
 			evictedBytes.Add(e.Size)
-			ring.Record(obs.Event{Kind: obs.EventEvict, Time: now, ID: e.ID, Size: e.Size, Age: now - e.ETime, NRef: e.NRef})
+			ring.Record(obs.Event{Kind: obs.EventEvict, Time: now, ID: e.ID, Size: e.Size, Age: now - e.ETime, NRef: e.NRef, Shard: shard})
 		},
 		OnAdd: func(e *policy.Entry) {
 			inserts.Inc()
-			ring.Record(obs.Event{Kind: obs.EventAdd, Time: e.ETime, ID: e.ID, Size: e.Size})
+			ring.Record(obs.Event{Kind: obs.EventAdd, Time: e.ETime, ID: e.ID, Size: e.Size, Shard: shard})
 		},
 	}
 }

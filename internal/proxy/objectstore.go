@@ -1,0 +1,52 @@
+package proxy
+
+import (
+	"time"
+
+	"webcache/internal/core"
+)
+
+// ObjectStore is the contract the serving path programs against: the
+// policy-driven object cache behind proxy.Server, the ICP responder,
+// livebench's replay, and loadgen's contention harness. Two
+// implementations exist — the single-mutex Store and the N-way
+// ShardedStore — and every consumer takes the interface so the two are
+// interchangeable drop-ins (cmd/proxy selects with -shards).
+//
+// The determinism knobs (SetSeed, SetClock, SetHooks) are part of the
+// interface because livebench's sim-vs-live byte-equivalence check
+// needs them on whichever implementation it drives; call them before
+// the first Put.
+type ObjectStore interface {
+	// Get returns the cached object for url, updating the removal
+	// policy's recency/frequency bookkeeping on a hit.
+	Get(url string) (*Object, bool)
+	// Peek reports whether url is cached without touching policy state
+	// or statistics (the ICP responder's read).
+	Peek(url string) (*Object, bool)
+	// Put stores obj under url, evicting victims as needed; it reports
+	// whether the object was admitted.
+	Put(url string, obj *Object) bool
+	// Refresh re-stamps url's stored-at time after a 304 revalidation.
+	Refresh(url string)
+	// Remove drops url.
+	Remove(url string)
+	// Len returns the number of cached objects.
+	Len() int
+	// Stats returns a snapshot of store counters (aggregated across
+	// shards for a sharded implementation).
+	Stats() StoreStats
+
+	// SetClock overrides the time source (tests, trace-time replays).
+	SetClock(now func() time.Time)
+	// SetSeed re-seeds the per-entry random tiebreak stream.
+	SetSeed(seed uint64)
+	// SetHooks attaches cache event hooks (hit/miss/evict/add).
+	SetHooks(h core.CacheHooks)
+}
+
+// Both implementations must satisfy the serving-path contract.
+var (
+	_ ObjectStore = (*Store)(nil)
+	_ ObjectStore = (*ShardedStore)(nil)
+)

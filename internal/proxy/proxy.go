@@ -29,7 +29,7 @@ type Stats struct {
 // If-Modified-Since, and can chain to a parent proxy — the two-level
 // arrangement of Experiment 3.
 type Server struct {
-	store *Store
+	store ObjectStore
 	// FreshFor is how long a cached object is served without
 	// revalidation. 1995-era HTTP has no Cache-Control; a fixed
 	// freshness window plus Last-Modified revalidation matches CERN
@@ -61,8 +61,9 @@ type Server struct {
 	}
 }
 
-// New returns a caching proxy over the given store.
-func New(store *Store) *Server {
+// New returns a caching proxy over the given store — the single-mutex
+// Store or an N-way ShardedStore, whichever the deployment picked.
+func New(store ObjectStore) *Server {
 	return &Server{
 		store:          store,
 		FreshFor:       5 * time.Minute,
@@ -71,7 +72,7 @@ func New(store *Store) *Server {
 }
 
 // Store exposes the underlying object store.
-func (s *Server) Store() *Store { return s.store }
+func (s *Server) Store() ObjectStore { return s.store }
 
 // Stats returns a snapshot of proxy counters.
 func (s *Server) Stats() Stats {

@@ -37,9 +37,12 @@ type StoreStats struct {
 
 // Store is a concurrency-safe, capacity-bounded object store whose
 // removal victims are chosen by a policy.Policy (SIZE by default, the
-// paper's recommendation for hit rate).
+// paper's recommendation for hit rate). All bookkeeping is guarded by
+// one lock; reads that touch no policy state (Peek, Len, Stats) take
+// it shared, everything else exclusive. For parallel scaling across
+// cores, wrap N of these in a ShardedStore.
 type Store struct {
-	mu       sync.Mutex
+	mu       sync.RWMutex
 	capacity int64
 	pol      policy.Policy
 	entries  map[string]*policy.Entry
@@ -125,8 +128,8 @@ func (s *Store) Get(url string) (*Object, bool) {
 // frequency or statistics. ICP responders use it so sibling queries do
 // not distort the removal policy's bookkeeping.
 func (s *Store) Peek(url string) (*Object, bool) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	obj, ok := s.objects[url]
 	return obj, ok
 }
@@ -141,13 +144,28 @@ func (s *Store) Put(url string, obj *Object) bool {
 		return false
 	}
 	s.stats.Puts++
-	if old, ok := s.entries[url]; ok {
+	// Replacement must be atomic: the old entry is taken out before the
+	// eviction loop (its bytes are being superseded, and the policy must
+	// not pick it as its own replacement's victim), but if no victim set
+	// can make room for the new object, the old one is reinstated rather
+	// than silently lost.
+	old, hadOld := s.entries[url]
+	var oldObj *Object
+	if hadOld {
+		oldObj = s.objects[url]
 		s.removeLocked(old)
 	}
 	now := s.now().Unix()
 	for s.stats.Used+size > s.capacity {
 		v := s.pol.Victim(size)
 		if v == nil {
+			if hadOld {
+				s.entries[url] = old
+				s.objects[url] = oldObj
+				s.pol.Add(old)
+				s.stats.Used += old.Size
+				s.stats.Docs++
+			}
 			return false
 		}
 		s.removeLocked(v)
@@ -200,15 +218,15 @@ func (s *Store) removeLocked(e *policy.Entry) {
 
 // Len returns the number of cached objects.
 func (s *Store) Len() int {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	return len(s.entries)
 }
 
 // Stats returns a snapshot of store counters.
 func (s *Store) Stats() StoreStats {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	return s.stats
 }
 

@@ -9,72 +9,149 @@ import (
 	"webcache/internal/policy"
 )
 
-// TestStoreConcurrentAccess hammers the store from many goroutines; run
-// with -race to verify the locking discipline.
-func TestStoreConcurrentAccess(t *testing.T) {
-	s := NewStore(64<<10, policy.NewSorted([]policy.Key{policy.KeySize}, 0))
-	var wg sync.WaitGroup
-	const workers = 8
-	const opsPerWorker = 2000
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func(w int) {
-			defer wg.Done()
-			for i := 0; i < opsPerWorker; i++ {
-				url := fmt.Sprintf("http://s/doc%d.html", (w*31+i)%200)
-				switch i % 4 {
-				case 0:
-					s.Put(url, &Object{Body: make([]byte, 100+(i%700)), StoredAt: time.Now()})
-				case 1:
-					s.Get(url)
-				case 2:
-					s.Peek(url)
-				case 3:
-					if i%16 == 3 {
-						s.Remove(url)
-					} else {
-						s.Get(url)
-					}
-				}
-			}
-		}(w)
+// raceImpls builds one store of each implementation behind the shared
+// ObjectStore interface, so every concurrency test in this file runs
+// against both the single-mutex Store and the ShardedStore (including
+// the 1-shard edge case, whose routing and quota paths are live even
+// though only one lock exists).
+func raceImpls(capacity int64) map[string]func() ObjectStore {
+	factory := func() policy.Policy {
+		return policy.NewSorted([]policy.Key{policy.KeySize}, 0)
 	}
-	wg.Wait()
+	return map[string]func() ObjectStore{
+		"single-mutex": func() ObjectStore { return NewStore(capacity, factory()) },
+		"sharded-1":    func() ObjectStore { return NewShardedStore(capacity, 1, factory) },
+		"sharded-8":    func() ObjectStore { return NewShardedStore(capacity, 8, factory) },
+	}
+}
 
-	st := s.Stats()
-	if st.Used < 0 || st.Used > 64<<10 {
-		t.Fatalf("used bytes out of range: %d", st.Used)
-	}
-	if int64(s.Len()) != st.Docs {
-		t.Fatalf("Len %d != Docs %d", s.Len(), st.Docs)
+// TestStoreRaceStress hammers every store implementation from many
+// goroutines with the full interface surface — Get, Put, Peek, Remove,
+// Stats, Len — and then checks the accounting invariants. Run with
+// -race to verify the locking discipline (make race does).
+func TestStoreRaceStress(t *testing.T) {
+	const capacity = 64 << 10
+	for name, mk := range raceImpls(capacity) {
+		t.Run(name, func(t *testing.T) {
+			s := mk()
+			var wg sync.WaitGroup
+			const workers = 8
+			const opsPerWorker = 2000
+			for w := 0; w < workers; w++ {
+				wg.Add(1)
+				go func(w int) {
+					defer wg.Done()
+					for i := 0; i < opsPerWorker; i++ {
+						url := fmt.Sprintf("http://s/doc%d.html", (w*31+i)%200)
+						switch i % 8 {
+						case 0, 4:
+							s.Put(url, &Object{Body: make([]byte, 100+(i%700)), StoredAt: time.Now()})
+						case 1, 5:
+							s.Get(url)
+						case 2:
+							s.Peek(url)
+						case 3:
+							if i%16 == 3 {
+								s.Remove(url)
+							} else {
+								s.Get(url)
+							}
+						case 6:
+							if st := s.Stats(); st.Used < 0 {
+								panic("negative Used observed mid-run")
+							}
+						case 7:
+							s.Len()
+							s.Refresh(url)
+						}
+					}
+				}(w)
+			}
+			wg.Wait()
+
+			st := s.Stats()
+			if st.Used < 0 || st.Used > capacity {
+				t.Fatalf("used bytes out of range: %d", st.Used)
+			}
+			if int64(s.Len()) != st.Docs {
+				t.Fatalf("Len %d != Docs %d", s.Len(), st.Docs)
+			}
+			if st.Gets == 0 || st.Puts == 0 {
+				t.Fatalf("stress run recorded no traffic: %+v", st)
+			}
+		})
 	}
 }
 
 // TestStoreConcurrentWithICP runs store mutations concurrently with ICP
-// queries against the same store.
+// queries against the same store, for each implementation — the
+// responder reads through the interface's Peek path.
 func TestStoreConcurrentWithICP(t *testing.T) {
-	s := NewStore(1<<20, nil)
-	resp, err := NewICPResponder(s, "127.0.0.1:0")
-	if err != nil {
-		t.Fatal(err)
-	}
-	defer resp.Close()
+	for name, mk := range raceImpls(1 << 20) {
+		t.Run(name, func(t *testing.T) {
+			s := mk()
+			resp, err := NewICPResponder(s, "127.0.0.1:0")
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer resp.Close()
 
-	var wg sync.WaitGroup
-	wg.Add(2)
-	go func() {
-		defer wg.Done()
-		for i := 0; i < 500; i++ {
-			s.Put(fmt.Sprintf("http://s/d%d.html", i%50), &Object{Body: make([]byte, 64), StoredAt: time.Now()})
-		}
-	}()
-	go func() {
-		defer wg.Done()
-		c := &ICPClient{Timeout: 100 * time.Millisecond}
-		sib := []Sibling{{ICPAddr: resp.Addr(), Proxy: "x"}}
-		for i := 0; i < 100; i++ {
-			c.QuerySiblings(sib, fmt.Sprintf("http://s/d%d.html", i%50))
-		}
-	}()
-	wg.Wait()
+			var wg sync.WaitGroup
+			wg.Add(2)
+			go func() {
+				defer wg.Done()
+				for i := 0; i < 500; i++ {
+					s.Put(fmt.Sprintf("http://s/d%d.html", i%50), &Object{Body: make([]byte, 64), StoredAt: time.Now()})
+				}
+			}()
+			go func() {
+				defer wg.Done()
+				c := &ICPClient{Timeout: 100 * time.Millisecond}
+				sib := []Sibling{{ICPAddr: resp.Addr(), Proxy: "x"}}
+				for i := 0; i < 100; i++ {
+					c.QuerySiblings(sib, fmt.Sprintf("http://s/d%d.html", i%50))
+				}
+			}()
+			wg.Wait()
+		})
+	}
+}
+
+// TestShardedConcurrentReplacement stresses the atomic-replacement path
+// concurrently: many goroutines re-Put the same small URL population
+// with varying sizes while others read, so replacements and evictions
+// interleave. The invariant from the Put fix — a failed or successful
+// replacement never leaks bytes — shows up as Used staying within
+// capacity and matching the live document set.
+func TestShardedConcurrentReplacement(t *testing.T) {
+	const capacity = 16 << 10
+	for name, mk := range raceImpls(capacity) {
+		t.Run(name, func(t *testing.T) {
+			s := mk()
+			var wg sync.WaitGroup
+			for w := 0; w < 6; w++ {
+				wg.Add(1)
+				go func(w int) {
+					defer wg.Done()
+					for i := 0; i < 1500; i++ {
+						url := fmt.Sprintf("http://s/hot%d.html", i%16)
+						if w%2 == 0 {
+							s.Put(url, &Object{Body: make([]byte, 200+(w*131+i)%1800), StoredAt: time.Now()})
+						} else {
+							s.Get(url)
+						}
+					}
+				}(w)
+			}
+			wg.Wait()
+
+			st := s.Stats()
+			if st.Used < 0 || st.Used > capacity {
+				t.Fatalf("used bytes out of range after replacement stress: %d", st.Used)
+			}
+			if int64(s.Len()) != st.Docs {
+				t.Fatalf("Len %d != Docs %d", s.Len(), st.Docs)
+			}
+		})
+	}
 }

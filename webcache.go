@@ -85,6 +85,12 @@ type (
 	ProxyServer = proxy.Server
 	// ProxyStore is the live proxy's policy-driven object store.
 	ProxyStore = proxy.Store
+	// ShardedProxyStore is the N-way sharded store for contended
+	// serving: per-shard policy instance, lock, and capacity quota.
+	ShardedProxyStore = proxy.ShardedStore
+	// ProxyObjectStore is the store contract the proxy serves from;
+	// both ProxyStore and ShardedProxyStore satisfy it.
+	ProxyObjectStore = proxy.ObjectStore
 )
 
 // Document type constants (Table 4 categories).
@@ -230,8 +236,17 @@ func NewProxyStore(capacity int64, pol Policy) *ProxyStore {
 	return proxy.NewStore(capacity, pol)
 }
 
-// NewProxy returns a live HTTP caching proxy over the store.
-func NewProxy(store *ProxyStore) *ProxyServer { return proxy.New(store) }
+// NewShardedProxyStore returns an object store sharded N ways by URL
+// hash, each shard holding its own policy instance from newPolicy (nil
+// defaults every shard to SIZE) and an equal slice of the total
+// capacity — the contended-serving drop-in for NewProxyStore.
+func NewShardedProxyStore(capacity int64, shards int, newPolicy func() Policy) *ShardedProxyStore {
+	return proxy.NewShardedStore(capacity, shards, newPolicy)
+}
+
+// NewProxy returns a live HTTP caching proxy over the store (a
+// *ProxyStore or *ShardedProxyStore).
+func NewProxy(store ProxyObjectStore) *ProxyServer { return proxy.New(store) }
 
 // SynthesizeCapture renders tr as the Ethernet/IPv4/TCP packet capture a
 // backbone monitor would record (§2.1), written as a pcap stream to w.
@@ -275,7 +290,7 @@ type (
 
 // NewICPResponder starts answering ICP queries for store on addr
 // (e.g. "127.0.0.1:3130"); Close it to release the socket.
-func NewICPResponder(store *ProxyStore, addr string) (*ICPResponder, error) {
+func NewICPResponder(store ProxyObjectStore, addr string) (*ICPResponder, error) {
 	return proxy.NewICPResponder(store, addr)
 }
 
