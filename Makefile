@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-short race fmt-check verify cover bench bench-baseline bench-compare bench-smoke bench-proxy bench-proxy-smoke report examples clean
+.PHONY: all build vet test test-short race fmt-check verify cover bench bench-baseline bench-compare bench-smoke bench-proxy bench-proxy-read-mostly bench-proxy-smoke report examples clean
 
 # Workload scale for the replay benchmark harness; 0.3 is large enough
 # for stable ns/request numbers, small enough to finish in seconds.
@@ -89,6 +89,13 @@ LOADGEN_GOROUTINES ?= 8
 LOADGEN_SHARDS     ?= 16
 bench-proxy:
 	$(GO) run ./cmd/loadgen -goroutines $(LOADGEN_GOROUTINES) -shards $(LOADGEN_SHARDS) -out BENCH_proxy.json
+
+# The buffered hit path's home ground: 99% GETs, so the run compares
+# all three stores (single-mutex, locked sharded, buffered sharded with
+# its Maintainer live) and records hit-path latency quantiles alongside
+# throughput. Appends to the same tracked trajectory.
+bench-proxy-read-mostly:
+	$(GO) run ./cmd/loadgen -preset read-mostly -goroutines $(LOADGEN_GOROUTINES) -shards $(LOADGEN_SHARDS) -out BENCH_proxy.json
 
 # Tiny loadgen run for CI: exercises the full harness (both stores,
 # timed reps, trajectory append + schema check) in well under a second,

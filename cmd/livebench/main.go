@@ -56,6 +56,7 @@ func main() {
 		fraction = flag.Float64("fraction", 0.10, "cache size as a fraction of MaxNeeded")
 		seed     = flag.Uint64("seed", 42, "workload seed")
 		shards   = flag.Int("shards", 0, "live store shard count (0 = single-mutex store; 1-shard sharded replays byte-identically to it)")
+		touchBuf = flag.Int("touch-buffer", 0, "live store touch-buffer slots (0 = synchronous hit path, the deterministic default the delta-0.00 check requires)")
 		metrics  = flag.Bool("metrics", false, "report both replays through a shared metric registry and print it")
 	)
 	flag.Parse()
@@ -63,7 +64,7 @@ func main() {
 	if *metrics {
 		reg = obs.NewRegistry()
 	}
-	if err := run(*wl, *scale, *polSpec, *fraction, *seed, *shards, os.Stdout, reg); err != nil {
+	if err := run(*wl, *scale, *polSpec, *fraction, *seed, *shards, *touchBuf, os.Stdout, reg); err != nil {
 		fmt.Fprintln(os.Stderr, "livebench:", err)
 		os.Exit(1)
 	}
@@ -73,10 +74,13 @@ func main() {
 // live store: 0 is the single-mutex Store, N >= 1 an N-way
 // ShardedStore (1 shard replays byte-identically to the single-mutex
 // store; more shards partition capacity into per-shard quotas, so
-// small deltas against the unsharded simulator are expected). When reg
-// is non-nil both replays report into it and the run ends with the
+// small deltas against the unsharded simulator are expected). touchBuf
+// > 0 runs the live store's buffered hit path — the replay is
+// single-client so every touch still lands, but drain timing may shift
+// tie-heavy evictions, so the deterministic check keeps it at 0. When
+// reg is non-nil both replays report into it and the run ends with the
 // registry exposition and the live store's event profile.
-func run(wl string, scale float64, polSpec string, fraction float64, seed uint64, shards int, out io.Writer, reg *obs.Registry) error {
+func run(wl string, scale float64, polSpec string, fraction float64, seed uint64, shards, touchBuf int, out io.Writer, reg *obs.Registry) error {
 	cfg, err := workload.ByName(wl, seed)
 	if err != nil {
 		return err
@@ -124,7 +128,7 @@ func run(wl string, scale float64, polSpec string, fraction float64, seed uint64
 	if reg != nil {
 		ring = obs.NewEventRing(eventRingSize)
 	}
-	liveHits, liveBytesHit, liveBytes, err := replayLive(tr, polSpec, capacity, seed+2, shards, out, reg, ring)
+	liveHits, liveBytesHit, liveBytes, err := replayLive(tr, polSpec, capacity, seed+2, shards, touchBuf, out, reg, ring)
 	if err != nil {
 		return err
 	}
@@ -174,7 +178,7 @@ func simHooks(reg *obs.Registry) core.CacheHooks {
 // values coincide and tie-heavy policies (LRU, LFU) evict identically.
 // When reg is non-nil, the proxy and its store report into it (and the
 // store's events into ring).
-func replayLive(tr *trace.Trace, polSpec string, capacity int64, cacheSeed uint64, shards int, out io.Writer, reg *obs.Registry, ring *obs.EventRing) (hits, bytesHit, bytesTotal int64, err error) {
+func replayLive(tr *trace.Trace, polSpec string, capacity int64, cacheSeed uint64, shards, touchBuf int, out io.Writer, reg *obs.Registry, ring *obs.EventRing) (hits, bytesHit, bytesTotal int64, err error) {
 	org := origin.FromTrace(tr)
 	originTS := httptest.NewServer(org)
 	defer originTS.Close()
@@ -192,6 +196,10 @@ func replayLive(tr *trace.Trace, polSpec string, capacity int64, cacheSeed uint6
 		fmt.Fprintf(out, "live store: %d-way sharded\n", shards)
 	} else {
 		store = proxy.NewStore(capacity, livePol)
+	}
+	if touchBuf > 0 {
+		store.SetTouchBuffer(touchBuf)
+		fmt.Fprintf(out, "live store: buffered hit path, %d touch slots\n", touchBuf)
 	}
 	// Mirror core.New's internal seed derivation so the per-entry random
 	// tiebreak sequences of the two systems are identical.

@@ -1,9 +1,11 @@
 // Command loadgen measures the live store's contended hot path: G
 // goroutines hammer a prepopulated ObjectStore with a zipf-distributed
 // key stream (mostly Gets — the hit path — with a Put mixed in every
-// put-every ops), once against the single-mutex Store and once against
-// the N-way ShardedStore, and reports ops/sec for each plus the
-// sharded/single speedup.
+// put-every ops), against the single-mutex Store, the N-way
+// ShardedStore, and (with -touch-buffer > 0) the sharded store with the
+// buffered read-lock-only hit path plus its background Maintainer, and
+// reports ops/sec for each side, the sharded/single speedup, the
+// buffered/sharded speedup, and sampled Get latency p50/p99.
 //
 // With -out, the result is appended to a trajectory file
 // (BENCH_proxy.json at the repo root — same append-only, git_rev'd
@@ -12,15 +14,16 @@
 // trajectory without running anything (the CI smoke uses both).
 //
 // The recorded gomaxprocs field is how entries stay comparable across
-// machines: sharding removes the global serialization point, so the
-// speedup tracks available parallelism — near-linear to GOMAXPROCS on
-// multi-core hardware, and necessarily ~1× on a single-core box where
-// every op serializes anyway.
+// machines: sharding removes the global serialization point and the
+// touch buffer removes the within-shard one, so both speedups track
+// available parallelism — visible on multi-core hardware, necessarily
+// ~1× on a single-core box where every op serializes anyway.
 //
 // Usage:
 //
 //	loadgen                                   # measure and print
 //	loadgen -goroutines 8 -shards 16 -out BENCH_proxy.json
+//	loadgen -preset read-mostly               # 99% GETs: the buffered hit path's home turf
 //	loadgen -check BENCH_proxy.json           # schema-check only
 package main
 
@@ -35,12 +38,21 @@ import (
 	"sync"
 	"time"
 
+	"webcache/internal/obs"
 	"webcache/internal/policy"
 	"webcache/internal/proxy"
 	"webcache/internal/rng"
 )
 
-// Result is one measurement in the BENCH_proxy.json trajectory.
+// sampleEvery thins the Get-latency measurement: one timed Get per this
+// many, so the clock calls cost ~1/16th of an op each and the histogram
+// still sees tens of thousands of samples per rep.
+const sampleEvery = 16
+
+// Result is one measurement in the BENCH_proxy.json trajectory. The
+// buffered-side and latency fields are omitempty: entries from before
+// the buffered hit path existed (or runs with -touch-buffer 0) simply
+// lack them, and the schema checker only validates them when present.
 type Result struct {
 	Benchmark        string  `json:"benchmark"`
 	GitRev           string  `json:"git_rev"`
@@ -60,22 +72,52 @@ type Result struct {
 	SingleHitRate    float64 `json:"single_mutex_hit_rate"`
 	ShardedHitRate   float64 `json:"sharded_hit_rate"`
 	Generated        string  `json:"generated"`
+
+	Preset               string  `json:"preset,omitempty"`
+	TouchBuffer          int     `json:"touch_buffer,omitempty"`
+	BufferedOpsPerSec    float64 `json:"buffered_ops_per_sec,omitempty"`
+	BufferedSpeedup      float64 `json:"buffered_speedup,omitempty"` // buffered sharded vs locked sharded
+	BufferedHitRate      float64 `json:"buffered_hit_rate,omitempty"`
+	BufferedTouchDropped int64   `json:"buffered_touch_dropped,omitempty"`
+	SingleGetP50Ns       int64   `json:"single_get_p50_ns,omitempty"`
+	SingleGetP99Ns       int64   `json:"single_get_p99_ns,omitempty"`
+	ShardedGetP50Ns      int64   `json:"sharded_get_p50_ns,omitempty"`
+	ShardedGetP99Ns      int64   `json:"sharded_get_p99_ns,omitempty"`
+	BufferedGetP50Ns     int64   `json:"buffered_get_p50_ns,omitempty"`
+	BufferedGetP99Ns     int64   `json:"buffered_get_p99_ns,omitempty"`
 }
 
 // config carries the parsed flag set; a struct so tests can drive the
 // full harness in-process.
 type config struct {
-	keys       int
-	zipfS      float64
-	goroutines int
-	shards     int
-	ops        int // per goroutine, per timed rep
-	valueBytes int
-	putEvery   int
-	polSpec    string
-	reps       int
-	seed       uint64
-	capacity   int64 // 0 = auto: 2× the working set, so the run measures the hit path
+	keys        int
+	zipfS       float64
+	goroutines  int
+	shards      int
+	ops         int // per goroutine, per timed rep
+	valueBytes  int
+	putEvery    int
+	polSpec     string
+	reps        int
+	seed        uint64
+	capacity    int64  // 0 = auto: 2× the working set, so the run measures the hit path
+	preset      string // named knob bundle; see applyPreset
+	touchBuffer int    // >0 adds the buffered sharded side with this many ring slots per shard
+}
+
+// applyPreset resolves a named knob bundle. "read-mostly" is the
+// buffered hit path's home turf: 99% GETs (one Put per 100 ops), the
+// workload the ≥1.5× buffered-vs-locked acceptance target is stated
+// for.
+func applyPreset(cfg config) (config, error) {
+	switch cfg.preset {
+	case "":
+	case "read-mostly":
+		cfg.putEvery = 100
+	default:
+		return cfg, fmt.Errorf("unknown preset %q (supported: read-mostly)", cfg.preset)
+	}
+	return cfg, nil
 }
 
 func main() {
@@ -90,6 +132,8 @@ func main() {
 		polSpec    = flag.String("policy", "SIZE", "removal policy for both stores")
 		reps       = flag.Int("reps", 3, "timed repetitions per store; the fastest is kept")
 		seed       = flag.Uint64("seed", 1, "zipf stream seed")
+		preset     = flag.String("preset", "", "named knob bundle (read-mostly: 99% GETs)")
+		touchBuf   = flag.Int("touch-buffer", 1024, "ring slots per shard for the buffered sharded side (0 = skip that side)")
 		out        = flag.String("out", "", "append the result to this trajectory file (schema-checked after the append)")
 		check      = flag.String("check", "", "schema-check this trajectory file and exit (no measurement)")
 	)
@@ -107,6 +151,7 @@ func main() {
 		keys: *keys, zipfS: *zipfS, goroutines: *goroutines, shards: *shards,
 		ops: *ops, valueBytes: *valueBytes, putEvery: *putEvery,
 		polSpec: *polSpec, reps: *reps, seed: *seed,
+		preset: *preset, touchBuffer: *touchBuf,
 	}
 	res, err := run(cfg, os.Stdout)
 	if err == nil && *out != "" {
@@ -126,6 +171,10 @@ func main() {
 
 // run executes the full measurement and returns the trajectory entry.
 func run(cfg config, w *os.File) (*Result, error) {
+	cfg, err := applyPreset(cfg)
+	if err != nil {
+		return nil, err
+	}
 	if cfg.reps < 1 {
 		cfg.reps = 1
 	}
@@ -147,8 +196,12 @@ func run(cfg config, w *os.File) (*Result, error) {
 	}
 	plans := buildPlans(cfg)
 
-	fmt.Fprintf(w, "loadgen: %d keys (zipf %.2f), %d goroutines × %d ops, put every %d, policy %s, %d reps, GOMAXPROCS %d\n",
-		cfg.keys, cfg.zipfS, cfg.goroutines, cfg.ops, cfg.putEvery, cfg.polSpec, cfg.reps, runtime.GOMAXPROCS(0))
+	presetNote := ""
+	if cfg.preset != "" {
+		presetNote = fmt.Sprintf(" [%s]", cfg.preset)
+	}
+	fmt.Fprintf(w, "loadgen%s: %d keys (zipf %.2f), %d goroutines × %d ops, put every %d, policy %s, %d reps, GOMAXPROCS %d\n",
+		presetNote, cfg.keys, cfg.zipfS, cfg.goroutines, cfg.ops, cfg.putEvery, cfg.polSpec, cfg.reps, runtime.GOMAXPROCS(0))
 
 	factory := func() policy.Policy {
 		p, _ := policy.Parse(cfg.polSpec, 0)
@@ -156,32 +209,56 @@ func run(cfg config, w *os.File) (*Result, error) {
 	}
 	single := proxy.NewStore(capacity, factory())
 	sharded := proxy.NewShardedStore(capacity, cfg.shards, factory)
-	stores := []struct {
+	// Get latencies are sampled (every sampleEvery-th Get) into one
+	// power-of-two histogram per side — identical sampling overhead on
+	// every side, so the ops/sec ratios stay honest.
+	hreg := obs.NewRegistry()
+	type side struct {
 		name  string
 		store proxy.ObjectStore
+		hist  *obs.Histogram
 		best  time.Duration
-	}{
-		{name: "single-mutex", store: single, best: 1<<63 - 1},
-		{name: fmt.Sprintf("sharded-%d", cfg.shards), store: sharded, best: 1<<63 - 1},
 	}
-	for i := range stores {
-		prepopulate(stores[i].store, urls, cfg.valueBytes)
+	sides := []side{
+		{name: "single-mutex", store: single, hist: hreg.Histogram("get_ns.single"), best: 1<<63 - 1},
+		{name: fmt.Sprintf("sharded-%d", cfg.shards), store: sharded, hist: hreg.Histogram("get_ns.sharded"), best: 1<<63 - 1},
+	}
+	var buffered *proxy.ShardedStore
+	if cfg.touchBuffer > 0 {
+		// The third side: same sharded layout, but with the read-lock-only
+		// buffered hit path and its background Maintainer live during the
+		// timed region — drains and quota rebalancing run exactly as they
+		// would in a serving proxy.
+		buffered = proxy.NewShardedStore(capacity, cfg.shards, factory)
+		buffered.SetTouchBuffer(cfg.touchBuffer)
+		sides = append(sides, side{
+			name:  fmt.Sprintf("buffered-%d", cfg.shards),
+			store: buffered, hist: hreg.Histogram("get_ns.buffered"), best: 1<<63 - 1,
+		})
+	}
+	for i := range sides {
+		prepopulate(sides[i].store, urls, cfg.valueBytes)
+	}
+	var maint *proxy.Maintainer
+	if buffered != nil {
+		maint = proxy.StartMaintenance(buffered, proxy.MaintOptions{})
+		defer maint.Close()
 	}
 
-	// Interleave the reps so machine-load drift lands on both sides of
-	// the ratio instead of skewing one (the benchreplay arrangement).
+	// Interleave the reps so machine-load drift lands on all sides of
+	// the ratios instead of skewing one (the benchreplay arrangement).
 	for r := 0; r < cfg.reps; r++ {
-		for i := range stores {
-			d := drive(stores[i].store, urls, plans, cfg.valueBytes)
-			if d < stores[i].best {
-				stores[i].best = d
+		for i := range sides {
+			d := drive(sides[i].store, urls, plans, cfg.valueBytes, sides[i].hist)
+			if d < sides[i].best {
+				sides[i].best = d
 			}
 		}
 	}
 
 	totalOps := float64(cfg.goroutines * cfg.ops)
-	singleOps := totalOps / stores[0].best.Seconds()
-	shardedOps := totalOps / stores[1].best.Seconds()
+	singleOps := totalOps / sides[0].best.Seconds()
+	shardedOps := totalOps / sides[1].best.Seconds()
 	singleSt, shardedSt := single.Stats(), sharded.Stats()
 	res := &Result{
 		Benchmark:        "proxy-contended-hotpath",
@@ -202,10 +279,37 @@ func run(cfg config, w *os.File) (*Result, error) {
 		SingleHitRate:    hitRate(singleSt),
 		ShardedHitRate:   hitRate(shardedSt),
 		Generated:        time.Now().UTC().Format(time.RFC3339),
+
+		Preset:          cfg.preset,
+		SingleGetP50Ns:  sides[0].hist.Quantile(0.50),
+		SingleGetP99Ns:  sides[0].hist.Quantile(0.99),
+		ShardedGetP50Ns: sides[1].hist.Quantile(0.50),
+		ShardedGetP99Ns: sides[1].hist.Quantile(0.99),
 	}
-	fmt.Fprintf(w, "  single-mutex: %12.0f ops/sec  (hit rate %5.1f%%)\n", singleOps, 100*res.SingleHitRate)
-	fmt.Fprintf(w, "  sharded-%-4d: %12.0f ops/sec  (hit rate %5.1f%%)\n", cfg.shards, shardedOps, 100*res.ShardedHitRate)
-	fmt.Fprintf(w, "  speedup: %.2f× at %d goroutines on GOMAXPROCS %d\n", res.Speedup, cfg.goroutines, res.GoMaxProcs)
+	fmt.Fprintf(w, "  single-mutex: %12.0f ops/sec  (hit rate %5.1f%%, Get p50 %s p99 %s)\n",
+		singleOps, 100*res.SingleHitRate, time.Duration(res.SingleGetP50Ns), time.Duration(res.SingleGetP99Ns))
+	fmt.Fprintf(w, "  sharded-%-4d: %12.0f ops/sec  (hit rate %5.1f%%, Get p50 %s p99 %s)\n",
+		cfg.shards, shardedOps, 100*res.ShardedHitRate, time.Duration(res.ShardedGetP50Ns), time.Duration(res.ShardedGetP99Ns))
+	if buffered != nil {
+		maint.Close() // final flush, so the drop accounting below is complete
+		bufferedOps := totalOps / sides[2].best.Seconds()
+		bufSt := buffered.Stats()
+		res.TouchBuffer = cfg.touchBuffer
+		res.BufferedOpsPerSec = bufferedOps
+		res.BufferedSpeedup = bufferedOps / shardedOps
+		res.BufferedHitRate = hitRate(bufSt)
+		res.BufferedTouchDropped = bufSt.TouchDropped
+		res.BufferedGetP50Ns = sides[2].hist.Quantile(0.50)
+		res.BufferedGetP99Ns = sides[2].hist.Quantile(0.99)
+		fmt.Fprintf(w, "  buffered-%-3d: %12.0f ops/sec  (hit rate %5.1f%%, Get p50 %s p99 %s, %d touches dropped)\n",
+			cfg.shards, bufferedOps, 100*res.BufferedHitRate,
+			time.Duration(res.BufferedGetP50Ns), time.Duration(res.BufferedGetP99Ns), bufSt.TouchDropped)
+	}
+	fmt.Fprintf(w, "  speedup: sharded %.2f× vs single", res.Speedup)
+	if buffered != nil {
+		fmt.Fprintf(w, ", buffered %.2f× vs sharded", res.BufferedSpeedup)
+	}
+	fmt.Fprintf(w, " at %d goroutines on GOMAXPROCS %d\n", cfg.goroutines, res.GoMaxProcs)
 	return res, nil
 }
 
@@ -253,8 +357,9 @@ func prepopulate(s proxy.ObjectStore, urls []string, valueBytes int) {
 
 // drive runs every plan against s concurrently and returns the wall
 // time from the moment all goroutines are released to the last one
-// finishing.
-func drive(s proxy.ObjectStore, urls []string, plans []plan, valueBytes int) time.Duration {
+// finishing. Every sampleEvery-th Get is individually timed into hist
+// (obs.Histogram is atomic, so concurrent observes are safe).
+func drive(s proxy.ObjectStore, urls []string, plans []plan, valueBytes int, hist *obs.Histogram) time.Duration {
 	body := make([]byte, valueBytes)
 	storedAt := time.Now()
 	var wg sync.WaitGroup
@@ -268,6 +373,10 @@ func drive(s proxy.ObjectStore, urls []string, plans []plan, valueBytes int) tim
 				url := urls[idx]
 				if p.isPut[i] {
 					s.Put(url, &proxy.Object{Body: body, ContentType: "text/html", StoredAt: storedAt})
+				} else if i%sampleEvery == 0 {
+					t0 := time.Now()
+					s.Get(url)
+					hist.Observe(time.Since(t0).Nanoseconds())
 				} else {
 					s.Get(url)
 				}
@@ -365,6 +474,35 @@ func validateTrajectory(path string) error {
 		}
 		if _, err := time.Parse(time.RFC3339, r.Generated); err != nil {
 			return fail("generated")
+		}
+		// Buffered-side fields travel together: an entry measured with a
+		// touch buffer must carry its throughput and speedup. Entries from
+		// before the buffered path (all fields absent) stay valid.
+		if r.TouchBuffer > 0 || r.BufferedOpsPerSec != 0 || r.BufferedSpeedup != 0 {
+			switch {
+			case r.TouchBuffer < 1:
+				return fail("touch_buffer")
+			case r.BufferedOpsPerSec <= 0:
+				return fail("buffered_ops_per_sec")
+			case r.BufferedSpeedup <= 0:
+				return fail("buffered_speedup")
+			case r.BufferedTouchDropped < 0:
+				return fail("buffered_touch_dropped")
+			}
+		}
+		// Latency quantiles, when present, must be ordered.
+		quantiles := []struct {
+			name     string
+			p50, p99 int64
+		}{
+			{"single_get", r.SingleGetP50Ns, r.SingleGetP99Ns},
+			{"sharded_get", r.ShardedGetP50Ns, r.ShardedGetP99Ns},
+			{"buffered_get", r.BufferedGetP50Ns, r.BufferedGetP99Ns},
+		}
+		for _, q := range quantiles {
+			if q.p50 < 0 || q.p99 < 0 || (q.p99 > 0 && q.p50 > q.p99) {
+				return fail(q.name + "_p50_ns/p99_ns")
+			}
 		}
 	}
 	return nil

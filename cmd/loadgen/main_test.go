@@ -60,6 +60,54 @@ func TestRunProducesValidEntry(t *testing.T) {
 	}
 }
 
+// TestBufferedSideProducesValidEntry runs the three-sided harness — the
+// read-mostly preset, the buffered sharded store with its Maintainer
+// live — and checks the buffered fields land in the entry and survive
+// the schema gate.
+func TestBufferedSideProducesValidEntry(t *testing.T) {
+	cfg := tinyConfig()
+	cfg.preset = "read-mostly"
+	cfg.touchBuffer = 256
+	res, err := run(cfg, os.Stdout)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Preset != "read-mostly" || res.PutEvery != 100 {
+		t.Fatalf("preset not applied: preset=%q put_every=%d", res.Preset, res.PutEvery)
+	}
+	if res.TouchBuffer != 256 || res.BufferedOpsPerSec <= 0 || res.BufferedSpeedup <= 0 {
+		t.Fatalf("buffered side missing from entry: %+v", res)
+	}
+	if res.BufferedHitRate < 0.999 {
+		t.Fatalf("buffered hit rate %v — the buffered side is not measuring the hit path", res.BufferedHitRate)
+	}
+	for _, q := range [][2]int64{
+		{res.SingleGetP50Ns, res.SingleGetP99Ns},
+		{res.ShardedGetP50Ns, res.ShardedGetP99Ns},
+		{res.BufferedGetP50Ns, res.BufferedGetP99Ns},
+	} {
+		if q[0] <= 0 || q[1] <= 0 || q[0] > q[1] {
+			t.Fatalf("latency quantiles malformed (p50 %d, p99 %d): %+v", q[0], q[1], res)
+		}
+	}
+	path := filepath.Join(t.TempDir(), "BENCH_proxy.json")
+	if err := appendResult(path, *res); err != nil {
+		t.Fatal(err)
+	}
+	if err := validateTrajectory(path); err != nil {
+		t.Fatalf("buffered entry fails the schema: %v", err)
+	}
+}
+
+// TestApplyPresetRejectsUnknown pins the preset gate.
+func TestApplyPresetRejectsUnknown(t *testing.T) {
+	cfg := tinyConfig()
+	cfg.preset = "write-heavy"
+	if _, err := run(cfg, os.Stdout); err == nil {
+		t.Fatal("unknown preset accepted")
+	}
+}
+
 // TestPlansAreDeterministic pins that the zipf op streams are a pure
 // function of the seed — both store sides must see identical load.
 func TestPlansAreDeterministic(t *testing.T) {
@@ -106,6 +154,10 @@ func TestValidateTrajectoryRejectsBadFiles(t *testing.T) {
 		"missing.json":    `[{"benchmark":"proxy-contended-hotpath"}]`,
 		"zero-stats.json": `[{"benchmark":"b","git_rev":"r","gomaxprocs":1,"goroutines":1,"shards":1,"keys":1,"ops_per_goroutine":1,"single_mutex_ops_per_sec":0,"sharded_ops_per_sec":1,"speedup":1,"generated":"2026-01-01T00:00:00Z"}]`,
 		"bad-time.json":   `[{"benchmark":"b","git_rev":"r","gomaxprocs":1,"goroutines":1,"shards":1,"keys":1,"ops_per_goroutine":1,"single_mutex_ops_per_sec":1,"sharded_ops_per_sec":1,"speedup":1,"generated":"yesterday"}]`,
+		// A touch buffer without its throughput: buffered fields travel together.
+		"buffered-partial.json": `[{"benchmark":"b","git_rev":"r","gomaxprocs":1,"goroutines":1,"shards":1,"keys":1,"ops_per_goroutine":1,"single_mutex_ops_per_sec":1,"sharded_ops_per_sec":1,"speedup":1,"generated":"2026-01-01T00:00:00Z","touch_buffer":256}]`,
+		// Crossed latency quantiles (p50 above p99).
+		"crossed-quantiles.json": `[{"benchmark":"b","git_rev":"r","gomaxprocs":1,"goroutines":1,"shards":1,"keys":1,"ops_per_goroutine":1,"single_mutex_ops_per_sec":1,"sharded_ops_per_sec":1,"speedup":1,"generated":"2026-01-01T00:00:00Z","single_get_p50_ns":900,"single_get_p99_ns":100}]`,
 	}
 	for name, content := range bad {
 		if err := validateTrajectory(write(name, content)); err == nil {
@@ -115,5 +167,9 @@ func TestValidateTrajectoryRejectsBadFiles(t *testing.T) {
 	good := `[{"benchmark":"b","git_rev":"r","gomaxprocs":1,"goroutines":1,"shards":1,"keys":1,"ops_per_goroutine":1,"single_mutex_ops_per_sec":1,"sharded_ops_per_sec":1,"speedup":1,"generated":"2026-01-01T00:00:00Z"}]`
 	if err := validateTrajectory(write("good.json", good)); err != nil {
 		t.Errorf("minimal valid trajectory rejected: %v", err)
+	}
+	goodBuffered := `[{"benchmark":"b","git_rev":"r","gomaxprocs":1,"goroutines":1,"shards":1,"keys":1,"ops_per_goroutine":1,"single_mutex_ops_per_sec":1,"sharded_ops_per_sec":1,"speedup":1,"generated":"2026-01-01T00:00:00Z","preset":"read-mostly","touch_buffer":256,"buffered_ops_per_sec":1,"buffered_speedup":1,"single_get_p50_ns":100,"single_get_p99_ns":900}]`
+	if err := validateTrajectory(write("good-buffered.json", goodBuffered)); err != nil {
+		t.Errorf("valid buffered trajectory rejected: %v", err)
 	}
 }

@@ -7,6 +7,7 @@
 //
 //	proxy -listen :3128 -capacity 64MiB -policy SIZE
 //	proxy -listen :3128 -shards 16            # N-way sharded store (0 = auto)
+//	proxy -listen :3128 -touch-buffer 4096    # deeper touch rings (0 = synchronous hit path)
 //	proxy -listen :3128 -parent http://upstream:3128 -policy LRU-MIN
 //	proxy -listen :3128 -icp :3130 -siblings peer:3130=http://peer:3128
 //	proxy -listen :3128 -accesslog /var/log/webcache/access.log
@@ -55,6 +56,15 @@ type options struct {
 	logPath   string
 	logSample int
 	admin     bool // build the admin surface (main Starts it on -admin ADDR)
+
+	// Buffered-maintenance knobs. The zero values are fully inert —
+	// touchBuffer 0 keeps the drain-synchronous hit path and
+	// rebalanceEvery 0 starts no maintainer — so programmatic callers
+	// (tests) get the deterministic store unless they opt in.
+	touchBuffer    int           // >0: lossy touch ring slots per shard; Get goes read-lock only
+	drainEvery     time.Duration // background drain period (0 = Maintainer default)
+	rebalanceEvery time.Duration // shard quota rebalance period (0 = default when maintained; <0 disables)
+	rebalanceStep  int64         // max bytes moved into one shard per pass (0 = auto)
 }
 
 // app is a fully wired proxy: traffic mux, optional admin surface, and
@@ -66,9 +76,10 @@ type app struct {
 	logger  *proxy.AccessLogger // nil unless -accesslog or -admin
 	mux     *http.ServeMux      // traffic listener handler
 
-	reg   *obs.Registry  // nil unless admin
-	ring  *obs.EventRing // nil unless admin
-	admin *obs.Server    // nil unless admin; caller Starts/Closes
+	reg   *obs.Registry     // nil unless admin
+	ring  *obs.EventRing    // nil unless admin
+	admin *obs.Server       // nil unless admin; caller Starts/Closes
+	maint *proxy.Maintainer // nil unless buffered or rebalancing
 
 	responder *proxy.ICPResponder
 	logFile   *os.File
@@ -106,6 +117,9 @@ func buildApp(o options) (*app, error) {
 		a.store = a.sharded
 	} else {
 		a.store = proxy.NewStore(o.capacity, pol)
+	}
+	if o.touchBuffer > 0 {
+		a.store.SetTouchBuffer(o.touchBuffer)
 	}
 	a.srv = proxy.New(a.store)
 	a.srv.FreshFor = o.freshFor
@@ -189,6 +203,27 @@ func buildApp(o options) (*app, error) {
 		})
 	}
 
+	// Background maintenance: runs when the buffered hit path needs its
+	// drain safety net, or when a sharded store should rebalance quota.
+	// With the zero-valued knobs neither condition holds and no goroutine
+	// starts — the deterministic arrangement tests rely on.
+	if o.touchBuffer > 0 || (a.sharded != nil && o.rebalanceEvery != 0) {
+		var mm *proxy.MaintMetrics
+		if a.reg != nil {
+			shardCount := 1
+			if a.sharded != nil {
+				shardCount = a.sharded.NumShards()
+			}
+			mm = proxy.NewMaintMetrics(a.reg, shardCount)
+		}
+		a.maint = proxy.StartMaintenance(a.store, proxy.MaintOptions{
+			DrainEvery:     o.drainEvery,
+			RebalanceEvery: o.rebalanceEvery,
+			RebalanceStep:  o.rebalanceStep,
+			Metrics:        mm,
+		})
+	}
+
 	a.mux = http.NewServeMux()
 	a.mux.HandleFunc("/._webcache/stats", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
@@ -219,6 +254,9 @@ func (a *app) snapshot() any {
 
 // Close releases everything buildApp opened.
 func (a *app) Close() {
+	if a.maint != nil {
+		a.maint.Close()
+	}
 	if a.admin != nil {
 		a.admin.Close()
 	}
@@ -246,6 +284,11 @@ func main() {
 		logPath   = flag.String("accesslog", "", "write a common-log-format access log to this file")
 		logSample = flag.Int("log-sample", 1, "log every nth request (1 = all)")
 		adminAddr = flag.String("admin", "", "serve the introspection endpoints on this address (e.g. :8081)")
+
+		touchBuffer    = flag.Int("touch-buffer", 1024, "touch-buffer slots per shard for the read-lock-only hit path (0 = synchronous policy updates)")
+		drainEvery     = flag.Duration("drain-every", 50*time.Millisecond, "background touch-buffer drain period")
+		rebalanceEvery = flag.Duration("rebalance-every", 2*time.Second, "shard quota rebalance period (sharded store; negative disables)")
+		rebalanceStep  = flag.String("rebalance-step", "0", "max bytes moved into one shard per rebalance pass (0 = auto; accepts KiB/MiB suffixes)")
 	)
 	flag.Parse()
 
@@ -253,6 +296,13 @@ func main() {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "proxy:", err)
 		os.Exit(2)
+	}
+	step := int64(0)
+	if *rebalanceStep != "0" {
+		if step, err = parseBytes(*rebalanceStep); err != nil {
+			fmt.Fprintln(os.Stderr, "proxy: bad -rebalance-step:", err)
+			os.Exit(2)
+		}
 	}
 	a, err := buildApp(options{
 		capacity:  capacity,
@@ -265,6 +315,11 @@ func main() {
 		logPath:   *logPath,
 		logSample: *logSample,
 		admin:     *adminAddr != "",
+
+		touchBuffer:    *touchBuffer,
+		drainEvery:     *drainEvery,
+		rebalanceEvery: *rebalanceEvery,
+		rebalanceStep:  step,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "proxy:", err)
@@ -284,6 +339,9 @@ func main() {
 	shardNote := "single-mutex store"
 	if a.sharded != nil {
 		shardNote = fmt.Sprintf("%d-way sharded store", a.sharded.NumShards())
+	}
+	if *touchBuffer > 0 {
+		shardNote += fmt.Sprintf(", buffered hit path (%d slots)", *touchBuffer)
 	}
 	log.Printf("caching proxy on %s: capacity=%s policy=%s (%s)", *listen, *capFlag, *polSpec, shardNote)
 	if err := http.ListenAndServe(*listen, a.mux); err != nil {

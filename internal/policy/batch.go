@@ -1,0 +1,68 @@
+package policy
+
+// Batched policy maintenance: the live store's lock-free hit path does
+// not call Touch inline — it records each hit in a lossy buffer and
+// replays the buffer into the policy in batches under the write lock
+// (internal/proxy's touch buffer). This file is the policy-side entry
+// point for that replay.
+//
+// The contract is strict sequential equivalence: replaying a batch must
+// leave the policy in exactly the state that calling the inline hit
+// sequence (stamp ATime, increment NRef, Touch) per record would have —
+// including the heap's internal array order, because array order breaks
+// key ties and therefore decides future victims. That is why the batch
+// path interleaves field updates with re-sorts record by record instead
+// of stamping every entry first: a comparator run for record k reads
+// the *other* entries' keys, so stamping record k+1 early would change
+// comparison outcomes mid-sift. TestTouchBatchMatchesInline pins the
+// equivalence across the taxonomy.
+
+// TouchRecord is one buffered hit: the entry that was accessed and the
+// access timestamp recorded at hit time (not at drain time, so recency
+// order among buffered hits is preserved).
+type TouchRecord struct {
+	Entry *Entry
+	ATime int64
+}
+
+// TouchBatcher is an optional Policy extension: policies that can apply
+// a recorded hit sequence in one call implement it, and ReplayTouches
+// dispatches to it — one type assertion per drained batch instead of
+// per touch. Implementations must be sequentially equivalent to the
+// inline loop (see the package comment above).
+type TouchBatcher interface {
+	TouchBatch(batch []TouchRecord)
+}
+
+// ReplayTouches applies a recorded hit sequence to p in order. Each
+// record stamps its entry's ATime, increments NRef, and re-sorts the
+// entry — exactly the inline hit path, batched. Callers must hold
+// whatever lock guards p and the entries.
+func ReplayTouches(p Policy, batch []TouchRecord) {
+	if len(batch) == 0 {
+		return
+	}
+	if b, ok := p.(TouchBatcher); ok {
+		b.TouchBatch(batch)
+		return
+	}
+	for i := range batch {
+		e := batch[i].Entry
+		e.ATime = batch[i].ATime
+		e.NRef++
+		p.Touch(e)
+	}
+}
+
+// TouchBatch implements TouchBatcher for the taxonomy's generic sorted
+// policy. The body is the canonical inline loop: Sorted.Touch is a
+// single heap Fix, so there is no cheaper batch shape that preserves
+// array-order equivalence (re-heapifying would reorder tied entries).
+func (p *Sorted) TouchBatch(batch []TouchRecord) {
+	for i := range batch {
+		e := batch[i].Entry
+		e.ATime = batch[i].ATime
+		e.NRef++
+		p.Touch(e)
+	}
+}

@@ -1,0 +1,132 @@
+package policy
+
+import (
+	"fmt"
+	"testing"
+
+	"webcache/internal/rng"
+)
+
+// batchSpecs are the policies the buffered hit path must replay
+// identically: the paper's recommended SIZE, the two classic recency/
+// frequency policies whose state a touch actually moves, and LRU-MIN
+// (the one non-Sorted policy with its own bookkeeping).
+var batchSpecs = []string{"SIZE", "LRU", "LFU", "LRU-MIN"}
+
+// buildPair returns two identical entry populations registered with two
+// fresh instances of the same policy — the inline-vs-batched test
+// fixture. Entries are paired by index with identical fields (including
+// the random tiebreak), so any divergence is the replay path's fault.
+func buildPair(t *testing.T, spec string, n int) (a, b Policy, ea, eb []*Entry) {
+	t.Helper()
+	pa, err := Parse(spec, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pb, err := Parse(spec, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(0xbadc0ffee)
+	for i := 0; i < n; i++ {
+		url := fmt.Sprintf("http://h/doc%d.html", i)
+		size := int64(64 + r.Intn(4096))
+		tie := r.Uint64()
+		x := NewEntry(url, size, 0, 1000+int64(i), tie)
+		y := NewEntry(url, size, 0, 1000+int64(i), tie)
+		pa.Add(x)
+		pb.Add(y)
+		ea, eb = append(ea, x), append(eb, y)
+	}
+	return pa, pb, ea, eb
+}
+
+// drainVictims empties the policy through its victim order — the
+// observable total order every removal decision flows from.
+func drainVictims(p Policy) []string {
+	var order []string
+	for {
+		v := p.Victim(1)
+		if v == nil {
+			return order
+		}
+		order = append(order, v.URL)
+		p.Remove(v)
+	}
+}
+
+// TestTouchBatchMatchesInline is the sequential-equivalence property
+// the buffered hit path rests on: replaying a recorded touch sequence
+// through ReplayTouches (which dispatches to Sorted.TouchBatch where
+// available) must leave the policy with exactly the victim order the
+// inline stamp/NRef++/Touch loop produces — across the taxonomy,
+// including tie-heavy LFU and the bucketed LRU-MIN.
+func TestTouchBatchMatchesInline(t *testing.T) {
+	const entries, touches = 200, 2000
+	for _, spec := range batchSpecs {
+		t.Run(spec, func(t *testing.T) {
+			inline, batched, ea, eb := buildPair(t, spec, entries)
+
+			// One deterministic touch sequence, applied inline on one side
+			// and in chunked batches on the other (chunk boundaries land
+			// mid-sequence, as real drains do).
+			r := rng.New(7)
+			var batch []TouchRecord
+			flush := func() {
+				ReplayTouches(batched, batch)
+				batch = batch[:0]
+			}
+			for i := 0; i < touches; i++ {
+				idx := r.Intn(entries)
+				at := int64(5000 + i)
+
+				e := ea[idx]
+				e.ATime = at
+				e.NRef++
+				inline.Touch(e)
+
+				batch = append(batch, TouchRecord{Entry: eb[idx], ATime: at})
+				if r.Intn(37) == 0 {
+					flush()
+				}
+			}
+			flush()
+
+			for i := range ea {
+				if ea[i].ATime != eb[i].ATime || ea[i].NRef != eb[i].NRef {
+					t.Fatalf("entry %d state diverged: inline ATime=%d NRef=%d, batched ATime=%d NRef=%d",
+						i, ea[i].ATime, ea[i].NRef, eb[i].ATime, eb[i].NRef)
+				}
+			}
+			a, b := drainVictims(inline), drainVictims(batched)
+			if len(a) != entries || len(b) != entries {
+				t.Fatalf("victim drains returned %d/%d entries, want %d", len(a), len(b), entries)
+			}
+			for i := range a {
+				if a[i] != b[i] {
+					t.Fatalf("victim order diverged at position %d: inline %s, batched %s", i, a[i], b[i])
+				}
+			}
+		})
+	}
+}
+
+// TestReplayTouchesFallback pins the non-TouchBatcher path: a policy
+// without the batch entry point gets the inline loop applied on its
+// behalf, with identical entry state updates.
+func TestReplayTouchesFallback(t *testing.T) {
+	p := NewLRUMin() // LRUMin does not implement TouchBatcher
+	if _, ok := interface{}(p).(TouchBatcher); ok {
+		t.Skip("LRU-MIN grew a TouchBatch; pick another fallback policy")
+	}
+	e := NewEntry("http://h/a.html", 100, 0, 10, 1)
+	p.Add(e)
+	ReplayTouches(p, []TouchRecord{{Entry: e, ATime: 20}, {Entry: e, ATime: 30}})
+	if e.ATime != 30 || e.NRef != 3 {
+		t.Fatalf("fallback replay left ATime=%d NRef=%d, want 30/3", e.ATime, e.NRef)
+	}
+	ReplayTouches(p, nil) // empty batch is a no-op
+	if got := p.Len(); got != 1 {
+		t.Fatalf("policy tracks %d entries, want 1", got)
+	}
+}

@@ -1,0 +1,124 @@
+package proxy
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+	"time"
+
+	"webcache/internal/rng"
+)
+
+// victimOrder empties a store through its policy's victim sequence —
+// the total removal order every eviction decision flows from. Test-only
+// and single-threaded.
+func victimOrder(s *Store) []string {
+	var order []string
+	for {
+		v := s.pol.Victim(1)
+		if v == nil {
+			return order
+		}
+		order = append(order, v.URL)
+		s.Remove(v.URL)
+	}
+}
+
+// TestBufferedStoreMatchesInline is the tentpole's correctness
+// property: for a single writer with a ring large enough to never drop,
+// the buffered hit path is observably equivalent to the inline one —
+// identical counters, contents, entry state, and policy victim order —
+// because drains replay the recorded touches in order before any
+// operation that consults policy state (Put's victim selection).
+//
+// Drains fire at their natural times during the run (every Put, plus
+// threshold TryLocks), not just at the end, so the test covers touches
+// applied in mid-stream chunks interleaved with removals and
+// replacements — the schedules a real serving process produces.
+func TestBufferedStoreMatchesInline(t *testing.T) {
+	const capacity = 48 << 10
+	for _, spec := range []string{"SIZE", "LRU", "LFU", "LRU-MIN"} {
+		t.Run(spec, func(t *testing.T) {
+			inline := NewStore(capacity, mustPolicy(t, spec))
+			buffered := NewStore(capacity, mustPolicy(t, spec))
+			buffered.SetTouchBuffer(1 << 15)
+			var now int64 = 1_000_000
+			clock := func() time.Time { return time.Unix(now, 0) }
+			for _, s := range []*Store{inline, buffered} {
+				s.SetSeed(0xfeedface)
+				s.SetClock(clock)
+			}
+
+			r := rng.New(321)
+			urls := make([]string, 300)
+			for i := range urls {
+				urls[i] = fmt.Sprintf("http://host%d.example.com/doc%d.html", i%5, i)
+			}
+			for i := 0; i < 10000; i++ {
+				now++
+				url := urls[r.Intn(len(urls))]
+				switch op := r.Intn(10); {
+				case op < 6:
+					a, aok := inline.Get(url)
+					b, bok := buffered.Get(url)
+					if aok != bok || (aok && len(a.Body) != len(b.Body)) {
+						t.Fatalf("op %d: Get(%q) diverged: %v/%v", i, url, aok, bok)
+					}
+				case op < 9:
+					body := make([]byte, 64+r.Intn(512))
+					obj := func() *Object { return &Object{Body: body, StoredAt: clock()} }
+					if inline.Put(url, obj()) != buffered.Put(url, obj()) {
+						t.Fatalf("op %d: Put(%q) verdicts diverged", i, url)
+					}
+				default:
+					inline.Remove(url)
+					buffered.Remove(url)
+				}
+			}
+			buffered.FlushTouches()
+
+			a, b := inline.Stats(), buffered.Stats()
+			if b.TouchDropped != 0 {
+				t.Fatalf("buffered run dropped %d touches — ring too small for exact equivalence", b.TouchDropped)
+			}
+			if a.TouchDrained != 0 || a.TouchStale != 0 {
+				t.Fatalf("inline store reports buffered-path counters: %+v", a)
+			}
+			// The Touch* accounting is the buffered path's own bookkeeping;
+			// everything else must match exactly.
+			b.TouchDrained, b.TouchStale = 0, 0
+			if !reflect.DeepEqual(a, b) {
+				t.Errorf("stats diverged:\n  inline: %+v\nbuffered: %+v", a, b)
+			}
+			if a.Evictions == 0 {
+				t.Error("replay exercised no evictions — capacity too large for the test to mean anything")
+			}
+			for _, url := range urls {
+				x, xok := inline.Peek(url)
+				y, yok := buffered.Peek(url)
+				if xok != yok {
+					t.Fatalf("Peek(%q) presence diverged: %v vs %v", url, xok, yok)
+				}
+				if xok && len(x.Body) != len(y.Body) {
+					t.Fatalf("Peek(%q) sizes diverged: %d vs %d", url, len(x.Body), len(y.Body))
+				}
+				if xok {
+					ea, eb := inline.entries[url], buffered.entries[url]
+					if ea.ATime != eb.ATime || ea.NRef != eb.NRef {
+						t.Fatalf("entry %q state diverged: inline ATime=%d NRef=%d, buffered ATime=%d NRef=%d",
+							url, ea.ATime, ea.NRef, eb.ATime, eb.NRef)
+					}
+				}
+			}
+			vi, vb := victimOrder(inline), victimOrder(buffered)
+			if len(vi) != len(vb) {
+				t.Fatalf("victim drains returned %d vs %d entries", len(vi), len(vb))
+			}
+			for i := range vi {
+				if vi[i] != vb[i] {
+					t.Fatalf("victim order diverged at position %d: inline %s, buffered %s", i, vi[i], vb[i])
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,169 @@
+package proxy
+
+// The Maintainer is the background half of buffered maintenance: a
+// single goroutine per store that periodically drains the touch
+// buffers (so a read-only lull cannot leave recorded hits unapplied
+// forever — Put-driven and threshold-driven drains only fire under
+// traffic) and, for a sharded store, runs the occupancy rebalancer.
+// Both duties are off the serving path by construction: the drain
+// takes each shard's write lock briefly, the rebalancer touches two
+// shard locks per transfer.
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"webcache/internal/obs"
+)
+
+// MaintMetrics is the observability surface of buffered maintenance
+// and rebalancing, resolved from a registry once at startup (the same
+// arrangement as proxy.Metrics). The touch gauges mirror the store's
+// cumulative Touch* stats; the shard gauges (sharded stores only)
+// report each shard's quota, usage, and last-pass eviction pressure.
+type MaintMetrics struct {
+	TouchDrained *obs.Gauge // store.touch_drained: hits replayed into policies
+	TouchDropped *obs.Gauge // store.touch_dropped: hits lost to a full ring
+	TouchStale   *obs.Gauge // store.touch_stale: hits whose entry died first
+	Drains       *obs.Counter
+	Rebalances   *obs.Counter // passes that moved quota
+	QuotaMoved   *obs.Counter // store.quota_moved_bytes, cumulative
+
+	shardQuota    []*obs.Gauge
+	shardUsed     []*obs.Gauge
+	shardPressure []*obs.Gauge
+}
+
+// NewMaintMetrics resolves the maintenance metric set from reg. shards
+// is the shard count of a sharded store (pass 0 or 1 for a single
+// store: no per-shard gauges). Every name is registered immediately so
+// the /metrics exposition shows the full surface from the first scrape.
+func NewMaintMetrics(reg *obs.Registry, shards int) *MaintMetrics {
+	m := &MaintMetrics{
+		TouchDrained: reg.Gauge("store.touch_drained"),
+		TouchDropped: reg.Gauge("store.touch_dropped"),
+		TouchStale:   reg.Gauge("store.touch_stale"),
+		Drains:       reg.Counter("store.drains"),
+		Rebalances:   reg.Counter("store.rebalances"),
+		QuotaMoved:   reg.Counter("store.quota_moved_bytes"),
+	}
+	if shards > 1 {
+		for i := 0; i < shards; i++ {
+			m.shardQuota = append(m.shardQuota, reg.Gauge(fmt.Sprintf("store.shard%d.quota", i)))
+			m.shardUsed = append(m.shardUsed, reg.Gauge(fmt.Sprintf("store.shard%d.used", i)))
+			m.shardPressure = append(m.shardPressure, reg.Gauge(fmt.Sprintf("store.shard%d.pressure", i)))
+		}
+	}
+	return m
+}
+
+// MaintOptions configures a Maintainer. Zero values pick defaults.
+type MaintOptions struct {
+	// DrainEvery is the touch-buffer drain period (default 50ms). Each
+	// tick flushes pending recorded hits into the policies.
+	DrainEvery time.Duration
+	// RebalanceEvery is the quota-rebalance period for sharded stores
+	// (default 2s; ignored for a single-mutex store). Negative disables
+	// rebalancing.
+	RebalanceEvery time.Duration
+	// RebalanceStep bounds the bytes moved into one shard per pass
+	// (default: an eighth of the fair per-shard share).
+	RebalanceStep int64
+	// RebalanceFloor is the minimum quota a donor shard keeps (default
+	// MinShardQuota of the store's capacity and shard count).
+	RebalanceFloor int64
+	// Metrics receives drain/rebalance accounting when non-nil.
+	Metrics *MaintMetrics
+}
+
+// Maintainer is a running background maintenance loop; Close stops it
+// and waits for the goroutine to exit.
+type Maintainer struct {
+	store ObjectStore
+	stop  chan struct{}
+	done  chan struct{}
+	once  sync.Once
+}
+
+// StartMaintenance launches the maintenance goroutine for store. The
+// drain tick applies on every store; the rebalance tick only fires
+// when store is a *ShardedStore with more than one shard.
+func StartMaintenance(store ObjectStore, o MaintOptions) *Maintainer {
+	if o.DrainEvery <= 0 {
+		o.DrainEvery = 50 * time.Millisecond
+	}
+	if o.RebalanceEvery == 0 {
+		o.RebalanceEvery = 2 * time.Second
+	}
+	sharded, _ := store.(*ShardedStore)
+	if sharded != nil && sharded.NumShards() < 2 {
+		sharded = nil
+	}
+	if sharded != nil {
+		capacity := sharded.Stats().Capacity
+		if o.RebalanceStep <= 0 {
+			o.RebalanceStep = MinShardQuota(capacity, sharded.NumShards())
+		}
+		if o.RebalanceFloor <= 0 {
+			o.RebalanceFloor = MinShardQuota(capacity, sharded.NumShards())
+		}
+	}
+
+	m := &Maintainer{store: store, stop: make(chan struct{}), done: make(chan struct{})}
+	go func() {
+		defer close(m.done)
+		drain := time.NewTicker(o.DrainEvery)
+		defer drain.Stop()
+		var rebalC <-chan time.Time
+		if sharded != nil && o.RebalanceEvery > 0 {
+			rebal := time.NewTicker(o.RebalanceEvery)
+			defer rebal.Stop()
+			rebalC = rebal.C
+		}
+		for {
+			select {
+			case <-m.stop:
+				return
+			case <-drain.C:
+				if n := store.FlushTouches(); n > 0 && o.Metrics != nil {
+					o.Metrics.Drains.Inc()
+				}
+				if o.Metrics != nil {
+					st := store.Stats()
+					o.Metrics.TouchDrained.Set(st.TouchDrained)
+					o.Metrics.TouchDropped.Set(st.TouchDropped)
+					o.Metrics.TouchStale.Set(st.TouchStale)
+				}
+			case <-rebalC:
+				res := sharded.Rebalance(o.RebalanceStep, o.RebalanceFloor)
+				if o.Metrics == nil {
+					continue
+				}
+				if res.Moved > 0 {
+					o.Metrics.Rebalances.Inc()
+					o.Metrics.QuotaMoved.Add(res.Moved)
+				}
+				for i, st := range sharded.ShardStats() {
+					if i >= len(o.Metrics.shardQuota) {
+						break
+					}
+					o.Metrics.shardQuota[i].Set(st.Capacity)
+					o.Metrics.shardUsed[i].Set(st.Used)
+					o.Metrics.shardPressure[i].Set(res.Pressure[i])
+				}
+			}
+		}
+	}()
+	return m
+}
+
+// Close stops the maintenance loop and waits for it to finish. A final
+// flush applies whatever the buffers still hold. Idempotent.
+func (m *Maintainer) Close() {
+	m.once.Do(func() {
+		close(m.stop)
+		<-m.done
+		m.store.FlushTouches()
+	})
+}

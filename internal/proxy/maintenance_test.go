@@ -1,0 +1,139 @@
+package proxy
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"webcache/internal/obs"
+)
+
+// waitFor polls cond until it holds or the deadline passes.
+func waitFor(t *testing.T, d time.Duration, cond func() bool, what string) {
+	t.Helper()
+	deadline := time.Now().Add(d)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+// TestMaintainerDrainsIdleBuffer covers the gap the background drain
+// exists for: touches recorded during a read-only lull (no Put to drain
+// opportunistically, backlog below the threshold) still reach the
+// policy, and the metrics mirror the store's counters.
+func TestMaintainerDrainsIdleBuffer(t *testing.T) {
+	s := NewStore(1<<20, nil)
+	s.SetTouchBuffer(1024)
+	s.Put("http://h/a.html", &Object{Body: make([]byte, 100), StoredAt: time.Now()})
+	for i := 0; i < 10; i++ {
+		s.Get("http://h/a.html")
+	}
+	if st := s.Stats(); st.TouchDrained != 0 {
+		t.Fatalf("touches drained before the maintainer started: %d", st.TouchDrained)
+	}
+
+	reg := obs.NewRegistry()
+	m := StartMaintenance(s, MaintOptions{
+		DrainEvery:     time.Millisecond,
+		RebalanceEvery: -1,
+		Metrics:        NewMaintMetrics(reg, 1),
+	})
+	waitFor(t, 5*time.Second, func() bool { return s.Stats().TouchDrained == 10 }, "background drain")
+	waitFor(t, 5*time.Second, func() bool { return reg.Gauge("store.touch_drained").Load() == 10 }, "gauge export")
+	if got := reg.Counter("store.drains").Load(); got < 1 {
+		t.Errorf("store.drains = %d, want at least 1", got)
+	}
+	m.Close()
+}
+
+// TestMaintainerCloseFlushes pins Close's contract: even with a drain
+// period that never fires, stopping the maintainer applies whatever the
+// buffer still holds.
+func TestMaintainerCloseFlushes(t *testing.T) {
+	s := NewStore(1<<20, nil)
+	s.SetTouchBuffer(1024)
+	s.Put("http://h/a.html", &Object{Body: make([]byte, 100), StoredAt: time.Now()})
+	for i := 0; i < 5; i++ {
+		s.Get("http://h/a.html")
+	}
+	m := StartMaintenance(s, MaintOptions{DrainEvery: time.Hour, RebalanceEvery: -1})
+	m.Close()
+	if st := s.Stats(); st.TouchDrained != 5 {
+		t.Errorf("TouchDrained = %d after Close, want the 5 buffered hits", st.TouchDrained)
+	}
+}
+
+// TestMaintainerRebalancesUnderPressure runs the full background loop
+// against a sharded store with a deliberately skewed load and waits for
+// the rebalancer to move quota toward the hot shard, with the exposition
+// counters and per-shard gauges following.
+func TestMaintainerRebalancesUnderPressure(t *testing.T) {
+	const capacity = 64 << 10
+	const shards = 4
+	s := NewShardedStore(capacity, shards, nil)
+	reg := obs.NewRegistry()
+	m := StartMaintenance(s, MaintOptions{
+		DrainEvery:     time.Millisecond,
+		RebalanceEvery: time.Millisecond,
+		RebalanceStep:  2048,
+		Metrics:        NewMaintMetrics(reg, shards),
+	})
+	defer m.Close()
+
+	hot := urlsForShard(shards, 0, 64)
+	deadline := time.Now().Add(5 * time.Second)
+	for reg.Counter("store.quota_moved_bytes").Load() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("rebalancer never moved quota despite sustained one-shard pressure")
+		}
+		for _, url := range hot {
+			s.Put(url, &Object{Body: make([]byte, 1024), StoredAt: time.Now()})
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if got := reg.Counter("store.rebalances").Load(); got < 1 {
+		t.Errorf("store.rebalances = %d, want at least 1", got)
+	}
+	waitFor(t, 5*time.Second, func() bool {
+		return reg.Gauge("store.shard0.quota").Load() > capacity/shards
+	}, "hot shard quota gauge above fair share")
+	if got := s.Stats().Capacity; got != capacity {
+		t.Fatalf("quota sum %d != capacity %d under the background rebalancer", got, capacity)
+	}
+	if q := s.shards[0].Quota(); q <= capacity/shards {
+		t.Errorf("hot shard quota = %d, want above its fair share %d", q, capacity/shards)
+	}
+}
+
+// TestNewMaintMetricsRegistersSurface checks the full metric surface is
+// registered eagerly — the first /metrics scrape shows every name.
+func TestNewMaintMetricsRegistersSurface(t *testing.T) {
+	reg := obs.NewRegistry()
+	NewMaintMetrics(reg, 4)
+	snap := reg.Snapshot()
+	want := []string{
+		"store.touch_drained", "store.touch_dropped", "store.touch_stale",
+		"store.drains", "store.rebalances", "store.quota_moved_bytes",
+	}
+	for i := 0; i < 4; i++ {
+		want = append(want,
+			fmt.Sprintf("store.shard%d.quota", i),
+			fmt.Sprintf("store.shard%d.used", i),
+			fmt.Sprintf("store.shard%d.pressure", i))
+	}
+	for _, name := range want {
+		if _, ok := snap[name]; !ok {
+			t.Errorf("metric %q not registered at construction", name)
+		}
+	}
+	// A single-store metric set registers no per-shard gauges.
+	reg2 := obs.NewRegistry()
+	NewMaintMetrics(reg2, 1)
+	if _, ok := reg2.Snapshot()["store.shard0.quota"]; ok {
+		t.Error("single-store metrics registered per-shard gauges")
+	}
+}

@@ -43,6 +43,15 @@ type ObjectStore interface {
 	SetSeed(seed uint64)
 	// SetHooks attaches cache event hooks (hit/miss/evict/add).
 	SetHooks(h core.CacheHooks)
+
+	// SetTouchBuffer selects the hit path: slots > 0 attaches a lossy
+	// per-shard touch ring and Get goes read-lock only; 0 (the
+	// default) is the drain-synchronous deterministic mode where Get
+	// updates the policy inline. Call before serving.
+	SetTouchBuffer(slots int)
+	// FlushTouches drains any buffered touches into the policy now and
+	// returns how many were applied (0 in synchronous mode).
+	FlushTouches() int
 }
 
 // Both implementations must satisfy the serving-path contract.

@@ -1,0 +1,195 @@
+package proxy
+
+import (
+	"fmt"
+	"testing"
+	"time"
+)
+
+// urlsForShard fabricates count distinct URLs that all route to the
+// given shard of an n-shard store — the tool for building deliberately
+// skewed loads.
+func urlsForShard(n, shard, count int) []string {
+	urls := make([]string, 0, count)
+	for i := 0; len(urls) < count; i++ {
+		url := fmt.Sprintf("http://skew.example.com/s%d/doc%d.html", shard, i)
+		if shardIndex(url, n) == shard {
+			urls = append(urls, url)
+		}
+	}
+	return urls
+}
+
+// checkQuotaInvariants asserts the rebalancer's structural guarantees
+// on every shard: quotas sum exactly to the built capacity, and no
+// shard sits below its bytes in use, its largest resident entry, or the
+// donor floor.
+func checkQuotaInvariants(t *testing.T, s *ShardedStore, capacity, floor int64) {
+	t.Helper()
+	var sum int64
+	for i, sh := range s.shards {
+		q := sh.Quota()
+		sum += q
+		sh.mu.RLock()
+		used, largest := sh.stats.Used, sh.largestLocked()
+		sh.mu.RUnlock()
+		if q < used {
+			t.Fatalf("shard %d quota %d below bytes in use %d", i, q, used)
+		}
+		if q < largest {
+			t.Fatalf("shard %d quota %d below its largest entry %d", i, q, largest)
+		}
+		if q < floor {
+			t.Fatalf("shard %d quota %d below the donor floor %d", i, q, floor)
+		}
+	}
+	if sum != capacity {
+		t.Fatalf("shard quotas sum to %d, want exactly %d", sum, capacity)
+	}
+}
+
+// TestRebalanceMovesQuotaToHotShard drives an eviction-heavy load into
+// one shard and checks a pass moves exactly one bounded step of quota
+// from pressure-free shards to the hot one, preserving the global sum.
+func TestRebalanceMovesQuotaToHotShard(t *testing.T) {
+	const (
+		capacity = 64 << 10
+		shards   = 4
+		step     = 2048
+	)
+	floor := MinShardQuota(capacity, shards)
+	s := NewShardedStore(capacity, shards, nil)
+	obj := func(n int) *Object { return &Object{Body: make([]byte, n), StoredAt: time.Now()} }
+
+	// Hammer shard 0 with more bytes than its 16KiB quota: evictions.
+	for _, url := range urlsForShard(shards, 0, 64) {
+		s.Put(url, obj(1024))
+	}
+	if s.shards[0].Stats().Evictions == 0 {
+		t.Fatal("skewed load produced no evictions on the hot shard — setup broken")
+	}
+
+	res := s.Rebalance(step, floor)
+	if res.Pressure[0] == 0 {
+		t.Fatal("pass saw no pressure on the hot shard")
+	}
+	if res.Moved != step {
+		t.Errorf("pass moved %d bytes, want exactly one step %d (donors had slack)", res.Moved, step)
+	}
+	for _, mv := range res.Moves {
+		if mv.To != 0 {
+			t.Errorf("quota moved to shard %d, want the hot shard 0 (move %+v)", mv.To, mv)
+		}
+		if mv.From == 0 {
+			t.Errorf("hot shard donated to itself: %+v", mv)
+		}
+	}
+	if q := s.shards[0].Quota(); q != capacity/shards+step {
+		t.Errorf("hot shard quota = %d, want fair share + step = %d", q, capacity/shards+step)
+	}
+	checkQuotaInvariants(t, s, capacity, floor)
+
+	// No new evictions since: pressure deltas are zero, nothing moves.
+	res = s.Rebalance(step, floor)
+	if res.Moved != 0 || len(res.Moves) != 0 {
+		t.Errorf("pressure-free pass moved %d bytes (%d moves), want none", res.Moved, len(res.Moves))
+	}
+	checkQuotaInvariants(t, s, capacity, floor)
+}
+
+// TestRebalanceRepeatedPassesRespectFloor keeps the hot shard under
+// pressure across many passes and checks donors are bled only down to
+// the floor — never beyond — while the global sum stays exact.
+func TestRebalanceRepeatedPassesRespectFloor(t *testing.T) {
+	const (
+		capacity = 64 << 10
+		shards   = 4
+		step     = 4096
+	)
+	floor := MinShardQuota(capacity, shards) // 2 KiB
+	s := NewShardedStore(capacity, shards, nil)
+	obj := func(n int) *Object { return &Object{Body: make([]byte, n), StoredAt: time.Now()} }
+
+	hot := urlsForShard(shards, 0, 128)
+	for pass := 0; pass < 20; pass++ {
+		for _, url := range hot {
+			s.Put(url, obj(1024))
+		}
+		res := s.Rebalance(step, floor)
+		checkQuotaInvariants(t, s, capacity, floor)
+		if res.Moved > step {
+			t.Fatalf("pass %d moved %d bytes into one hot shard, step bound is %d", pass, res.Moved, step)
+		}
+	}
+	// Cold empty shards end pinned at the floor; the hot shard holds the
+	// rest of the capacity.
+	for i := 1; i < shards; i++ {
+		if q := s.shards[i].Quota(); q != floor {
+			t.Errorf("cold shard %d quota = %d after sustained pressure, want bled to floor %d", i, q, floor)
+		}
+	}
+	if q := s.shards[0].Quota(); q != capacity-int64(shards-1)*floor {
+		t.Errorf("hot shard quota = %d, want all donatable capacity %d", q, capacity-int64(shards-1)*floor)
+	}
+}
+
+// TestRebalanceDonorKeepsLargestEntry pins the donor's re-validation:
+// a cold shard holding a large resident object cannot be bled below
+// that object's size, whatever the floor argument says.
+func TestRebalanceDonorKeepsLargestEntry(t *testing.T) {
+	const capacity = 32 << 10 // 16 KiB per shard
+	s := NewShardedStore(capacity, 2, nil)
+	obj := func(n int) *Object { return &Object{Body: make([]byte, n), StoredAt: time.Now()} }
+
+	// Which shard is cold is up to the hash; put the 10KiB resident on
+	// one shard and pressure on the other.
+	cold, hotIdx := 0, 1
+	s.Put(urlsForShard(2, cold, 1)[0], obj(10<<10))
+	hot := urlsForShard(2, hotIdx, 64)
+	for pass := 0; pass < 10; pass++ {
+		for _, url := range hot {
+			s.Put(url, obj(1024))
+		}
+		s.Rebalance(16<<10, 1) // floor of 1 byte: the entry must protect itself
+	}
+	if q := s.shards[cold].Quota(); q != 10<<10 {
+		t.Errorf("cold shard quota = %d, want exactly its largest resident entry %d", q, 10<<10)
+	}
+	if q := s.shards[hotIdx].Quota(); q != capacity-10<<10 {
+		t.Errorf("hot shard quota = %d, want the remainder %d", q, capacity-10<<10)
+	}
+	checkQuotaInvariants(t, s, capacity, 1)
+}
+
+// TestRebalanceDegenerateCases: single shard, zero step, and no-slack
+// stores must all be no-ops.
+func TestRebalanceDegenerateCases(t *testing.T) {
+	one := NewShardedStore(1<<20, 1, nil)
+	if res := one.Rebalance(1024, 1); res.Moved != 0 {
+		t.Errorf("1-shard rebalance moved %d bytes", res.Moved)
+	}
+	four := NewShardedStore(1<<20, 4, nil)
+	if res := four.Rebalance(0, 1); res.Moved != 0 {
+		t.Errorf("zero-step rebalance moved %d bytes", res.Moved)
+	}
+}
+
+// TestMinShardQuota pins the default floor rule: an eighth of the fair
+// per-shard share, never below one byte.
+func TestMinShardQuota(t *testing.T) {
+	cases := []struct {
+		capacity int64
+		shards   int
+		want     int64
+	}{
+		{64 << 10, 4, 2048},
+		{1 << 20, 8, 16384},
+		{10, 4, 1},
+		{100, 0, 12}, // shard count clamped to 1
+	}
+	for _, tc := range cases {
+		if got := MinShardQuota(tc.capacity, tc.shards); got != tc.want {
+			t.Errorf("MinShardQuota(%d, %d) = %d, want %d", tc.capacity, tc.shards, got, tc.want)
+		}
+	}
+}

@@ -34,6 +34,7 @@ package proxy
 // exercised end-to-end by livebench -shards 1).
 
 import (
+	"sync"
 	"time"
 
 	"webcache/internal/core"
@@ -44,6 +45,12 @@ import (
 // independent single-mutex shards.
 type ShardedStore struct {
 	shards []*Store
+
+	// Rebalancer state (rebalance.go): one pass runs at a time, and
+	// lastEvictions holds each shard's eviction count at the previous
+	// pass so pressure is a per-interval delta, not a lifetime total.
+	rebalMu       sync.Mutex
+	lastEvictions []int64
 }
 
 // shardSeedStep derives shard i's tiebreak seed as base + i*step — the
@@ -66,7 +73,10 @@ func NewShardedStore(capacity int64, shards int, newPolicy func() policy.Policy)
 	if newPolicy == nil {
 		newPolicy = func() policy.Policy { return nil } // NewStore defaults nil to SIZE
 	}
-	s := &ShardedStore{shards: make([]*Store, shards)}
+	s := &ShardedStore{
+		shards:        make([]*Store, shards),
+		lastEvictions: make([]int64, shards),
+	}
 	quota := capacity / int64(shards)
 	remainder := capacity % int64(shards)
 	for i := range s.shards {
@@ -130,7 +140,11 @@ func (s *ShardedStore) Len() int {
 
 // Stats aggregates counters across shards. Sums are exact; MaxUsed is
 // the sum of per-shard high-water marks, an upper bound on the true
-// global peak (shards peak at different times).
+// global peak (shards peak at different times). Capacity sums to the
+// requested global capacity whatever the rebalancer has shifted — the
+// rebalance invariant made visible (a snapshot racing an in-flight
+// transfer can read up to one rebalance step low, never high; see
+// rebalance.go).
 func (s *ShardedStore) Stats() StoreStats {
 	var agg StoreStats
 	for _, sh := range s.shards {
@@ -142,6 +156,10 @@ func (s *ShardedStore) Stats() StoreStats {
 		agg.Used += st.Used
 		agg.MaxUsed += st.MaxUsed
 		agg.Docs += st.Docs
+		agg.Capacity += st.Capacity
+		agg.TouchDrained += st.TouchDrained
+		agg.TouchDropped += st.TouchDropped
+		agg.TouchStale += st.TouchStale
 	}
 	return agg
 }
@@ -152,6 +170,38 @@ func (s *ShardedStore) ShardStats() []StoreStats {
 	out := make([]StoreStats, len(s.shards))
 	for i, sh := range s.shards {
 		out[i] = sh.Stats()
+	}
+	return out
+}
+
+// SetTouchBuffer gives every shard its own lossy touch ring of the
+// given slot count (0 = the drain-synchronous deterministic mode; see
+// Store.SetTouchBuffer). Per-shard rings keep the buffered hit path
+// contention-free: a shard's ring is only drained under that shard's
+// own write lock.
+func (s *ShardedStore) SetTouchBuffer(slots int) {
+	for _, sh := range s.shards {
+		sh.SetTouchBuffer(slots)
+	}
+}
+
+// FlushTouches drains every shard's touch buffer and returns the total
+// number of recorded hits replayed into the policies.
+func (s *ShardedStore) FlushTouches() int {
+	n := 0
+	for _, sh := range s.shards {
+		n += sh.FlushTouches()
+	}
+	return n
+}
+
+// Quotas returns each shard's current byte quota, in shard order. The
+// values move under the rebalancer but always sum to the capacity the
+// store was built with.
+func (s *ShardedStore) Quotas() []int64 {
+	out := make([]int64, len(s.shards))
+	for i, sh := range s.shards {
+		out[i] = sh.Quota()
 	}
 	return out
 }

@@ -7,6 +7,7 @@ package proxy
 import (
 	"net/http"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"webcache/internal/core"
@@ -24,7 +25,11 @@ type Object struct {
 	StoredAt     time.Time
 }
 
-// StoreStats counts store activity.
+// StoreStats counts store activity. Capacity is the store's current
+// byte quota (rebalanced at runtime for a sharded store's shards); the
+// Touch* fields account for the buffered hit path — drained touches
+// were replayed into the policy, dropped ones hit a full buffer,
+// stale ones outlived their entry (see SetTouchBuffer).
 type StoreStats struct {
 	Gets      int64
 	Hits      int64
@@ -33,14 +38,21 @@ type StoreStats struct {
 	Used      int64
 	MaxUsed   int64
 	Docs      int64
+	Capacity  int64
+
+	TouchDrained int64
+	TouchDropped int64
+	TouchStale   int64
 }
 
 // Store is a concurrency-safe, capacity-bounded object store whose
 // removal victims are chosen by a policy.Policy (SIZE by default, the
-// paper's recommendation for hit rate). All bookkeeping is guarded by
-// one lock; reads that touch no policy state (Peek, Len, Stats) take
-// it shared, everything else exclusive. For parallel scaling across
-// cores, wrap N of these in a ShardedStore.
+// paper's recommendation for hit rate). All policy and map bookkeeping
+// is guarded by one RWMutex; reads that mutate no shared state (Peek,
+// Len, Stats — and Get, once a touch buffer is attached) take it
+// shared, everything else exclusive. Get/Hit totals live in atomics so
+// the read-locked hit path never writes shared struct fields. For
+// parallel scaling across cores, wrap N of these in a ShardedStore.
 type Store struct {
 	mu       sync.RWMutex
 	capacity int64
@@ -48,9 +60,23 @@ type Store struct {
 	entries  map[string]*policy.Entry
 	objects  map[string]*Object
 	rnd      *rng.Rand
-	stats    StoreStats
+	stats    StoreStats // Gets/Hits/Capacity/Touch* tracked separately; see Stats
 	now      func() time.Time
 	hooks    core.CacheHooks
+
+	gets atomic.Int64
+	hits atomic.Int64
+
+	// buf is the lossy touch ring of the buffered hit path; nil means
+	// drain-synchronous mode (Get write-locks and touches inline). An
+	// atomic pointer so Get can pick its path without any lock.
+	buf atomic.Pointer[touchBuffer]
+
+	// touchDrained/touchStale and drainScratch are drain-side state,
+	// guarded by mu held exclusively.
+	touchDrained int64
+	touchStale   int64
+	drainScratch []policy.TouchRecord
 }
 
 // NewStore returns a store with the given capacity in bytes and policy.
@@ -99,12 +125,36 @@ func (s *Store) SetHooks(h core.CacheHooks) {
 	s.hooks = h
 }
 
+// SetTouchBuffer switches the hit path between its two modes. slots > 0
+// attaches a lossy touch ring of that many atomic slots: Get takes only
+// the read lock and buffers the policy update, which is drained in
+// recorded order under the write lock by the next Put, by the Get that
+// crosses the half-full threshold (TryLock, never blocking), by
+// FlushTouches, and by a Maintainer. slots <= 0 (the default) is the
+// drain-synchronous deterministic mode: Get write-locks and calls
+// pol.Touch inline, byte-for-byte the unbuffered hit path — the mode
+// livebench and the equivalence tests rely on.
+//
+// In buffered mode the OnHit hook fires before the entry's ATime/NRef
+// are updated (the update happens at drain time); inline mode fires it
+// after. Call before serving, like SetSeed and SetHooks.
+func (s *Store) SetTouchBuffer(slots int) {
+	if slots <= 0 {
+		s.buf.Store(nil)
+		return
+	}
+	s.buf.Store(newTouchBuffer(slots))
+}
+
 // Get returns the cached object for url, updating recency/frequency
-// bookkeeping on a hit.
+// bookkeeping on a hit — inline under the write lock in synchronous
+// mode, via the touch buffer under the read lock in buffered mode.
 func (s *Store) Get(url string) (*Object, bool) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.stats.Gets++
+	buf := s.buf.Load()
+	if buf == nil {
+		return s.getSync(url)
+	}
+	s.mu.RLock()
 	e, ok := s.entries[url]
 	if !ok {
 		if s.hooks.OnMiss != nil {
@@ -112,12 +162,44 @@ func (s *Store) Get(url string) (*Object, bool) {
 			// responds (the fetch path counts the bytes).
 			s.hooks.OnMiss(0, s.now().Unix())
 		}
+		s.mu.RUnlock()
+		s.gets.Add(1)
+		return nil, false
+	}
+	obj := s.objects[url]
+	at := s.now().Unix()
+	if s.hooks.OnHit != nil {
+		s.hooks.OnHit(e)
+	}
+	s.mu.RUnlock()
+	s.gets.Add(1)
+	s.hits.Add(1)
+	// The recorded touch is applied later; if the ring just crossed
+	// half full, try to drain now without ever blocking the hit.
+	if buf.record(e, at) && s.mu.TryLock() {
+		s.drainTouchesLocked()
+		s.mu.Unlock()
+	}
+	return obj, true
+}
+
+// getSync is the drain-synchronous hit path: the pre-buffer behavior,
+// preserved exactly for deterministic replays.
+func (s *Store) getSync(url string) (*Object, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.gets.Add(1)
+	e, ok := s.entries[url]
+	if !ok {
+		if s.hooks.OnMiss != nil {
+			s.hooks.OnMiss(0, s.now().Unix())
+		}
 		return nil, false
 	}
 	e.ATime = s.now().Unix()
 	e.NRef++
 	s.pol.Touch(e)
-	s.stats.Hits++
+	s.hits.Add(1)
 	if s.hooks.OnHit != nil {
 		s.hooks.OnHit(e)
 	}
@@ -136,10 +218,13 @@ func (s *Store) Peek(url string) (*Object, bool) {
 
 // Put stores obj under url, evicting as needed. Objects larger than the
 // whole store are not cached; Put reports whether it stored the object.
+// Pending buffered touches are drained first, so victim selection sees
+// the recency the hit path recorded.
 func (s *Store) Put(url string, obj *Object) bool {
 	size := int64(len(obj.Body))
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	s.drainTouchesLocked()
 	if size > s.capacity {
 		return false
 	}
@@ -216,6 +301,52 @@ func (s *Store) removeLocked(e *policy.Entry) {
 	s.stats.Docs--
 }
 
+// FlushTouches drains the touch buffer now, replaying every pending
+// recorded hit into the policy, and returns the number applied. A
+// no-op (0) in synchronous mode.
+func (s *Store) FlushTouches() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.drainTouchesLocked()
+}
+
+// drainTouchesLocked replays the buffered hits recorded up to now into
+// the policy in ticket order. Caller holds mu exclusively. Records
+// whose entry has been evicted, removed or replaced since the hit are
+// discarded as stale (pointer-identity check), so the policy never
+// sees a dead entry.
+func (s *Store) drainTouchesLocked() int {
+	b := s.buf.Load()
+	if b == nil {
+		return 0
+	}
+	head := b.head.Load()
+	tail := b.tail.Load()
+	if tail == head {
+		return 0
+	}
+	n := uint64(len(b.slots))
+	batch := s.drainScratch[:0]
+	for t := tail; t != head; t++ {
+		rec := b.slots[t%n].Swap(nil)
+		if rec == nil {
+			continue // dropped, or its writer is still publishing
+		}
+		if cur, ok := s.entries[rec.e.URL]; ok && cur == rec.e {
+			batch = append(batch, policy.TouchRecord{Entry: rec.e, ATime: rec.at})
+		} else {
+			s.touchStale++
+		}
+		rec.e = nil
+		touchRecPool.Put(rec)
+	}
+	b.tail.Store(head)
+	policy.ReplayTouches(s.pol, batch)
+	s.touchDrained += int64(len(batch))
+	s.drainScratch = batch[:0]
+	return len(batch)
+}
+
 // Len returns the number of cached objects.
 func (s *Store) Len() int {
 	s.mu.RLock()
@@ -223,11 +354,85 @@ func (s *Store) Len() int {
 	return len(s.entries)
 }
 
-// Stats returns a snapshot of store counters.
+// Stats returns a snapshot of store counters. In synchronous mode the
+// snapshot is exact (Gets/Hits are incremented under the lock Stats
+// holds shared); in buffered mode the hit path increments them outside
+// the lock, so the snapshot is monotonic but may be mid-update by up
+// to the handful of Gets in flight.
 func (s *Store) Stats() StoreStats {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-	return s.stats
+	st := s.stats
+	st.Gets = s.gets.Load()
+	st.Hits = s.hits.Load()
+	st.Capacity = s.capacity
+	st.TouchDrained = s.touchDrained
+	st.TouchStale = s.touchStale
+	if b := s.buf.Load(); b != nil {
+		st.TouchDropped = b.dropped.Load()
+	}
+	return st
+}
+
+// Quota returns the store's current byte capacity. For a sharded
+// store's shard this moves over time: the rebalancer shifts quota from
+// cold shards to hot ones.
+func (s *Store) Quota() int64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.capacity
+}
+
+// largestLocked returns the size of the largest resident entry (0 when
+// empty). Caller holds mu.
+func (s *Store) largestLocked() int64 {
+	var largest int64
+	for _, e := range s.entries {
+		if e.Size > largest {
+			largest = e.Size
+		}
+	}
+	return largest
+}
+
+// donateQuota lowers the store's capacity by up to want bytes for the
+// rebalancer, and returns the amount actually taken. The quota never
+// drops below the bytes in use, the largest resident entry, or floor —
+// recomputed here under the lock, so the invariant holds even if the
+// shard admitted new objects since the rebalancer sampled it.
+func (s *Store) donateQuota(want, floor int64) int64 {
+	if want <= 0 {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	lowest := s.stats.Used
+	if l := s.largestLocked(); l > lowest {
+		lowest = l
+	}
+	if floor > lowest {
+		lowest = floor
+	}
+	give := s.capacity - lowest
+	if give <= 0 {
+		return 0
+	}
+	if give > want {
+		give = want
+	}
+	s.capacity -= give
+	return give
+}
+
+// grantQuota raises the store's capacity by n bytes (the receiving side
+// of a rebalance transfer).
+func (s *Store) grantQuota(n int64) {
+	if n <= 0 {
+		return
+	}
+	s.mu.Lock()
+	s.capacity += n
+	s.mu.Unlock()
 }
 
 // headerSubset copies the entity headers a 1.0-era cache preserves.

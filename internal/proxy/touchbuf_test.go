@@ -1,0 +1,184 @@
+package proxy
+
+import (
+	"testing"
+	"time"
+
+	"webcache/internal/policy"
+)
+
+// fixedClock returns a clock function backed by *sec, so tests advance
+// time by incrementing the variable.
+func fixedClock(sec *int64) func() time.Time {
+	return func() time.Time { return time.Unix(*sec, 0) }
+}
+
+// TestTouchBufferDropsWhenFull exercises the ring's loss contract
+// directly: once every slot holds an undrained record, further records
+// are dropped and counted, never blocked on and never overwriting.
+func TestTouchBufferDropsWhenFull(t *testing.T) {
+	b := newTouchBuffer(4)
+	e := policy.NewEntry("http://h/a.html", 1, 0, 0, 0)
+	for i := 0; i < 10; i++ {
+		b.record(e, int64(i))
+	}
+	if got := b.dropped.Load(); got != 6 {
+		t.Errorf("dropped = %d, want 6 (10 records into 4 slots, nothing drained)", got)
+	}
+	if got := b.pending(); got != 10 {
+		t.Errorf("pending = %d, want 10 (tickets taken, none drained)", got)
+	}
+	// The four slots hold the four earliest tickets — full slots reject
+	// newcomers rather than overwriting undrained records.
+	for i := range b.slots {
+		rec := b.slots[i].Load()
+		if rec == nil {
+			t.Fatalf("slot %d empty after overflow", i)
+		}
+		if rec.at != int64(i) {
+			t.Errorf("slot %d holds touch at=%d, want %d (earliest tickets win)", i, rec.at, i)
+		}
+	}
+}
+
+// TestTouchBufferDrainThreshold pins the opportunistic-drain signal:
+// record reports true once the backlog reaches half the ring.
+func TestTouchBufferDrainThreshold(t *testing.T) {
+	b := newTouchBuffer(8)
+	e := policy.NewEntry("http://h/a.html", 1, 0, 0, 0)
+	for i := 0; i < 4; i++ {
+		if b.record(e, int64(i)) {
+			t.Fatalf("record %d crossed the threshold with backlog below half the ring", i)
+		}
+	}
+	if !b.record(e, 4) {
+		t.Error("record with backlog at half the ring did not signal a drain")
+	}
+}
+
+// TestBufferedGetDefersTouch checks the division of labor in buffered
+// mode: the hit itself leaves the entry untouched (no write under the
+// read lock); the drain applies the recorded access time and reference
+// count under the write lock.
+func TestBufferedGetDefersTouch(t *testing.T) {
+	var now int64 = 1000
+	s := NewStore(1<<20, mustPolicy(t, "LRU"))
+	s.SetClock(fixedClock(&now))
+	s.SetTouchBuffer(1024)
+
+	s.Put("http://h/a.html", &Object{Body: make([]byte, 100), StoredAt: time.Unix(now, 0)})
+	e := s.entries["http://h/a.html"]
+	now = 2000
+	if _, ok := s.Get("http://h/a.html"); !ok {
+		t.Fatal("Get missed a cached object")
+	}
+	if e.ATime != 1000 || e.NRef != 1 {
+		t.Fatalf("buffered Get mutated the entry: ATime=%d NRef=%d, want untouched 1000/1", e.ATime, e.NRef)
+	}
+	if n := s.FlushTouches(); n != 1 {
+		t.Fatalf("FlushTouches applied %d touches, want 1", n)
+	}
+	if e.ATime != 2000 || e.NRef != 2 {
+		t.Fatalf("drain applied ATime=%d NRef=%d, want 2000/2", e.ATime, e.NRef)
+	}
+	st := s.Stats()
+	if st.TouchDrained != 1 || st.TouchDropped != 0 || st.TouchStale != 0 {
+		t.Errorf("touch counters = drained %d dropped %d stale %d, want 1/0/0",
+			st.TouchDrained, st.TouchDropped, st.TouchStale)
+	}
+}
+
+// TestDrainDiscardsStaleTouches covers both ways an entry dies between
+// hit and drain — explicit removal and replacement by a new Put — and
+// requires the drain to skip the dead pointer and count it stale.
+func TestDrainDiscardsStaleTouches(t *testing.T) {
+	var now int64 = 1000
+	s := NewStore(1<<20, mustPolicy(t, "LRU"))
+	s.SetClock(fixedClock(&now))
+	s.SetTouchBuffer(1024)
+	obj := func(n int) *Object { return &Object{Body: make([]byte, n), StoredAt: time.Unix(now, 0)} }
+
+	// Removal: touch recorded, entry removed, drain must not replay it.
+	s.Put("http://h/a.html", obj(100))
+	s.Get("http://h/a.html")
+	s.Remove("http://h/a.html")
+	if n := s.FlushTouches(); n != 0 {
+		t.Fatalf("flush after Remove applied %d touches, want 0", n)
+	}
+	if st := s.Stats(); st.TouchStale != 1 {
+		t.Fatalf("TouchStale = %d after removed-entry flush, want 1", st.TouchStale)
+	}
+
+	// Replacement: the Put that replaces the entry drains first, so the
+	// touch applies to the OLD entry (still live at drain time); a touch
+	// recorded against the old pointer after replacement is stale.
+	s.Put("http://h/b.html", obj(100))
+	old := s.entries["http://h/b.html"]
+	s.Get("http://h/b.html")
+	s.Put("http://h/b.html", obj(200)) // drains (applies the pending touch), then replaces
+	if st := s.Stats(); st.TouchDrained != 1 {
+		t.Fatalf("TouchDrained = %d after replacement, want 1 (pre-replacement touch was live)", st.TouchDrained)
+	}
+	// Now record against the dead pointer directly (the window where a
+	// concurrent Get raced the replacement) and flush.
+	s.buf.Load().record(old, now)
+	if n := s.FlushTouches(); n != 0 {
+		t.Fatalf("flush of dead-pointer touch applied %d, want 0", n)
+	}
+	if st := s.Stats(); st.TouchStale != 2 {
+		t.Fatalf("TouchStale = %d, want 2", st.TouchStale)
+	}
+}
+
+// TestDrainAppliesRecordedOrder checks that the drain replays hits in
+// ticket order with their recorded timestamps: after a flush the LRU
+// victim is the document whose last recorded hit is oldest, regardless
+// of drain timing.
+func TestDrainAppliesRecordedOrder(t *testing.T) {
+	var now int64 = 1000
+	s := NewStore(1<<20, mustPolicy(t, "LRU"))
+	s.SetClock(fixedClock(&now))
+	s.SetTouchBuffer(1024)
+	obj := func() *Object { return &Object{Body: make([]byte, 100), StoredAt: time.Unix(now, 0)} }
+
+	s.Put("http://h/a.html", obj())
+	now = 1001
+	s.Put("http://h/b.html", obj())
+	now = 1002
+	s.Get("http://h/a.html")
+	now = 1003
+	s.Get("http://h/b.html")
+	now = 1004
+	s.Get("http://h/a.html")
+	if n := s.FlushTouches(); n != 3 {
+		t.Fatalf("FlushTouches applied %d touches, want 3", n)
+	}
+	// a's last hit (1004) is newer than b's (1003): LRU must evict b.
+	v := s.pol.Victim(1)
+	if v == nil || v.URL != "http://h/b.html" {
+		t.Fatalf("victim after drain = %v, want b.html (oldest recorded access)", v)
+	}
+	if a := s.entries["http://h/a.html"]; a.ATime != 1004 || a.NRef != 3 {
+		t.Errorf("a.html after drain: ATime=%d NRef=%d, want 1004/3", a.ATime, a.NRef)
+	}
+}
+
+// TestSetTouchBufferZeroRestoresSyncMode checks the mode switch: slots
+// 0 detaches the ring and Get goes back to inline write-locked touches.
+func TestSetTouchBufferZeroRestoresSyncMode(t *testing.T) {
+	var now int64 = 1000
+	s := NewStore(1<<20, mustPolicy(t, "LRU"))
+	s.SetClock(fixedClock(&now))
+	s.SetTouchBuffer(64)
+	s.SetTouchBuffer(0)
+	s.Put("http://h/a.html", &Object{Body: make([]byte, 100), StoredAt: time.Unix(now, 0)})
+	now = 2000
+	s.Get("http://h/a.html")
+	e := s.entries["http://h/a.html"]
+	if e.ATime != 2000 || e.NRef != 2 {
+		t.Fatalf("sync-mode Get deferred its touch: ATime=%d NRef=%d, want 2000/2", e.ATime, e.NRef)
+	}
+	if n := s.FlushTouches(); n != 0 {
+		t.Fatalf("FlushTouches in sync mode applied %d, want 0", n)
+	}
+}
