@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-short race fmt-check verify cover bench bench-baseline bench-compare bench-smoke bench-proxy bench-proxy-read-mostly bench-proxy-smoke report examples clean
+.PHONY: all build vet test test-short race fmt-check verify cover bench bench-baseline bench-compare bench-smoke bench-guard bench-proxy bench-proxy-read-mostly bench-proxy-smoke report examples clean
 
 # Workload scale for the replay benchmark harness; 0.3 is large enough
 # for stable ns/request numbers, small enough to finish in seconds.
@@ -37,11 +37,12 @@ fmt-check:
 		echo "gofmt required for:"; echo "$$unformatted"; exit 1; \
 	fi
 
-# The CI gate: formatting, build, vet, short tests, race coverage, and
+# The CI gate: formatting, build, vet, short tests, race coverage,
 # smoke runs of both benchmark harnesses (replay, which doubles as an
-# end-to-end equivalence check of the compiled comparator layer, and
-# the contended-store loadgen with its trajectory schema check).
-verify: fmt-check build vet test-short race bench-smoke bench-proxy-smoke
+# end-to-end equivalence check of the compiled comparator and
+# structural policy layers, and the contended-store loadgen with its
+# trajectory schema check), and the recorded-trajectory guard.
+verify: fmt-check build vet test-short race bench-smoke bench-guard bench-proxy-smoke
 
 # Whole-repo statement coverage (short mode, like the CI gate); writes
 # cover.out for tooling and prints the per-function summary tail.
@@ -79,6 +80,15 @@ bench-compare:
 # results.
 bench-smoke:
 	$(GO) run ./internal/tools/benchreplay -scale 0.02 -reps 1
+
+# Guards over the recorded replay trajectory (no measurement): the
+# schema must hold — including the nostructural/structural_subset field
+# groups — and the last recorded entry must not have regressed optimized
+# ns/request by more than 15% vs its predecessor, so a slow hot path
+# cannot be recorded and merged silently.
+bench-guard:
+	$(GO) run ./internal/tools/benchreplay -check BENCH_replay.json
+	$(GO) run ./internal/tools/benchreplay -diff BENCH_replay.json -threshold 15
 
 # Contended-store throughput: single-mutex Store vs N-way ShardedStore
 # under zipf load, appended to the tracked trajectory (BENCH_proxy.json

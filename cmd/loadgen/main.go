@@ -34,6 +34,7 @@ import (
 	"os"
 	"os/exec"
 	"runtime"
+	"runtime/pprof"
 	"strings"
 	"sync"
 	"time"
@@ -136,6 +137,8 @@ func main() {
 		touchBuf   = flag.Int("touch-buffer", 1024, "ring slots per shard for the buffered sharded side (0 = skip that side)")
 		out        = flag.String("out", "", "append the result to this trajectory file (schema-checked after the append)")
 		check      = flag.String("check", "", "schema-check this trajectory file and exit (no measurement)")
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile of the run to this file (go tool pprof)")
+		memprofile = flag.String("memprofile", "", "write an end-of-run heap profile to this file (go tool pprof)")
 	)
 	flag.Parse()
 
@@ -153,7 +156,33 @@ func main() {
 		polSpec: *polSpec, reps: *reps, seed: *seed,
 		preset: *preset, touchBuffer: *touchBuf,
 	}
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "loadgen:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "loadgen:", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
 	res, err := run(cfg, os.Stdout)
+	if *memprofile != "" {
+		f, merr := os.Create(*memprofile)
+		if merr != nil {
+			fmt.Fprintln(os.Stderr, "loadgen:", merr)
+			os.Exit(1)
+		}
+		runtime.GC() // settle the heap so the profile shows live objects
+		if merr := pprof.WriteHeapProfile(f); merr != nil {
+			fmt.Fprintln(os.Stderr, "loadgen:", merr)
+			os.Exit(1)
+		}
+		f.Close()
+	}
 	if err == nil && *out != "" {
 		err = appendResult(*out, *res)
 		if err == nil {
@@ -237,6 +266,10 @@ func run(cfg config, w *os.File) (*Result, error) {
 		})
 	}
 	for i := range sides {
+		// The key population is the expected resident set (capacity is
+		// sized to hold it), so hand it to Reserve: maps and policy
+		// structures allocate once, before the timed region.
+		sides[i].store.Reserve(cfg.keys)
 		prepopulate(sides[i].store, urls, cfg.valueBytes)
 	}
 	var maint *proxy.Maintainer

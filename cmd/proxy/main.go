@@ -57,6 +57,11 @@ type options struct {
 	logSample int
 	admin     bool // build the admin surface (main Starts it on -admin ADDR)
 
+	// expectedDocs pre-sizes the store's maps and policy structures
+	// (Store.Reserve); 0 derives a hint from capacity assuming the
+	// trace-typical ~16 KiB mean document, < 0 disables reserving.
+	expectedDocs int
+
 	// Buffered-maintenance knobs. The zero values are fully inert —
 	// touchBuffer 0 keeps the drain-synchronous hit path and
 	// rebalanceEvery 0 starts no maintainer — so programmatic callers
@@ -117,6 +122,12 @@ func buildApp(o options) (*app, error) {
 		a.store = a.sharded
 	} else {
 		a.store = proxy.NewStore(o.capacity, pol)
+	}
+	if docs := o.expectedDocs; docs >= 0 {
+		if docs == 0 {
+			docs = int(o.capacity / (16 << 10))
+		}
+		a.store.Reserve(docs)
 	}
 	if o.touchBuffer > 0 {
 		a.store.SetTouchBuffer(o.touchBuffer)
@@ -285,6 +296,8 @@ func main() {
 		logSample = flag.Int("log-sample", 1, "log every nth request (1 = all)")
 		adminAddr = flag.String("admin", "", "serve the introspection endpoints on this address (e.g. :8081)")
 
+		expectedDocs = flag.Int("expected-docs", 0, "pre-size store maps and policy structures for this many resident documents (0 = capacity/16KiB, -1 = off)")
+
 		touchBuffer    = flag.Int("touch-buffer", 1024, "touch-buffer slots per shard for the read-lock-only hit path (0 = synchronous policy updates)")
 		drainEvery     = flag.Duration("drain-every", 50*time.Millisecond, "background touch-buffer drain period")
 		rebalanceEvery = flag.Duration("rebalance-every", 2*time.Second, "shard quota rebalance period (sharded store; negative disables)")
@@ -315,6 +328,8 @@ func main() {
 		logPath:   *logPath,
 		logSample: *logSample,
 		admin:     *adminAddr != "",
+
+		expectedDocs: *expectedDocs,
 
 		touchBuffer:    *touchBuffer,
 		drainEvery:     *drainEvery,

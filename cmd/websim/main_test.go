@@ -12,6 +12,7 @@ import (
 	"strings"
 	"testing"
 
+	"webcache/internal/policy"
 	"webcache/internal/sim"
 	"webcache/internal/trace"
 	"webcache/internal/workload"
@@ -126,20 +127,30 @@ func TestTraceCache(t *testing.T) {
 }
 
 // TestGoldenExperiments replays the nine experiments against goldens
-// captured from the pre-interning engine, in both interning modes: the
-// interned columnar path must be byte-identical to the string path, and
-// both to the recorded output.
+// captured from the pre-interning engine, across the engine's ablation
+// modes: the interned columnar path must be byte-identical to the
+// string path, the structural policy backends byte-identical to the
+// heap fallback, and all of them to the recorded output.
 func TestGoldenExperiments(t *testing.T) {
 	if testing.Short() {
 		t.Skip("golden replay is a full nine-experiment run")
+	}
+	modes := []struct {
+		name                   string
+		noIntern, noStructural bool
+	}{
+		{"optimized", false, false},
+		{"nointern", true, false},
+		{"nostructural", false, true},
 	}
 	for _, exp := range []string{"1", "2", "2s", "2all", "classics", "3", "4", "5", "6"} {
 		golden, err := os.ReadFile(filepath.Join("testdata", "exp"+exp+".golden"))
 		if err != nil {
 			t.Fatal(err)
 		}
-		for _, disable := range []bool{false, true} {
-			sim.DisableInterning = disable
+		for _, mode := range modes {
+			sim.DisableInterning = mode.noIntern
+			policy.DisableStructural = mode.noStructural
 			var buf bytes.Buffer
 			cfg := runConfig{
 				exp: exp, wl: "BL", fraction: 0.10, scale: 0.05,
@@ -147,11 +158,12 @@ func TestGoldenExperiments(t *testing.T) {
 			}
 			err := run(&buf, cfg)
 			sim.DisableInterning = false
+			policy.DisableStructural = false
 			if err != nil {
-				t.Fatalf("exp %s (DisableInterning=%v): %v", exp, disable, err)
+				t.Fatalf("exp %s (%s): %v", exp, mode.name, err)
 			}
 			if !bytes.Equal(buf.Bytes(), golden) {
-				t.Errorf("exp %s (DisableInterning=%v): output differs from golden", exp, disable)
+				t.Errorf("exp %s (%s): output differs from golden", exp, mode.name)
 			}
 		}
 	}

@@ -1,0 +1,170 @@
+package policy
+
+// freqBuckets realizes NREF-primary orders (LFU, Hyper-G, NREF/*) with
+// the classic O(1)-LFU bucket layout: one bucket per distinct reference
+// count, linked in ascending NREF order, with the next victim always in
+// the lowest bucket. A touch increments NREF by exactly one, so an
+// entry's promotion target is almost always the neighbouring bucket —
+// no search, one map hit avoided.
+//
+// The one deviation from the textbook design: each bucket is a small
+// entryHeap over the *full* comparator rather than an insertion-ordered
+// intrusive list. The taxonomy's residual order inside a bucket —
+// secondary key, then the Rand/URL tiebreak — is randomized, not FIFO,
+// so an insertion-ordered list could not reproduce the heap oracle's
+// victim sequence. Because buckets partition on the primary and the
+// bucket list is NREF-sorted, the minimum of the lowest bucket under
+// the full comparator is exactly the global minimum; per-bucket heaps
+// are small (the residual population of one reference count), so sifts
+// are shallow.
+type freqBuckets struct {
+	less   func(a, b *Entry) bool
+	byNRef map[int64]*freqBucket
+	min    *freqBucket // lowest-NREF bucket; head of the bucket list
+	n      int
+	hint   int // Grow hint, applied to the NREF==1 bucket on creation
+
+	// spare recycles the most recently emptied bucket (and its heap's
+	// backing array) so steady promote/evict traffic at the high end of
+	// the bucket list does not churn allocations.
+	spare *freqBucket
+}
+
+type freqBucket struct {
+	nref       int64
+	heap       entryHeap
+	prev, next *freqBucket
+}
+
+func newFreqBuckets(less func(a, b *Entry) bool) *freqBuckets {
+	return &freqBuckets{less: less, byNRef: make(map[int64]*freqBucket)}
+}
+
+func (f *freqBuckets) kind() string { return "freq" }
+func (f *freqBuckets) Len() int     { return f.n }
+
+func (f *freqBuckets) Grow(n int) {
+	f.hint = n
+	if f.min != nil && f.min.nref == 1 {
+		f.min.heap.Grow(n)
+	}
+}
+
+func (f *freqBuckets) Peek() *Entry {
+	if f.min == nil {
+		return nil
+	}
+	// Empty buckets are unlinked eagerly, so min is never empty.
+	e, _ := f.min.heap.Peek()
+	return e
+}
+
+func (f *freqBuckets) Add(e *Entry) {
+	b := f.bucketFor(e.NRef)
+	b.heap.Push(e)
+	e.bucket = int(e.NRef)
+	f.n++
+}
+
+func (f *freqBuckets) Touch(e *Entry) {
+	old := f.byNRef[int64(e.bucket)]
+	if old == nil {
+		return
+	}
+	if int64(e.bucket) == e.NRef {
+		// NRef unchanged (already re-stamped) — only the residual
+		// order can have moved.
+		old.heap.Fix(e)
+		return
+	}
+	if !old.heap.Remove(e) {
+		return // not ours
+	}
+	// Promotion target: the +1 neighbour in the common case.
+	nb := old.next
+	if nb == nil || nb.nref != e.NRef {
+		nb = f.bucketFor(e.NRef)
+	}
+	if old.heap.Len() == 0 {
+		f.dropBucket(old)
+	}
+	nb.heap.Push(e)
+	e.bucket = int(e.NRef)
+}
+
+func (f *freqBuckets) Remove(e *Entry) {
+	b := f.byNRef[int64(e.bucket)]
+	if b == nil || !b.heap.Remove(e) {
+		return
+	}
+	f.n--
+	if b.heap.Len() == 0 {
+		f.dropBucket(b)
+	}
+}
+
+// bucketFor returns the bucket for exactly nref references, creating
+// and linking it in ascending position when absent. The walk starts at
+// the lowest bucket: creation traffic is dominated by nref == 1 (every
+// miss), which is the head.
+func (f *freqBuckets) bucketFor(nref int64) *freqBucket {
+	if b := f.byNRef[nref]; b != nil {
+		return b
+	}
+	var prev *freqBucket
+	for cur := f.min; cur != nil && cur.nref < nref; cur = cur.next {
+		prev = cur
+	}
+	return f.insertBucket(nref, prev)
+}
+
+// insertBucket links a new (or recycled) bucket for nref directly after
+// prev (nil = new lowest).
+func (f *freqBuckets) insertBucket(nref int64, prev *freqBucket) *freqBucket {
+	b := f.spare
+	if b != nil {
+		f.spare = nil
+		b.nref = nref
+	} else {
+		b = &freqBucket{nref: nref, heap: entryHeap{less: f.less}}
+	}
+	if prev == nil {
+		b.prev = nil
+		b.next = f.min
+		if f.min != nil {
+			f.min.prev = b
+		}
+		f.min = b
+	} else {
+		b.prev = prev
+		b.next = prev.next
+		if prev.next != nil {
+			prev.next.prev = b
+		}
+		prev.next = b
+	}
+	f.byNRef[nref] = b
+	if nref == 1 && f.hint > 0 {
+		b.heap.Grow(f.hint)
+	}
+	return b
+}
+
+// dropBucket unlinks an emptied bucket so Peek's lowest-bucket
+// invariant holds, keeping one around for recycling.
+func (f *freqBuckets) dropBucket(b *freqBucket) {
+	if b.prev != nil {
+		b.prev.next = b.next
+	} else {
+		f.min = b.next
+	}
+	if b.next != nil {
+		b.next.prev = b.prev
+	}
+	delete(f.byNRef, b.nref)
+	b.prev = nil
+	b.next = nil
+	if f.spare == nil {
+		f.spare = b
+	}
+}

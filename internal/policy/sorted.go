@@ -6,9 +6,11 @@ import "strings"
 // removal order defined by a sequence of sorting keys, and the head of
 // the order is the next victim. All 36 primary/secondary combinations of
 // the paper, plus FIFO, LRU, LFU and Hyper-G, are Sorted instances.
+// The order is realized by the cheapest backend that provably matches
+// the heap's victim sequence (see structural.go); Backend reports which.
 type Sorted struct {
 	name string
-	heap *entryHeap
+	ord  order
 
 	// dayStart/trackDay maintain the cached DAY(ATIME) derived key: when
 	// the key sequence includes KeyDayATime, Add and Touch (the only
@@ -35,11 +37,17 @@ func NewSorted(keys []Key, dayStart int64) *Sorted {
 	}
 	return &Sorted{
 		name:     strings.Join(parts, "/"),
-		heap:     newEntryHeap(CompileLess(keys, dayStart)),
+		ord:      newOrder(keys, CompileLess(keys, dayStart)),
 		dayStart: dayStart,
 		trackDay: trackDay,
 	}
 }
+
+// Backend reports which structure realizes the removal order: "heap"
+// (the universal fallback), "list" (intrusive recency list), "freq"
+// (NREF buckets), or "size" (static log2-size buckets). See
+// structural.go for the selection rules.
+func (p *Sorted) Backend() string { return p.ord.kind() }
 
 // Name implements Policy.
 func (p *Sorted) Name() string { return p.name }
@@ -49,7 +57,7 @@ func (p *Sorted) Add(e *Entry) {
 	if p.trackDay {
 		e.DayATime = dayOf(e.ATime, p.dayStart)
 	}
-	p.heap.Push(e)
+	p.ord.Add(e)
 }
 
 // Touch implements Policy.
@@ -57,28 +65,22 @@ func (p *Sorted) Touch(e *Entry) {
 	if p.trackDay {
 		e.DayATime = dayOf(e.ATime, p.dayStart)
 	}
-	p.heap.Fix(e)
+	p.ord.Touch(e)
 }
 
-// Reserve implements Reserver: pre-size the heap's backing array for
-// an expected resident-document count.
-func (p *Sorted) Reserve(n int) { p.heap.Grow(n) }
+// Reserve implements Reserver: pre-size the backend's backing arrays
+// for an expected resident-document count.
+func (p *Sorted) Reserve(n int) { p.ord.Grow(n) }
 
 // Remove implements Policy.
-func (p *Sorted) Remove(e *Entry) { p.heap.Remove(e) }
+func (p *Sorted) Remove(e *Entry) { p.ord.Remove(e) }
 
 // Victim implements Policy: the head of the removal order, regardless of
 // the incoming document's size.
-func (p *Sorted) Victim(int64) *Entry {
-	head, ok := p.heap.Peek()
-	if !ok {
-		return nil
-	}
-	return head
-}
+func (p *Sorted) Victim(int64) *Entry { return p.ord.Peek() }
 
 // Len implements Policy.
-func (p *Sorted) Len() int { return p.heap.Len() }
+func (p *Sorted) Len() int { return p.ord.Len() }
 
 // Convenience constructors for the literature policies of Table 3.
 

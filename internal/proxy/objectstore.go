@@ -37,6 +37,10 @@ type ObjectStore interface {
 	// shards for a sharded implementation).
 	Stats() StoreStats
 
+	// Reserve pre-sizes maps and policy structures for an expected
+	// resident-document count; a pure performance hint, applied only
+	// before the store holds objects.
+	Reserve(docs int)
 	// SetClock overrides the time source (tests, trace-time replays).
 	SetClock(now func() time.Time)
 	// SetSeed re-seeds the per-entry random tiebreak stream.

@@ -206,6 +206,18 @@ func (s *ShardedStore) Quotas() []int64 {
 	return out
 }
 
+// Reserve spreads an expected-documents hint evenly across the shards;
+// each pre-sizes its maps and policy structures (see Store.Reserve).
+func (s *ShardedStore) Reserve(docs int) {
+	if docs <= 0 {
+		return
+	}
+	per := (docs + len(s.shards) - 1) / len(s.shards)
+	for _, sh := range s.shards {
+		sh.Reserve(per)
+	}
+}
+
 // SetClock overrides the time source of every shard.
 func (s *ShardedStore) SetClock(now func() time.Time) {
 	for _, sh := range s.shards {

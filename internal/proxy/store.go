@@ -96,6 +96,26 @@ func NewStore(capacity int64, pol policy.Policy) *Store {
 	}
 }
 
+// Reserve pre-sizes the store for an expected resident-document count:
+// the entry and object maps allocate their buckets up front and the
+// policy's backing structures grow through policy.Reserver — the same
+// pre-sizing the simulator's SizeHint path does for core.Cache. It is
+// purely a performance hint: call it before serving; a non-positive
+// hint or a store already holding objects makes it a no-op (re-hashing
+// a live map would cost more than incremental growth).
+func (s *Store) Reserve(docs int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if docs <= 0 || len(s.entries) > 0 {
+		return
+	}
+	if r, ok := s.pol.(policy.Reserver); ok {
+		r.Reserve(docs)
+	}
+	s.entries = make(map[string]*policy.Entry, docs)
+	s.objects = make(map[string]*Object, docs)
+}
+
 // SetClock overrides the store's time source (tests).
 func (s *Store) SetClock(now func() time.Time) {
 	s.mu.Lock()

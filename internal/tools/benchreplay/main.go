@@ -4,7 +4,7 @@
 // JSON array entry per recorded run), so the engine's ns-per-request
 // history is tracked PR over PR.
 //
-// It times the same sweep four times in one process:
+// It times the same sweep five times in one process:
 //
 //   - baseline: the pre-optimization engine, reconstructed through the
 //     ablation switches — generic key-loop comparators
@@ -15,6 +15,10 @@
 //     (sim.DisableInterning);
 //   - nointern: the compiled/alloc-free engine with only interning
 //     disabled — the PR-2 endpoint, isolating the interned columnar
+//     layer's contribution;
+//   - nostructural: the interned engine with only the structural policy
+//     backends disabled (policy.DisableStructural) — every combo back
+//     on the generic heap, isolating the recency-list/frequency-bucket
 //     layer's contribution;
 //   - optimized: everything on — compiled comparators over cached
 //     derived keys, entry recycling, pre-sized heaps, hole-based sifts,
@@ -37,7 +41,14 @@
 //	benchreplay -out BENCH_replay.json        # measure and append to the trajectory
 //	benchreplay -compare BENCH_replay.json    # measure and print delta vs the last entry
 //	benchreplay -diff BENCH_replay.json       # print delta between the last two entries (no run)
+//	benchreplay -diff BENCH_replay.json -threshold 15  # also fail on a >15% optimized regression
+//	benchreplay -check BENCH_replay.json      # schema-check the trajectory and exit (no run)
 //	benchreplay -metrics-out m.jsonl          # also keep the observed mode's JSONL stream
+//
+// After the full-sweep modes it re-times the structural subset — the
+// combos the capability check actually routes off the heap — with the
+// structural backends on and off, pricing the layer where it applies
+// (structural_subset_* fields).
 package main
 
 import (
@@ -64,24 +75,36 @@ import (
 
 // Run is one measurement in the BENCH_replay.json trajectory.
 type Run struct {
-	Benchmark         string              `json:"benchmark"`
-	GitRev            string              `json:"git_rev"`
-	Workload          string              `json:"workload"`
-	Scale             float64             `json:"scale"`
-	Fraction          float64             `json:"fraction"`
-	Policies          int                 `json:"policies"`
-	RequestsPerReplay int                 `json:"requests_per_replay"`
-	Reps              int                 `json:"reps"`
-	BaselineNsPerReq  float64             `json:"baseline_ns_per_request"`
-	NoInternNsPerReq  float64             `json:"nointern_ns_per_request,omitempty"`
-	OptimizedNsPerReq float64             `json:"optimized_ns_per_request"`
-	ObservedNsPerReq  float64             `json:"observed_ns_per_request,omitempty"`
-	Speedup           float64             `json:"speedup"`
-	InterningSpeedup  float64             `json:"interning_speedup,omitempty"`
-	ObsOverheadPct    float64             `json:"obs_overhead_pct,omitempty"`
-	IdenticalOutput   bool                `json:"identical_output"`
-	Ablations         map[string][]string `json:"ablations,omitempty"`
-	Generated         string              `json:"generated"`
+	Benchmark         string  `json:"benchmark"`
+	GitRev            string  `json:"git_rev"`
+	Workload          string  `json:"workload"`
+	Scale             float64 `json:"scale"`
+	Fraction          float64 `json:"fraction"`
+	Policies          int     `json:"policies"`
+	RequestsPerReplay int     `json:"requests_per_replay"`
+	Reps              int     `json:"reps"`
+	BaselineNsPerReq  float64 `json:"baseline_ns_per_request"`
+	NoInternNsPerReq  float64 `json:"nointern_ns_per_request,omitempty"`
+	OptimizedNsPerReq float64 `json:"optimized_ns_per_request"`
+	ObservedNsPerReq  float64 `json:"observed_ns_per_request,omitempty"`
+	Speedup           float64 `json:"speedup"`
+	InterningSpeedup  float64 `json:"interning_speedup,omitempty"`
+	ObsOverheadPct    float64 `json:"obs_overhead_pct,omitempty"`
+
+	// The structural-backend ablation: the full sweep with every combo
+	// forced back onto the heap, and the subset sweep over just the
+	// combos the capability check routes to a structural backend —
+	// where the layer's win is actually priced.
+	NoStructuralNsPerReq float64 `json:"nostructural_ns_per_request,omitempty"`
+	StructuralSpeedup    float64 `json:"structural_speedup,omitempty"`
+	SubsetPolicies       int     `json:"structural_subset_policies,omitempty"`
+	SubsetHeapNsPerReq   float64 `json:"structural_subset_nostructural_ns_per_request,omitempty"`
+	SubsetNsPerReq       float64 `json:"structural_subset_ns_per_request,omitempty"`
+	SubsetSpeedup        float64 `json:"structural_subset_speedup,omitempty"`
+
+	IdenticalOutput bool                `json:"identical_output"`
+	Ablations       map[string][]string `json:"ablations,omitempty"`
+	Generated       string              `json:"generated"`
 }
 
 // modeAblations documents which switches each timed mode sets; it is
@@ -90,9 +113,11 @@ var modeAblations = map[string][]string{
 	"baseline": {
 		"policy.DisableCompiled", "core.DisableAllocOpts",
 		"sim.DisableDayIndex", "pqueue.DisableHoleSift", "sim.DisableInterning",
+		"policy.DisableStructural",
 	},
-	"nointern":  {"sim.DisableInterning"},
-	"optimized": {},
+	"nointern":     {"sim.DisableInterning"},
+	"nostructural": {"policy.DisableStructural"},
+	"optimized":    {},
 	// Observability is off-by-default (sim.Observer == nil), so the
 	// obs-on side of the ablation is the mode that *attaches* it.
 	"observed": {"sim.Observer attached (cache hooks, event ring, pprof spans, JSONL snapshots)"},
@@ -108,14 +133,18 @@ func main() {
 		out        = flag.String("out", "", "append the result to this trajectory file")
 		compare    = flag.String("compare", "", "measure and print the delta vs this trajectory's last entry")
 		diff       = flag.String("diff", "", "print the delta between this trajectory's last two entries, without measuring")
+		threshold  = flag.Float64("threshold", 0, "with -diff: exit non-zero if optimized ns/request regressed by more than this percent between the last two entries (0 = report only)")
+		checkFlag  = flag.String("check", "", "schema-check this trajectory file and exit (no measurement)")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile of the measurement (all modes) to this file")
 		metricsOut = flag.String("metrics-out", "", "write the observed mode's final JSONL metric stream to this file")
 	)
 	flag.Parse()
 
 	var err error
-	if *diff != "" {
-		err = printTrajectoryDiff(*diff)
+	if *checkFlag != "" {
+		err = checkTrajectory(*checkFlag)
+	} else if *diff != "" {
+		err = printTrajectoryDiff(*diff, *threshold)
 	} else {
 		err = run(*wl, *scale, *fraction, *seed, *reps, *out, *compare, *cpuprofile, *metricsOut)
 	}
@@ -165,15 +194,16 @@ func run(wl string, scale, fraction float64, seed uint64, reps int, out, compare
 	// the ratios instead of skewing one.
 	runner := sim.NewRunner(sim.RunnerConfig{Workers: 1})
 	type mode struct {
-		legacy, nointern, observed bool
-		best                       time.Duration
-		runs                       []*sim.PolicyRun
+		legacy, nointern, nostructural, observed bool
+		best                                     time.Duration
+		runs                                     []*sim.PolicyRun
 	}
 	modes := []*mode{
-		{legacy: true, nointern: true, best: maxDuration},  // baseline
-		{legacy: false, nointern: true, best: maxDuration}, // nointern (PR-2 engine)
-		{legacy: false, nointern: false, best: maxDuration},
-		{legacy: false, nointern: false, observed: true, best: maxDuration},
+		{legacy: true, nointern: true, nostructural: true, best: maxDuration}, // baseline
+		{legacy: false, nointern: true, best: maxDuration},                    // nointern (PR-2 engine)
+		{legacy: false, nostructural: true, best: maxDuration},                // heap fallback everywhere
+		{legacy: false, best: maxDuration},                                    // optimized
+		{legacy: false, observed: true, best: maxDuration},
 	}
 	var metricsFile *os.File
 	if metricsOut != "" {
@@ -194,7 +224,7 @@ func run(wl string, scale, fraction float64, seed uint64, reps int, out, compare
 					mw = metricsFile
 				}
 			}
-			d, runs := sweepOnce(runner, tr, base, combos, fraction, seed, m.legacy, m.nointern, mw)
+			d, runs := sweepOnce(runner, tr, base, combos, fraction, seed, m.legacy, m.nointern, m.nostructural, mw)
 			if d < m.best {
 				m.best = d
 			}
@@ -204,15 +234,54 @@ func run(wl string, scale, fraction float64, seed uint64, reps int, out, compare
 	total := float64(len(combos) * len(tr.Requests))
 	baseNs := float64(modes[0].best.Nanoseconds()) / total
 	nointernNs := float64(modes[1].best.Nanoseconds()) / total
-	optNs := float64(modes[2].best.Nanoseconds()) / total
-	obsNs := float64(modes[3].best.Nanoseconds()) / total
+	nostructNs := float64(modes[2].best.Nanoseconds()) / total
+	optNs := float64(modes[3].best.Nanoseconds()) / total
+	obsNs := float64(modes[4].best.Nanoseconds()) / total
 
-	identical := reflect.DeepEqual(modes[0].runs, modes[2].runs) &&
-		reflect.DeepEqual(modes[1].runs, modes[2].runs) &&
-		reflect.DeepEqual(modes[3].runs, modes[2].runs)
+	identical := true
+	for _, m := range modes[:len(modes)-1] {
+		identical = identical && reflect.DeepEqual(m.runs, modes[3].runs)
+	}
+	identical = identical && reflect.DeepEqual(modes[4].runs, modes[3].runs)
 	if !identical {
 		return fmt.Errorf("sweep results differ between modes — an ablation layer changed behavior")
 	}
+
+	// Re-time just the structural subset — the combos whose capability
+	// check actually leaves the heap — with the backends on and off, so
+	// the trajectory prices the layer where it applies instead of
+	// diluting it across the heap-bound stragglers. Same interleaving
+	// and equivalence discipline as the full-sweep modes.
+	var subset []policy.Combo
+	for _, c := range combos {
+		if c.New(tr.Start).Backend() != "heap" {
+			subset = append(subset, c)
+		}
+	}
+	type subMode struct {
+		nostructural bool
+		best         time.Duration
+		runs         []*sim.PolicyRun
+	}
+	subModes := []*subMode{
+		{nostructural: true, best: maxDuration},
+		{best: maxDuration},
+	}
+	for r := 0; r < reps; r++ {
+		for _, m := range subModes {
+			d, runs := sweepOnce(runner, tr, base, subset, fraction, seed, false, false, m.nostructural, nil)
+			if d < m.best {
+				m.best = d
+			}
+			m.runs = runs
+		}
+	}
+	if !reflect.DeepEqual(subModes[0].runs, subModes[1].runs) {
+		return fmt.Errorf("structural subset results differ between backends")
+	}
+	subTotal := float64(len(subset) * len(tr.Requests))
+	subHeapNs := float64(subModes[0].best.Nanoseconds()) / subTotal
+	subNs := float64(subModes[1].best.Nanoseconds()) / subTotal
 
 	res := Run{
 		Benchmark:         "exp2-36policy-replay",
@@ -231,17 +300,28 @@ func run(wl string, scale, fraction float64, seed uint64, reps int, out, compare
 		InterningSpeedup:  nointernNs / optNs,
 		ObsOverheadPct:    (obsNs - optNs) / optNs * 100,
 		IdenticalOutput:   identical,
-		Ablations:         modeAblations,
-		Generated:         time.Now().UTC().Format(time.RFC3339),
+
+		NoStructuralNsPerReq: nostructNs,
+		StructuralSpeedup:    nostructNs / optNs,
+		SubsetPolicies:       len(subset),
+		SubsetHeapNsPerReq:   subHeapNs,
+		SubsetNsPerReq:       subNs,
+		SubsetSpeedup:        subHeapNs / subNs,
+
+		Ablations: modeAblations,
+		Generated: time.Now().UTC().Format(time.RFC3339),
 	}
 
 	fmt.Printf("  baseline  (all ablation switches set):      %8.1f ns/request\n", res.BaselineNsPerReq)
 	fmt.Printf("  nointern  (compiled engine, string map):    %8.1f ns/request\n", res.NoInternNsPerReq)
+	fmt.Printf("  nostructural (every combo on the heap):     %8.1f ns/request\n", res.NoStructuralNsPerReq)
 	fmt.Printf("  optimized (interned columnar, map-free):    %8.1f ns/request\n", res.OptimizedNsPerReq)
 	fmt.Printf("  observed  (optimized + obs hooks/snapshots):%8.1f ns/request\n", res.ObservedNsPerReq)
 	fmt.Printf("  speedup: %.2f× vs baseline, %.2f× vs nointern  (outputs identical: %v)\n",
 		res.Speedup, res.InterningSpeedup, res.IdenticalOutput)
 	fmt.Printf("  observability overhead when enabled: %+.1f%%\n", res.ObsOverheadPct)
+	fmt.Printf("  structural subset (%d policies off the heap): %8.1f → %8.1f ns/request (%.2f× structural)\n",
+		res.SubsetPolicies, res.SubsetHeapNsPerReq, res.SubsetNsPerReq, res.SubsetSpeedup)
 	if metricsFile != nil {
 		fmt.Printf("  observed metrics stream: %s\n", metricsOut)
 	}
@@ -268,18 +348,20 @@ const maxDuration = time.Duration(1<<63 - 1)
 // layer for the duration of the sweep (the "observed" mode), streaming
 // its JSONL records there; the end-of-run summary is written outside
 // the timed region.
-func sweepOnce(runner *sim.Runner, tr *trace.Trace, base *sim.Exp1Result, combos []policy.Combo, fraction float64, seed uint64, legacy, nointern bool, metrics io.Writer) (time.Duration, []*sim.PolicyRun) {
+func sweepOnce(runner *sim.Runner, tr *trace.Trace, base *sim.Exp1Result, combos []policy.Combo, fraction float64, seed uint64, legacy, nointern, nostructural bool, metrics io.Writer) (time.Duration, []*sim.PolicyRun) {
 	policy.DisableCompiled = legacy
 	core.DisableAllocOpts = legacy
 	sim.DisableDayIndex = legacy
 	pqueue.DisableHoleSift = legacy
 	sim.DisableInterning = nointern
+	policy.DisableStructural = nostructural
 	defer func() {
 		policy.DisableCompiled = false
 		core.DisableAllocOpts = false
 		sim.DisableDayIndex = false
 		pqueue.DisableHoleSift = false
 		sim.DisableInterning = false
+		policy.DisableStructural = false
 	}()
 	if metrics != nil {
 		o := obs.New(obs.Options{
@@ -388,8 +470,12 @@ func printDelta(path string, cur Run) error {
 // entries without running a measurement. A trajectory with fewer than
 // two entries is not an error — there is simply nothing to diff yet —
 // so the tool says so and exits cleanly (make bench-compare runs
-// before the first bench-baseline on a fresh clone).
-func printTrajectoryDiff(path string) error {
+// before the first bench-baseline on a fresh clone). A positive
+// threshold turns the report into a regression gate: the diff fails if
+// the newest entry's optimized ns/request is more than threshold
+// percent above the previous one's (CI runs -threshold 15, so a
+// recorded hot-path regression cannot land silently).
+func printTrajectoryDiff(path string, threshold float64) error {
 	runs, err := readTrajectory(path)
 	if err != nil {
 		return err
@@ -412,5 +498,66 @@ func printTrajectoryDiff(path string) error {
 	}
 	fmt.Printf("  optimized ns/request: %8.1f → %8.1f (%+.1f%%)\n",
 		a.OptimizedNsPerReq, b.OptimizedNsPerReq, delta)
+	if threshold > 0 && delta > threshold {
+		return fmt.Errorf("optimized ns/request regressed %.1f%% (threshold %.1f%%)", delta, threshold)
+	}
+	return nil
+}
+
+// checkTrajectory validates a replay trajectory's schema: every entry
+// must carry the core measurement fields, optional mode fields must
+// travel together (a lone speedup with no measurement, or vice versa,
+// means a writer bug), and recorded equivalence must never have been
+// false. Old entries that predate a mode are fine — wholly absent
+// optional groups are skipped.
+func checkTrajectory(path string) error {
+	runs, err := readTrajectory(path)
+	if err != nil {
+		return err
+	}
+	if len(runs) == 0 {
+		return fmt.Errorf("%s holds no runs", path)
+	}
+	for i, r := range runs {
+		fail := func(format string, args ...any) error {
+			return fmt.Errorf("%s entry %d (%s): %s", path, i, r.GitRev, fmt.Sprintf(format, args...))
+		}
+		// git_rev may be empty in the earliest recorded entries.
+		if r.Benchmark == "" || r.Generated == "" {
+			return fail("missing benchmark/generated")
+		}
+		if r.Workload == "" || r.Policies < 1 || r.RequestsPerReplay < 1 || r.Reps < 1 {
+			return fail("implausible sweep shape: workload %q, %d policies, %d requests, %d reps",
+				r.Workload, r.Policies, r.RequestsPerReplay, r.Reps)
+		}
+		if r.BaselineNsPerReq <= 0 || r.OptimizedNsPerReq <= 0 || r.Speedup <= 0 {
+			return fail("missing core measurements (baseline %.1f, optimized %.1f, speedup %.2f)",
+				r.BaselineNsPerReq, r.OptimizedNsPerReq, r.Speedup)
+		}
+		if !r.IdenticalOutput {
+			return fail("identical_output is false — an ablation mode diverged")
+		}
+		if (r.NoInternNsPerReq > 0) != (r.InterningSpeedup > 0) {
+			return fail("nointern fields do not travel together")
+		}
+		// The nostructural mode's fields: all or none.
+		structSet := r.NoStructuralNsPerReq != 0 || r.StructuralSpeedup != 0 ||
+			r.SubsetPolicies != 0 || r.SubsetHeapNsPerReq != 0 ||
+			r.SubsetNsPerReq != 0 || r.SubsetSpeedup != 0
+		if structSet {
+			if r.NoStructuralNsPerReq <= 0 || r.StructuralSpeedup <= 0 {
+				return fail("nostructural mode fields incomplete (%.1f ns, %.2f×)",
+					r.NoStructuralNsPerReq, r.StructuralSpeedup)
+			}
+			if r.SubsetPolicies < 1 || r.SubsetHeapNsPerReq <= 0 || r.SubsetNsPerReq <= 0 || r.SubsetSpeedup <= 0 {
+				return fail("structural subset fields incomplete (%d policies, %.1f → %.1f ns, %.2f×)",
+					r.SubsetPolicies, r.SubsetHeapNsPerReq, r.SubsetNsPerReq, r.SubsetSpeedup)
+			}
+			if r.SubsetPolicies > r.Policies {
+				return fail("structural subset (%d) larger than the sweep (%d)", r.SubsetPolicies, r.Policies)
+			}
+		}
+	}
+	fmt.Printf("%s: schema ok (%d entries)\n", path, len(runs))
 	return nil
 }
