@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-short race fmt-check verify cover bench bench-baseline bench-compare bench-smoke bench-guard bench-proxy bench-proxy-read-mostly bench-proxy-smoke report examples clean
+.PHONY: all build vet test test-short race fmt-check verify cover bench bench-baseline bench-compare bench-smoke bench-guard bench-proxy bench-proxy-read-mostly bench-proxy-shadow bench-proxy-smoke bench-proxy-shadow-smoke report examples clean
 
 # Workload scale for the replay benchmark harness; 0.3 is large enough
 # for stable ns/request numbers, small enough to finish in seconds.
@@ -42,7 +42,7 @@ fmt-check:
 # end-to-end equivalence check of the compiled comparator and
 # structural policy layers, and the contended-store loadgen with its
 # trajectory schema check), and the recorded-trajectory guard.
-verify: fmt-check build vet test-short race bench-smoke bench-guard bench-proxy-smoke
+verify: fmt-check build vet test-short race bench-smoke bench-guard bench-proxy-smoke bench-proxy-shadow-smoke
 
 # Whole-repo statement coverage (short mode, like the CI gate); writes
 # cover.out for tooling and prints the per-function summary tail.
@@ -106,6 +106,20 @@ bench-proxy:
 # throughput. Appends to the same tracked trajectory.
 bench-proxy-read-mostly:
 	$(GO) run ./cmd/loadgen -preset read-mostly -goroutines $(LOADGEN_GOROUTINES) -shards $(LOADGEN_SHARDS) -out BENCH_proxy.json
+
+# Price the ghost-cache fleet on the hit path: the read-mostly preset
+# with a fourth side shadowed by three candidate policies, recorded to
+# the tracked trajectory. The acceptance target is shadow_overhead
+# (shadowed p50 over baseline p50) staying under 1.10.
+bench-proxy-shadow:
+	$(GO) run ./cmd/loadgen -preset read-mostly -shadow 3 -goroutines $(LOADGEN_GOROUTINES) -shards $(LOADGEN_SHARDS) -out BENCH_proxy.json
+
+# Tiny shadowed run for CI: all four sides (ghost fleet included) plus
+# the shadow_* schema checks, against a throwaway file.
+bench-proxy-shadow-smoke:
+	$(GO) run ./cmd/loadgen -keys 256 -goroutines 4 -shards 4 -ops 5000 -reps 1 -preset read-mostly -shadow 3 -out /tmp/BENCH_proxy_shadow_smoke.json
+	$(GO) run ./cmd/loadgen -check /tmp/BENCH_proxy_shadow_smoke.json
+	@rm -f /tmp/BENCH_proxy_shadow_smoke.json
 
 # Tiny loadgen run for CI: exercises the full harness (both stores,
 # timed reps, trajectory append + schema check) in well under a second,

@@ -7,6 +7,7 @@
 // Usage:
 //
 //	livebench -workload BL -scale 0.01 -policy SIZE -fraction 0.1
+//	livebench -workload C -policy SIZE -shadow "LRU,LFU,SIZE/NREF"   # ghost caches, each cross-checked vs the simulator
 //
 // The workload is generated without size changes so both systems see the
 // same consistency picture; the proxy's freshness window is effectively
@@ -31,6 +32,7 @@ import (
 	"net/http/httptest"
 	"net/url"
 	"os"
+	"strings"
 	"time"
 
 	"webcache/internal/analysis"
@@ -58,13 +60,14 @@ func main() {
 		shards   = flag.Int("shards", 0, "live store shard count (0 = single-mutex store; 1-shard sharded replays byte-identically to it)")
 		touchBuf = flag.Int("touch-buffer", 0, "live store touch-buffer slots (0 = synchronous hit path, the deterministic default the delta-0.00 check requires)")
 		metrics  = flag.Bool("metrics", false, "report both replays through a shared metric registry and print it")
+		shadow   = flag.String("shadow", "", "comma-separated candidate policies to run as ghost caches beside the live store; each is cross-checked exactly against a fresh simulator replay")
 	)
 	flag.Parse()
 	var reg *obs.Registry
 	if *metrics {
 		reg = obs.NewRegistry()
 	}
-	if err := run(*wl, *scale, *polSpec, *fraction, *seed, *shards, *touchBuf, os.Stdout, reg); err != nil {
+	if err := run(*wl, *scale, *polSpec, *fraction, *seed, *shards, *touchBuf, *shadow, os.Stdout, reg); err != nil {
 		fmt.Fprintln(os.Stderr, "livebench:", err)
 		os.Exit(1)
 	}
@@ -79,8 +82,13 @@ func main() {
 // single-client so every touch still lands, but drain timing may shift
 // tie-heavy evictions, so the deterministic check keeps it at 0. When
 // reg is non-nil both replays report into it and the run ends with the
-// registry exposition and the live store's event profile.
-func run(wl string, scale float64, polSpec string, fraction float64, seed uint64, shards, touchBuf int, out io.Writer, reg *obs.Registry) error {
+// registry exposition and the live store's event profile. shadow, when
+// non-empty, names candidate policies (comma-separated) to run as a
+// ghost-cache fleet beside the live store; each shadow's end-of-run
+// numbers are cross-checked exactly against a fresh simulator replay
+// of the same trace — live observability must agree with the paper's
+// simulator to the request.
+func run(wl string, scale float64, polSpec string, fraction float64, seed uint64, shards, touchBuf int, shadow string, out io.Writer, reg *obs.Registry) error {
 	cfg, err := workload.ByName(wl, seed)
 	if err != nil {
 		return err
@@ -128,7 +136,15 @@ func run(wl string, scale float64, polSpec string, fraction float64, seed uint64
 	if reg != nil {
 		ring = obs.NewEventRing(eventRingSize)
 	}
-	liveHits, liveBytesHit, liveBytes, err := replayLive(tr, polSpec, capacity, seed+2, shards, touchBuf, out, reg, ring)
+	var shadowSpecs []string
+	if shadow != "" {
+		for _, s := range strings.Split(shadow, ",") {
+			if s = strings.TrimSpace(s); s != "" {
+				shadowSpecs = append(shadowSpecs, s)
+			}
+		}
+	}
+	liveHits, liveBytesHit, liveBytes, fleet, err := replayLive(tr, polSpec, capacity, seed+2, shards, touchBuf, shadowSpecs, out, reg, ring)
 	if err != nil {
 		return err
 	}
@@ -137,6 +153,12 @@ func run(wl string, scale float64, polSpec string, fraction float64, seed uint64
 	fmt.Fprintf(out, "live:      HR %6.2f%%  WHR %6.2f%%\n", 100*liveHR, 100*liveWHR)
 	fmt.Fprintf(out, "delta:     HR %+.2f points  WHR %+.2f points\n",
 		100*(liveHR-simStats.HitRate()), 100*(liveWHR-simStats.WeightedHitRate()))
+
+	if fleet != nil {
+		if err := crossCheckShadows(tr, capacity, seed+2, fleet, out); err != nil {
+			return err
+		}
+	}
 
 	if reg != nil {
 		// The counter-level cross-check: the simulated cache's hooks and
@@ -177,15 +199,19 @@ func simHooks(reg *obs.Registry) core.CacheHooks {
 // cacheSeed matches the simulated cache's seed so per-entry tiebreak
 // values coincide and tie-heavy policies (LRU, LFU) evict identically.
 // When reg is non-nil, the proxy and its store report into it (and the
-// store's events into ring).
-func replayLive(tr *trace.Trace, polSpec string, capacity int64, cacheSeed uint64, shards, touchBuf int, out io.Writer, reg *obs.Registry, ring *obs.EventRing) (hits, bytesHit, bytesTotal int64, err error) {
+// store's events into ring). shadowSpecs, when non-empty, attaches a
+// ghost-cache fleet fed off the proxy's request stream — queue sized
+// to the trace so the replay is drop-free, clock and seed shared with
+// the simulated side so the fleet's caches replay deterministically;
+// the returned fleet is already closed (fully drained).
+func replayLive(tr *trace.Trace, polSpec string, capacity int64, cacheSeed uint64, shards, touchBuf int, shadowSpecs []string, out io.Writer, reg *obs.Registry, ring *obs.EventRing) (hits, bytesHit, bytesTotal int64, fleet *proxy.ShadowFleet, err error) {
 	org := origin.FromTrace(tr)
 	originTS := httptest.NewServer(org)
 	defer originTS.Close()
 
 	livePol, err := policy.Parse(polSpec, tr.Start)
 	if err != nil {
-		return 0, 0, 0, err
+		return 0, 0, 0, nil, err
 	}
 	var store proxy.ObjectStore
 	if shards >= 1 {
@@ -210,6 +236,22 @@ func replayLive(tr *trace.Trace, polSpec string, capacity int64, cacheSeed uint6
 	store.SetClock(func() time.Time { return time.Unix(simNow, 0) })
 
 	srv := proxy.New(store)
+	if len(shadowSpecs) > 0 {
+		fleet, err = proxy.NewShadowFleet(proxy.ShadowOptions{
+			Policies:   shadowSpecs,
+			Capacity:   capacity,
+			QueueSlots: len(tr.Requests) + 64, // drop-free: every request fits
+			DayStart:   tr.Start,
+			Seed:       cacheSeed, // same rng stream as the simulated cache
+			Clock:      func() int64 { return simNow },
+		})
+		if err != nil {
+			return 0, 0, 0, nil, err
+		}
+		defer fleet.Close()
+		srv.Shadow = fleet
+		fmt.Fprintf(out, "live store: shadowing %s\n", strings.Join(fleet.Policies(), ", "))
+	}
 	if reg != nil {
 		srv.Metrics = proxy.NewMetrics(reg)
 		store.SetHooks(proxy.StoreHooks(reg, ring))
@@ -222,7 +264,7 @@ func replayLive(tr *trace.Trace, polSpec string, capacity int64, cacheSeed uint6
 
 	proxyURL, err := url.Parse(proxyTS.URL)
 	if err != nil {
-		return 0, 0, 0, err
+		return 0, 0, 0, nil, err
 	}
 	client := &http.Client{Transport: &http.Transport{
 		Proxy:               http.ProxyURL(proxyURL),
@@ -234,7 +276,7 @@ func replayLive(tr *trace.Trace, polSpec string, capacity int64, cacheSeed uint6
 		simNow = req.Time
 		resp, err := client.Get(req.URL)
 		if err != nil {
-			return 0, 0, 0, fmt.Errorf("request %d (%s): %w", i, req.URL, err)
+			return 0, 0, 0, nil, fmt.Errorf("request %d (%s): %w", i, req.URL, err)
 		}
 		n, _ := io.Copy(io.Discard, resp.Body)
 		resp.Body.Close()
@@ -247,5 +289,51 @@ func replayLive(tr *trace.Trace, polSpec string, capacity int64, cacheSeed uint6
 	fetches, originBytes := org.Fetches()
 	fmt.Fprintf(out, "origin:    %d fetches, %.1f MB sent (of %.1f MB requested)\n",
 		fetches, float64(originBytes)/1e6, float64(bytesTotal)/1e6)
-	return hits, bytesHit, bytesTotal, nil
+	if fleet != nil {
+		fleet.Close() // stop the worker and drain every queued event
+	}
+	return hits, bytesHit, bytesTotal, fleet, nil
+}
+
+// crossCheckShadows replays the trace through a fresh simulator for
+// each shadow policy and demands exact agreement with the ghost
+// cache's end-of-run numbers — the invariant tying live observability
+// back to the paper's simulator. Any mismatch (or a dropped event,
+// which would invalidate the comparison) is an error.
+func crossCheckShadows(tr *trace.Trace, capacity int64, cacheSeed uint64, fleet *proxy.ShadowFleet, out io.Writer) error {
+	rep := fleet.Report()
+	fmt.Fprintf(out, "--- shadow fleet cross-check (%d policies, %d events, %d dropped) ---\n",
+		len(rep.Shadows), rep.Processed, rep.Dropped)
+	if rep.Dropped != 0 {
+		return fmt.Errorf("shadow queue dropped %d events; cross-check needs a drop-free run", rep.Dropped)
+	}
+	var mismatches int
+	for i, spec := range fleet.Policies() {
+		pol, err := policy.Parse(spec, tr.Start)
+		if err != nil {
+			return err
+		}
+		sim := core.New(core.Config{
+			Capacity:       capacity,
+			Policy:         pol,
+			Seed:           cacheSeed,
+			ExcludeDynamic: true,
+		})
+		for j := range tr.Requests {
+			sim.Access(&tr.Requests[j])
+		}
+		st := sim.Stats()
+		sh := rep.Shadows[i]
+		verdict := "exact match"
+		if sh.Requests != st.Requests || sh.Hits != st.Hits {
+			verdict = fmt.Sprintf("MISMATCH (sim %d/%d)", st.Hits, st.Requests)
+			mismatches++
+		}
+		fmt.Fprintf(out, "shadow %-12s HR %6.2f%%  WHR %6.2f%%  (%d hits / %d requests)  %s\n",
+			sh.Policy, 100*sh.HR, 100*sh.WHR, sh.Hits, sh.Requests, verdict)
+	}
+	if mismatches > 0 {
+		return fmt.Errorf("%d shadow(s) disagree with the simulator", mismatches)
+	}
+	return nil
 }

@@ -18,7 +18,7 @@ func TestLiveMatchesSimulated(t *testing.T) {
 	}
 	for _, polSpec := range []string{"SIZE", "LRU", "LFU"} {
 		var out bytes.Buffer
-		if err := run("C", 0.005, polSpec, 0.10, 7, 0, 0, &out, nil); err != nil {
+		if err := run("C", 0.005, polSpec, 0.10, 7, 0, 0, "", &out, nil); err != nil {
 			t.Fatalf("%s: %v", polSpec, err)
 		}
 		text := out.String()
@@ -39,7 +39,7 @@ func TestShardedOneShardMatchesSimulated(t *testing.T) {
 	}
 	for _, polSpec := range []string{"SIZE", "LRU"} {
 		var out bytes.Buffer
-		if err := run("C", 0.005, polSpec, 0.10, 7, 1, 0, &out, nil); err != nil {
+		if err := run("C", 0.005, polSpec, 0.10, 7, 1, 0, "", &out, nil); err != nil {
 			t.Fatalf("%s: %v", polSpec, err)
 		}
 		text := out.String()
@@ -62,7 +62,7 @@ func TestBufferedReplayMatchesSimulated(t *testing.T) {
 	}
 	for _, polSpec := range []string{"SIZE", "LRU"} {
 		var out bytes.Buffer
-		if err := run("C", 0.005, polSpec, 0.10, 7, 0, 1<<15, &out, nil); err != nil {
+		if err := run("C", 0.005, polSpec, 0.10, 7, 0, 1<<15, "", &out, nil); err != nil {
 			t.Fatalf("%s: %v", polSpec, err)
 		}
 		text := out.String()
@@ -74,10 +74,10 @@ func TestBufferedReplayMatchesSimulated(t *testing.T) {
 
 func TestRunRejectsBadInputs(t *testing.T) {
 	var out bytes.Buffer
-	if err := run("ZZ", 0.01, "SIZE", 0.1, 1, 0, 0, &out, nil); err == nil {
+	if err := run("ZZ", 0.01, "SIZE", 0.1, 1, 0, 0, "", &out, nil); err == nil {
 		t.Error("unknown workload accepted")
 	}
-	if err := run("C", 0.005, "NOPE", 0.1, 1, 0, 0, &out, nil); err == nil {
+	if err := run("C", 0.005, "NOPE", 0.1, 1, 0, 0, "", &out, nil); err == nil {
 		t.Error("unknown policy accepted")
 	}
 }
@@ -92,7 +92,7 @@ func TestRegistryCrossCheck(t *testing.T) {
 	}
 	reg := obs.NewRegistry()
 	var out bytes.Buffer
-	if err := run("C", 0.005, "LRU", 0.10, 7, 0, 0, &out, reg); err != nil {
+	if err := run("C", 0.005, "LRU", 0.10, 7, 0, 0, "", &out, reg); err != nil {
 		t.Fatal(err)
 	}
 	pairs := map[string]string{
@@ -124,12 +124,48 @@ func TestRegistryCrossCheck(t *testing.T) {
 	}
 }
 
+// TestShadowCrossCheck is the tentpole acceptance criterion: with a
+// ghost-cache fleet riding the live replay (queue sized to the trace,
+// so drop-free), every shadow policy's end-of-run HR must equal a
+// fresh simulator replay of that policy exactly. run itself errors on
+// any mismatch or drop; the test additionally pins the report shape.
+func TestShadowCrossCheck(t *testing.T) {
+	if testing.Short() {
+		t.Skip("live HTTP replay in -short mode")
+	}
+	var out bytes.Buffer
+	if err := run("C", 0.005, "SIZE", 0.10, 7, 0, 0, "LRU,SIZE,LFU,SIZE/NREF", &out, nil); err != nil {
+		t.Fatalf("shadowed run: %v\n%s", err, out.String())
+	}
+	text := out.String()
+	if !strings.Contains(text, "delta:     HR +0.00 points  WHR +0.00 points") {
+		t.Errorf("live and simulated disagree:\n%s", text)
+	}
+	if !strings.Contains(text, "0 dropped") {
+		t.Errorf("shadow run was not drop-free:\n%s", text)
+	}
+	if got := strings.Count(text, "exact match"); got != 4 {
+		t.Errorf("%d shadows match exactly, want 4:\n%s", got, text)
+	}
+	if strings.Contains(text, "MISMATCH") {
+		t.Errorf("shadow/simulator mismatch:\n%s", text)
+	}
+	// The deployed policy (SIZE) runs both live and as a shadow: its
+	// shadow row must agree with the live store's own hit count, closing
+	// the loop between the two observability paths.
+	mLive := regexp.MustCompile(`live: +HR +([0-9.]+)%`).FindStringSubmatch(text)
+	mShadow := regexp.MustCompile(`shadow SIZE +HR +([0-9.]+)%`).FindStringSubmatch(text)
+	if mLive == nil || mShadow == nil || mLive[1] != mShadow[1] {
+		t.Errorf("deployed-policy shadow HR disagrees with live HR (%v vs %v):\n%s", mLive, mShadow, text)
+	}
+}
+
 func TestOutputShape(t *testing.T) {
 	if testing.Short() {
 		t.Skip("live HTTP replay in -short mode")
 	}
 	var out bytes.Buffer
-	if err := run("BL", 0.003, "SIZE", 0.10, 3, 0, 0, &out, nil); err != nil {
+	if err := run("BL", 0.003, "SIZE", 0.10, 3, 0, 0, "", &out, nil); err != nil {
 		t.Fatal(err)
 	}
 	for _, pat := range []string{

@@ -7,6 +7,14 @@
 // reports ops/sec for each side, the sharded/single speedup, the
 // buffered/sharded speedup, and sampled Get latency p50/p99.
 //
+// With -shadow N > 0 a fourth side repeats the baseline store (buffered
+// when -touch-buffer > 0, plain sharded otherwise) with a
+// proxy.ShadowFleet of N ghost caches attached: every Get additionally
+// performs the fleet's single non-blocking enqueue, exactly the cost
+// the serving proxy pays per request when shadowing is on. The entry
+// records the shadowed side's throughput, Get quantiles, the p50
+// overhead ratio vs the baseline, and the fleet's drop count.
+//
 // With -out, the result is appended to a trajectory file
 // (BENCH_proxy.json at the repo root — same append-only, git_rev'd
 // arrangement as BENCH_replay.json) and the whole file is
@@ -24,6 +32,7 @@
 //	loadgen                                   # measure and print
 //	loadgen -goroutines 8 -shards 16 -out BENCH_proxy.json
 //	loadgen -preset read-mostly               # 99% GETs: the buffered hit path's home turf
+//	loadgen -preset read-mostly -shadow 3     # price the ghost-cache enqueue on the hit path
 //	loadgen -check BENCH_proxy.json           # schema-check only
 package main
 
@@ -86,7 +95,23 @@ type Result struct {
 	ShardedGetP99Ns      int64   `json:"sharded_get_p99_ns,omitempty"`
 	BufferedGetP50Ns     int64   `json:"buffered_get_p50_ns,omitempty"`
 	BufferedGetP99Ns     int64   `json:"buffered_get_p99_ns,omitempty"`
+
+	// The shadowed side (-shadow N > 0): the baseline store with a
+	// ShadowFleet's enqueue on every Get. ShadowOverhead is the shadowed
+	// p50 over the baseline p50 (1.0 = free; the acceptance target is
+	// < 1.10 with three shadows on read-mostly).
+	ShadowPolicies  string  `json:"shadow_policies,omitempty"`
+	ShadowOpsPerSec float64 `json:"shadow_ops_per_sec,omitempty"`
+	ShadowOverhead  float64 `json:"shadow_overhead,omitempty"`
+	ShadowGetP50Ns  int64   `json:"shadow_get_p50_ns,omitempty"`
+	ShadowGetP99Ns  int64   `json:"shadow_get_p99_ns,omitempty"`
+	ShadowDrops     int64   `json:"shadow_drops,omitempty"`
 }
+
+// shadowCandidates is the fixed roster -shadow N draws from: the first
+// N become the ghost-cache fleet. A fixed ordered list keeps entries
+// with the same N comparable across runs.
+var shadowCandidates = []string{"LRU", "SIZE", "LFU", "SIZE/NREF", "ATIME/SIZE"}
 
 // config carries the parsed flag set; a struct so tests can drive the
 // full harness in-process.
@@ -104,6 +129,7 @@ type config struct {
 	capacity    int64  // 0 = auto: 2× the working set, so the run measures the hit path
 	preset      string // named knob bundle; see applyPreset
 	touchBuffer int    // >0 adds the buffered sharded side with this many ring slots per shard
+	shadow      int    // >0 adds a baseline-store side shadowed by this many ghost caches
 }
 
 // applyPreset resolves a named knob bundle. "read-mostly" is the
@@ -135,6 +161,7 @@ func main() {
 		seed       = flag.Uint64("seed", 1, "zipf stream seed")
 		preset     = flag.String("preset", "", "named knob bundle (read-mostly: 99% GETs)")
 		touchBuf   = flag.Int("touch-buffer", 1024, "ring slots per shard for the buffered sharded side (0 = skip that side)")
+		shadow     = flag.Int("shadow", 0, "ghost-cache policies shadowing a fourth baseline side (0 = skip that side)")
 		out        = flag.String("out", "", "append the result to this trajectory file (schema-checked after the append)")
 		check      = flag.String("check", "", "schema-check this trajectory file and exit (no measurement)")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile of the run to this file (go tool pprof)")
@@ -154,7 +181,7 @@ func main() {
 		keys: *keys, zipfS: *zipfS, goroutines: *goroutines, shards: *shards,
 		ops: *ops, valueBytes: *valueBytes, putEvery: *putEvery,
 		polSpec: *polSpec, reps: *reps, seed: *seed,
-		preset: *preset, touchBuffer: *touchBuf,
+		preset: *preset, touchBuffer: *touchBuf, shadow: *shadow,
 	}
 	if *cpuprofile != "" {
 		f, err := os.Create(*cpuprofile)
@@ -265,6 +292,44 @@ func run(cfg config, w *os.File) (*Result, error) {
 			store: buffered, hist: hreg.Histogram("get_ns.buffered"), best: 1<<63 - 1,
 		})
 	}
+	var (
+		shadowStore *proxy.ShardedStore // the shadowed side's underlying store
+		fleet       *proxy.ShadowFleet
+		shadowSpecs []string
+	)
+	if cfg.shadow > 0 {
+		// The fourth side: the baseline store again (buffered when that
+		// side runs, plain sharded otherwise), with a ghost-cache fleet's
+		// non-blocking enqueue on every Get — the exact per-request cost a
+		// serving proxy pays with -shadow on. The fleet's drain worker runs
+		// concurrently throughout, as it would in production.
+		if cfg.shadow > len(shadowCandidates) {
+			return nil, fmt.Errorf("-shadow %d exceeds the candidate roster (%d: %s)",
+				cfg.shadow, len(shadowCandidates), strings.Join(shadowCandidates, ","))
+		}
+		shadowSpecs = shadowCandidates[:cfg.shadow]
+		shadowStore = proxy.NewShardedStore(capacity, cfg.shards, factory)
+		if cfg.touchBuffer > 0 {
+			shadowStore.SetTouchBuffer(cfg.touchBuffer)
+		}
+		var err error
+		fleet, err = proxy.NewShadowFleet(proxy.ShadowOptions{
+			Policies: shadowSpecs,
+			Capacity: capacity,
+			Seed:     cfg.seed,
+		})
+		if err != nil {
+			return nil, err
+		}
+		defer fleet.Close()
+		sides = append(sides, side{
+			name: fmt.Sprintf("shadowed-%d", cfg.shards),
+			store: &shadowedStore{
+				ObjectStore: shadowStore, fleet: fleet, size: int64(cfg.valueBytes),
+			},
+			hist: hreg.Histogram("get_ns.shadow"), best: 1<<63 - 1,
+		})
+	}
 	for i := range sides {
 		// The key population is the expected resident set (capacity is
 		// sized to hold it), so hand it to Reserve: maps and policy
@@ -276,6 +341,10 @@ func run(cfg config, w *os.File) (*Result, error) {
 	if buffered != nil {
 		maint = proxy.StartMaintenance(buffered, proxy.MaintOptions{})
 		defer maint.Close()
+	}
+	if shadowStore != nil && cfg.touchBuffer > 0 {
+		shadowMaint := proxy.StartMaintenance(shadowStore, proxy.MaintOptions{})
+		defer shadowMaint.Close()
 	}
 
 	// Interleave the reps so machine-load drift lands on all sides of
@@ -338,12 +407,53 @@ func run(cfg config, w *os.File) (*Result, error) {
 			cfg.shards, bufferedOps, 100*res.BufferedHitRate,
 			time.Duration(res.BufferedGetP50Ns), time.Duration(res.BufferedGetP99Ns), bufSt.TouchDropped)
 	}
+	if fleet != nil {
+		// Close drains the ring, so the drop count below is final (Close
+		// is idempotent; the deferred call becomes a no-op).
+		fleet.Close()
+		report := fleet.Report()
+		baseName, baseOps, baseP50 := sides[1].name, shardedOps, res.ShardedGetP50Ns
+		if buffered != nil {
+			baseName, baseOps, baseP50 = sides[2].name, res.BufferedOpsPerSec, res.BufferedGetP50Ns
+		}
+		shIdx := len(sides) - 1
+		shadowOps := totalOps / sides[shIdx].best.Seconds()
+		res.ShadowPolicies = strings.Join(shadowSpecs, ",")
+		res.ShadowOpsPerSec = shadowOps
+		res.ShadowGetP50Ns = sides[shIdx].hist.Quantile(0.50)
+		res.ShadowGetP99Ns = sides[shIdx].hist.Quantile(0.99)
+		res.ShadowDrops = report.Dropped
+		if baseP50 > 0 {
+			res.ShadowOverhead = float64(res.ShadowGetP50Ns) / float64(baseP50)
+		}
+		fmt.Fprintf(w, "  shadowed-%-3d: %12.0f ops/sec  (hit rate %5.1f%%, Get p50 %s p99 %s, %d ghost events dropped)\n",
+			cfg.shards, shadowOps, 100*hitRate(shadowStore.Stats()),
+			time.Duration(res.ShadowGetP50Ns), time.Duration(res.ShadowGetP99Ns), report.Dropped)
+		fmt.Fprintf(w, "  shadow overhead: Get p50 %+.1f%% vs %s with %d ghost caches (%s), throughput %.2f×\n",
+			100*(res.ShadowOverhead-1), baseName, cfg.shadow, res.ShadowPolicies, shadowOps/baseOps)
+	}
 	fmt.Fprintf(w, "  speedup: sharded %.2f× vs single", res.Speedup)
 	if buffered != nil {
 		fmt.Fprintf(w, ", buffered %.2f× vs sharded", res.BufferedSpeedup)
 	}
 	fmt.Fprintf(w, " at %d goroutines on GOMAXPROCS %d\n", cfg.goroutines, res.GoMaxProcs)
 	return res, nil
+}
+
+// shadowedStore is the shadowed side's ObjectStore: the baseline store
+// plus the ShadowFleet's lossy enqueue on every Get — the one extra
+// instruction stream the serving proxy's hot path runs when -shadow is
+// on. Puts pass through untouched (the fleet only observes requests).
+type shadowedStore struct {
+	proxy.ObjectStore
+	fleet *proxy.ShadowFleet
+	size  int64
+}
+
+func (s *shadowedStore) Get(url string) (*proxy.Object, bool) {
+	obj, ok := s.ObjectStore.Get(url)
+	s.fleet.Observe(url, s.size, ok)
+	return obj, ok
 }
 
 func hitRate(st proxy.StoreStats) float64 {
@@ -523,6 +633,22 @@ func validateTrajectory(path string) error {
 				return fail("buffered_touch_dropped")
 			}
 		}
+		// Shadow-side fields travel together: an entry measured with a
+		// ghost-cache fleet must carry the policy list, its throughput,
+		// and the overhead ratio. Entries without the side stay valid.
+		if r.ShadowPolicies != "" || r.ShadowOpsPerSec != 0 || r.ShadowOverhead != 0 ||
+			r.ShadowGetP50Ns != 0 || r.ShadowGetP99Ns != 0 || r.ShadowDrops != 0 {
+			switch {
+			case r.ShadowPolicies == "":
+				return fail("shadow_policies")
+			case r.ShadowOpsPerSec <= 0:
+				return fail("shadow_ops_per_sec")
+			case r.ShadowOverhead <= 0:
+				return fail("shadow_overhead")
+			case r.ShadowDrops < 0:
+				return fail("shadow_drops")
+			}
+		}
 		// Latency quantiles, when present, must be ordered.
 		quantiles := []struct {
 			name     string
@@ -531,6 +657,7 @@ func validateTrajectory(path string) error {
 			{"single_get", r.SingleGetP50Ns, r.SingleGetP99Ns},
 			{"sharded_get", r.ShardedGetP50Ns, r.ShardedGetP99Ns},
 			{"buffered_get", r.BufferedGetP50Ns, r.BufferedGetP99Ns},
+			{"shadow_get", r.ShadowGetP50Ns, r.ShadowGetP99Ns},
 		}
 		for _, q := range quantiles {
 			if q.p50 < 0 || q.p99 < 0 || (q.p99 > 0 && q.p50 > q.p99) {

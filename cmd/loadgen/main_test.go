@@ -99,6 +99,64 @@ func TestBufferedSideProducesValidEntry(t *testing.T) {
 	}
 }
 
+// TestShadowSideProducesValidEntry runs the four-sided harness — the
+// read-mostly preset with both the buffered store and the shadowed
+// baseline carrying a three-policy ghost fleet — and checks the
+// shadow_* fields land together and survive the schema gate.
+func TestShadowSideProducesValidEntry(t *testing.T) {
+	cfg := tinyConfig()
+	cfg.preset = "read-mostly"
+	cfg.touchBuffer = 256
+	cfg.shadow = 3
+	res, err := run(cfg, os.Stdout)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ShadowPolicies != "LRU,SIZE,LFU" {
+		t.Fatalf("shadow_policies = %q, want the first three candidates", res.ShadowPolicies)
+	}
+	if res.ShadowOpsPerSec <= 0 || res.ShadowOverhead <= 0 {
+		t.Fatalf("shadow side missing from entry: %+v", res)
+	}
+	if res.ShadowGetP50Ns <= 0 || res.ShadowGetP99Ns <= 0 || res.ShadowGetP50Ns > res.ShadowGetP99Ns {
+		t.Fatalf("shadow latency quantiles malformed (p50 %d, p99 %d)", res.ShadowGetP50Ns, res.ShadowGetP99Ns)
+	}
+	if res.ShadowDrops < 0 {
+		t.Fatalf("negative shadow drop count: %d", res.ShadowDrops)
+	}
+	path := filepath.Join(t.TempDir(), "BENCH_proxy.json")
+	if err := appendResult(path, *res); err != nil {
+		t.Fatal(err)
+	}
+	if err := validateTrajectory(path); err != nil {
+		t.Fatalf("shadow entry fails the schema: %v", err)
+	}
+}
+
+// TestShadowSideWithoutBufferUsesShardedBaseline pins that -shadow
+// works without the buffered side: the shadowed store is then the plain
+// sharded layout and the overhead is stated against it.
+func TestShadowSideWithoutBufferUsesShardedBaseline(t *testing.T) {
+	cfg := tinyConfig()
+	cfg.shadow = 1
+	res, err := run(cfg, os.Stdout)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ShadowPolicies != "LRU" || res.ShadowOpsPerSec <= 0 || res.ShadowOverhead <= 0 {
+		t.Fatalf("shadow side missing from entry: %+v", res)
+	}
+}
+
+// TestShadowRejectsOversizedFleet pins the roster bound.
+func TestShadowRejectsOversizedFleet(t *testing.T) {
+	cfg := tinyConfig()
+	cfg.shadow = len(shadowCandidates) + 1
+	if _, err := run(cfg, os.Stdout); err == nil {
+		t.Fatal("oversized -shadow accepted")
+	}
+}
+
 // TestApplyPresetRejectsUnknown pins the preset gate.
 func TestApplyPresetRejectsUnknown(t *testing.T) {
 	cfg := tinyConfig()
@@ -158,6 +216,10 @@ func TestValidateTrajectoryRejectsBadFiles(t *testing.T) {
 		"buffered-partial.json": `[{"benchmark":"b","git_rev":"r","gomaxprocs":1,"goroutines":1,"shards":1,"keys":1,"ops_per_goroutine":1,"single_mutex_ops_per_sec":1,"sharded_ops_per_sec":1,"speedup":1,"generated":"2026-01-01T00:00:00Z","touch_buffer":256}]`,
 		// Crossed latency quantiles (p50 above p99).
 		"crossed-quantiles.json": `[{"benchmark":"b","git_rev":"r","gomaxprocs":1,"goroutines":1,"shards":1,"keys":1,"ops_per_goroutine":1,"single_mutex_ops_per_sec":1,"sharded_ops_per_sec":1,"speedup":1,"generated":"2026-01-01T00:00:00Z","single_get_p50_ns":900,"single_get_p99_ns":100}]`,
+		// A shadow throughput without its policy list: shadow fields travel together.
+		"shadow-partial.json": `[{"benchmark":"b","git_rev":"r","gomaxprocs":1,"goroutines":1,"shards":1,"keys":1,"ops_per_goroutine":1,"single_mutex_ops_per_sec":1,"sharded_ops_per_sec":1,"speedup":1,"generated":"2026-01-01T00:00:00Z","shadow_ops_per_sec":1}]`,
+		// A shadow policy list without the overhead ratio.
+		"shadow-no-overhead.json": `[{"benchmark":"b","git_rev":"r","gomaxprocs":1,"goroutines":1,"shards":1,"keys":1,"ops_per_goroutine":1,"single_mutex_ops_per_sec":1,"sharded_ops_per_sec":1,"speedup":1,"generated":"2026-01-01T00:00:00Z","shadow_policies":"LRU","shadow_ops_per_sec":1}]`,
 	}
 	for name, content := range bad {
 		if err := validateTrajectory(write(name, content)); err == nil {
@@ -171,5 +233,9 @@ func TestValidateTrajectoryRejectsBadFiles(t *testing.T) {
 	goodBuffered := `[{"benchmark":"b","git_rev":"r","gomaxprocs":1,"goroutines":1,"shards":1,"keys":1,"ops_per_goroutine":1,"single_mutex_ops_per_sec":1,"sharded_ops_per_sec":1,"speedup":1,"generated":"2026-01-01T00:00:00Z","preset":"read-mostly","touch_buffer":256,"buffered_ops_per_sec":1,"buffered_speedup":1,"single_get_p50_ns":100,"single_get_p99_ns":900}]`
 	if err := validateTrajectory(write("good-buffered.json", goodBuffered)); err != nil {
 		t.Errorf("valid buffered trajectory rejected: %v", err)
+	}
+	goodShadow := `[{"benchmark":"b","git_rev":"r","gomaxprocs":1,"goroutines":1,"shards":1,"keys":1,"ops_per_goroutine":1,"single_mutex_ops_per_sec":1,"sharded_ops_per_sec":1,"speedup":1,"generated":"2026-01-01T00:00:00Z","shadow_policies":"LRU,SIZE,LFU","shadow_ops_per_sec":1,"shadow_overhead":1.02,"shadow_get_p50_ns":110,"shadow_get_p99_ns":950,"shadow_drops":3}]`
+	if err := validateTrajectory(write("good-shadow.json", goodShadow)); err != nil {
+		t.Errorf("valid shadow trajectory rejected: %v", err)
 	}
 }

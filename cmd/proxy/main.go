@@ -12,6 +12,7 @@
 //	proxy -listen :3128 -icp :3130 -siblings peer:3130=http://peer:3128
 //	proxy -listen :3128 -accesslog /var/log/webcache/access.log
 //	proxy -listen :3128 -admin :8081
+//	proxy -listen :3128 -admin :8081 -shadow "LRU,SIZE,LFU"   # ghost-cache policy comparison on /shadow
 //
 // GET /._webcache/stats on the listen address reports statistics. With
 // -admin, a separate introspection listener serves /metrics, /healthz,
@@ -21,6 +22,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -28,9 +30,11 @@ import (
 	"net/http"
 	"net/url"
 	"os"
+	"os/signal"
 	"runtime"
 	"strconv"
 	"strings"
+	"syscall"
 	"time"
 
 	"webcache/internal/obs"
@@ -57,6 +61,13 @@ type options struct {
 	logSample int
 	admin     bool // build the admin surface (main Starts it on -admin ADDR)
 
+	// shadow lists candidate removal policies (comma-separated specs)
+	// to run as metadata-only ghost caches beside the deployed store;
+	// empty runs no fleet. shadowQueue sizes the fleet's lossy event
+	// ring (0 = proxy.DefaultShadowQueueSlots).
+	shadow      string
+	shadowQueue int
+
 	// expectedDocs pre-sizes the store's maps and policy structures
 	// (Store.Reserve); 0 derives a hint from capacity assuming the
 	// trace-typical ~16 KiB mean document, < 0 disables reserving.
@@ -81,10 +92,11 @@ type app struct {
 	logger  *proxy.AccessLogger // nil unless -accesslog or -admin
 	mux     *http.ServeMux      // traffic listener handler
 
-	reg   *obs.Registry     // nil unless admin
-	ring  *obs.EventRing    // nil unless admin
-	admin *obs.Server       // nil unless admin; caller Starts/Closes
-	maint *proxy.Maintainer // nil unless buffered or rebalancing
+	reg   *obs.Registry      // nil unless admin
+	ring  *obs.EventRing     // nil unless admin
+	admin *obs.Server        // nil unless admin; caller Starts/Closes
+	maint *proxy.Maintainer  // nil unless buffered or rebalancing
+	fleet *proxy.ShadowFleet // nil unless -shadow
 
 	responder *proxy.ICPResponder
 	logFile   *os.File
@@ -188,6 +200,31 @@ func buildApp(o options) (*app, error) {
 		root = a.logger
 	}
 
+	// The shadow fleet rides beside whichever store was built: one
+	// ghost cache per candidate policy at the deployed capacity, fed by
+	// a single non-blocking enqueue per successful GET.
+	if o.shadow != "" {
+		var specs []string
+		for _, s := range strings.Split(o.shadow, ",") {
+			if s = strings.TrimSpace(s); s != "" {
+				specs = append(specs, s)
+			}
+		}
+		a.fleet, err = proxy.NewShadowFleet(proxy.ShadowOptions{
+			Policies:   specs,
+			Capacity:   o.capacity,
+			QueueSlots: o.shadowQueue,
+			DayStart:   dayStart,
+		})
+		if err != nil {
+			a.Close()
+			return nil, err
+		}
+		a.srv.Shadow = a.fleet
+		log.Printf("shadowing %d candidate policies: %s",
+			len(a.fleet.Policies()), strings.Join(a.fleet.Policies(), ", "))
+	}
+
 	if o.admin {
 		a.reg = obs.NewRegistry()
 		a.ring = obs.NewEventRing(eventRingSize)
@@ -199,6 +236,13 @@ func buildApp(o options) (*app, error) {
 		}
 		a.srv.ICP.Queries = a.reg.Counter("proxy.icp_queries")
 		a.srv.ICP.Replies = a.reg.Counter("proxy.icp_replies")
+		extra := map[string]http.Handler{
+			"/accesslog": a.logger.Handler(),
+		}
+		if a.fleet != nil {
+			a.fleet.RegisterMetrics(a.reg)
+			extra["/shadow"] = a.fleet.Handler()
+		}
 		a.admin = obs.NewServer(obs.ServerOptions{
 			Registry:         a.reg,
 			Ring:             a.ring,
@@ -208,9 +252,7 @@ func buildApp(o options) (*app, error) {
 				"cmd":    "proxy",
 				"policy": pol.Name(),
 			},
-			Extra: map[string]http.Handler{
-				"/accesslog": a.logger.Handler(),
-			},
+			Extra: extra,
 		})
 	}
 
@@ -253,6 +295,21 @@ func (a *app) snapshot() any {
 		"proxy": a.srv.Stats(),
 		"store": a.store.Stats(),
 	}
+	if a.reg != nil {
+		// Recent-window hit rate for the deployed store (the store.*
+		// lifetime counters tell you since-boot; this is the last
+		// minute) — the deployed side of the shadow fleet's regret.
+		gets := a.reg.Windowed("store.window_gets", 0, 0).WindowTotal()
+		hits := a.reg.Windowed("store.window_hits", 0, 0).WindowTotal()
+		hr := 0.0
+		if gets > 0 {
+			hr = float64(hits) / float64(gets)
+		}
+		doc["store_window"] = map[string]any{"gets": gets, "hits": hits, "hr": hr}
+	}
+	if a.fleet != nil {
+		doc["shadow"] = a.fleet.Report()
+	}
 	if a.sharded != nil {
 		doc["shards"] = a.sharded.ShardStats()
 	}
@@ -263,10 +320,18 @@ func (a *app) snapshot() any {
 	return doc
 }
 
-// Close releases everything buildApp opened.
+// Close releases everything buildApp opened, in dependency order: the
+// maintainer stops touching the store first, then the shadow fleet
+// stops its drain worker (no more ghost-cache writes), then the admin
+// server — whose handlers read both — shuts down, then the network and
+// file resources. Every step is idempotent and nil-safe, so Close is
+// safe after a partial buildApp failure and after a prior Close.
 func (a *app) Close() {
 	if a.maint != nil {
 		a.maint.Close()
+	}
+	if a.fleet != nil {
+		a.fleet.Close()
 	}
 	if a.admin != nil {
 		a.admin.Close()
@@ -295,6 +360,9 @@ func main() {
 		logPath   = flag.String("accesslog", "", "write a common-log-format access log to this file")
 		logSample = flag.Int("log-sample", 1, "log every nth request (1 = all)")
 		adminAddr = flag.String("admin", "", "serve the introspection endpoints on this address (e.g. :8081)")
+
+		shadowSpec  = flag.String("shadow", "", "comma-separated candidate policies to run as ghost caches (e.g. \"LRU,SIZE,LFU\"); /shadow on the admin address reports their window HR/WHR and regret")
+		shadowQueue = flag.Int("shadow-queue", 0, "shadow fleet event-ring slots (0 = default)")
 
 		expectedDocs = flag.Int("expected-docs", 0, "pre-size store maps and policy structures for this many resident documents (0 = capacity/16KiB, -1 = off)")
 
@@ -329,6 +397,9 @@ func main() {
 		logSample: *logSample,
 		admin:     *adminAddr != "",
 
+		shadow:      *shadowSpec,
+		shadowQueue: *shadowQueue,
+
 		expectedDocs: *expectedDocs,
 
 		touchBuffer:    *touchBuffer,
@@ -340,11 +411,11 @@ func main() {
 		fmt.Fprintln(os.Stderr, "proxy:", err)
 		os.Exit(2)
 	}
-	defer a.Close()
 
 	if a.admin != nil {
 		addr, err := a.admin.Start(*adminAddr)
 		if err != nil {
+			a.Close()
 			fmt.Fprintln(os.Stderr, "proxy:", err)
 			os.Exit(2)
 		}
@@ -359,7 +430,27 @@ func main() {
 		shardNote += fmt.Sprintf(", buffered hit path (%d slots)", *touchBuffer)
 	}
 	log.Printf("caching proxy on %s: capacity=%s policy=%s (%s)", *listen, *capFlag, *polSpec, shardNote)
-	if err := http.ListenAndServe(*listen, a.mux); err != nil {
+
+	// Serve until SIGTERM/SIGINT, then shut down deterministically:
+	// stop accepting traffic, drain in-flight requests, and only then
+	// Close the app (maintainer → shadow fleet → admin → ICP → log) so
+	// nothing is torn down while requests might still touch it.
+	traffic := &http.Server{Addr: *listen, Handler: a.mux}
+	errc := make(chan error, 1)
+	go func() { errc <- traffic.ListenAndServe() }()
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	select {
+	case sig := <-sigc:
+		log.Printf("received %s, shutting down", sig)
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		if err := traffic.Shutdown(ctx); err != nil {
+			log.Printf("shutdown: %v", err)
+		}
+		cancel()
+		a.Close()
+	case err := <-errc:
+		a.Close()
 		log.Fatal(err)
 	}
 }

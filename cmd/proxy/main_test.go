@@ -7,6 +7,7 @@ import (
 	"io"
 	"net/http"
 	"net/http/httptest"
+	"runtime"
 	"strings"
 	"testing"
 	"time"
@@ -291,6 +292,228 @@ func TestBuildAppWithoutAdmin(t *testing.T) {
 	}
 	if a.srv.Metrics != nil {
 		t.Fatal("proxy metrics attached without -admin")
+	}
+}
+
+// TestShadowApp wires the app with a shadow fleet and the admin
+// surface, pushes traffic through it, and checks the fleet end to end:
+// every successful GET reaches the ghost caches, /shadow answers in
+// text and JSON, /metrics carries store.shadow.* and the deployed
+// windowed-rate gauges, and the snapshot document grows shadow and
+// store_window sections.
+func TestShadowApp(t *testing.T) {
+	origin := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/html")
+		fmt.Fprintf(w, "<html>%s</html>", r.URL.Path)
+	}))
+	defer origin.Close()
+
+	a, err := buildApp(options{
+		capacity: 1 << 20,
+		polSpec:  "SIZE",
+		freshFor: time.Hour,
+		admin:    true,
+		shadow:   "LRU,SIZE,LFU",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	if a.fleet == nil || a.srv.Shadow != a.fleet {
+		t.Fatal("-shadow did not attach a fleet to the proxy server")
+	}
+
+	traffic := httptest.NewServer(a.mux)
+	defer traffic.Close()
+	adminAddr, err := a.admin.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	adminURL := "http://" + adminAddr.String()
+
+	for _, path := range []string{"/a.html", "/b.html", "/c.html", "/a.html", "/a.html"} {
+		req, err := http.NewRequest(http.MethodGet, traffic.URL+path, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		req.Host = strings.TrimPrefix(origin.URL, "http://")
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}
+	a.fleet.Flush()
+
+	// Every request reached every ghost cache.
+	rep := a.fleet.Report()
+	if rep.Enqueued != 5 || rep.Dropped != 0 {
+		t.Fatalf("fleet enqueued %d dropped %d, want 5 / 0", rep.Enqueued, rep.Dropped)
+	}
+	if len(rep.Shadows) != 3 {
+		t.Fatalf("fleet has %d shadows, want 3", len(rep.Shadows))
+	}
+	for _, sh := range rep.Shadows {
+		if sh.Requests != 5 {
+			t.Errorf("shadow %s saw %d requests, want 5", sh.Policy, sh.Requests)
+		}
+	}
+
+	// /shadow answers in text and JSON.
+	body, status := adminGet(t, adminURL+"/shadow")
+	if status != http.StatusOK || !strings.Contains(body, "POLICY") || !strings.Contains(body, "LRU") {
+		t.Fatalf("/shadow = %d:\n%s", status, body)
+	}
+	body, status = adminGet(t, adminURL+"/shadow?format=json")
+	if status != http.StatusOK {
+		t.Fatalf("/shadow?format=json = %d", status)
+	}
+	var jsonRep struct {
+		Enqueued int64
+		Shadows  []struct{ Policy string }
+	}
+	if err := json.Unmarshal([]byte(body), &jsonRep); err != nil {
+		t.Fatalf("/shadow json unparsable: %v\n%s", err, body)
+	}
+	if jsonRep.Enqueued != 5 || len(jsonRep.Shadows) != 3 {
+		t.Fatalf("/shadow json = %+v", jsonRep)
+	}
+
+	// /metrics carries the fleet and the deployed windowed rate.
+	body, status = adminGet(t, adminURL+"/metrics")
+	if status != http.StatusOK {
+		t.Fatalf("metrics status = %d", status)
+	}
+	for _, want := range []string{
+		"store.shadow.drops 0",
+		"store.shadow.enqueued 5",
+		"store.shadow.LRU.window_hr_bp ",
+		"store.shadow.LFU.regret_bp ",
+		"store.window_gets 5",
+		"store.window_hits 2",
+		"store.window_hr_bp 4000",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("metrics missing %q:\n%s", want, body)
+		}
+	}
+
+	// The snapshot document grows the shadow and store_window sections.
+	raw, err := json.Marshal(a.snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap struct {
+		Shadow      struct{ Enqueued int64 }
+		StoreWindow struct {
+			Gets, Hits int64
+			HR         float64
+		} `json:"store_window"`
+	}
+	if err := json.Unmarshal(raw, &snap); err != nil {
+		t.Fatal(err)
+	}
+	if snap.Shadow.Enqueued != 5 {
+		t.Errorf("snapshot shadow.enqueued = %d, want 5", snap.Shadow.Enqueued)
+	}
+	if snap.StoreWindow.Gets != 5 || snap.StoreWindow.Hits != 2 || snap.StoreWindow.HR != 0.4 {
+		t.Errorf("snapshot store_window = %+v, want 5 gets / 2 hits / 0.4", snap.StoreWindow)
+	}
+}
+
+// TestShadowAppBadSpec pins startup validation: an unknown shadow
+// policy fails buildApp instead of surfacing at first request.
+func TestShadowAppBadSpec(t *testing.T) {
+	if _, err := buildApp(options{capacity: 1 << 20, polSpec: "SIZE", shadow: "LRU,NOSUCH"}); err == nil {
+		t.Fatal("buildApp accepted an unknown shadow policy")
+	}
+}
+
+// TestCleanShutdownNoGoroutineLeak pins the Close ordering satellite:
+// a fully loaded app — buffered maintainer, shadow fleet, admin server
+// with an SSE subscriber — releases every goroutine it started. Run
+// twice to confirm Close is idempotent.
+func TestCleanShutdownNoGoroutineLeak(t *testing.T) {
+	origin := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprintf(w, "<html>%s</html>", r.URL.Path)
+	}))
+	defer origin.Close()
+
+	before := runtime.NumGoroutine()
+
+	a, err := buildApp(options{
+		capacity:       1 << 20,
+		polSpec:        "SIZE",
+		shards:         4,
+		freshFor:       time.Hour,
+		admin:          true,
+		shadow:         "LRU,LFU",
+		touchBuffer:    256,
+		drainEvery:     5 * time.Millisecond,
+		rebalanceEvery: 10 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.maint == nil || a.fleet == nil || a.admin == nil {
+		t.Fatal("expected maintainer, fleet and admin server all live")
+	}
+
+	traffic := httptest.NewServer(a.mux)
+	adminAddr, err := a.admin.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Drive traffic so every subsystem has work in flight, and hold an
+	// SSE subscription open so the admin server has an active streamer
+	// to tear down.
+	sse, err := http.Get("http://" + adminAddr.String() + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 30; i++ {
+		req, err := http.NewRequest(http.MethodGet, fmt.Sprintf("%s/doc%d.html", traffic.URL, i%7), nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		req.Host = strings.TrimPrefix(origin.URL, "http://")
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}
+
+	traffic.Close()
+	a.Close()
+	a.Close() // idempotent
+	sse.Body.Close()
+
+	// The maintainer, fleet worker, admin accept loop, SSE streamer and
+	// snapshot ticker must all be gone. Poll briefly: handler goroutines
+	// unwind asynchronously after Close returns.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		runtime.GC()
+		if n := runtime.NumGoroutine(); n <= before {
+			break
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<20)
+			t.Fatalf("goroutines: %d before, %d after Close\n%s",
+				before, runtime.NumGoroutine(), buf[:runtime.Stack(buf, true)])
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	// Closed fleet still reports (for late scrapes) but accepts nothing.
+	enq := a.fleet.Report().Enqueued
+	a.fleet.Observe("http://late.test/x", 1, false)
+	if got := a.fleet.Report().Enqueued; got != enq {
+		t.Fatalf("fleet accepted an event after Close: %d != %d", got, enq)
 	}
 }
 

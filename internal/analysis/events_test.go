@@ -72,6 +72,55 @@ func TestAnalyzeEventsNilRing(t *testing.T) {
 	}
 }
 
+// TestAnalyzeEventsEmptyRing pins the zero-event path: a ring that has
+// recorded nothing profiles cleanly and the report degrades to the
+// header line alone (no eviction or occupancy sections).
+func TestAnalyzeEventsEmptyRing(t *testing.T) {
+	p := AnalyzeEvents(obs.NewEventRing(16))
+	if p.Events != 0 || p.Hits != 0 || p.Misses != 0 || p.Adds != 0 || p.Evictions != 0 {
+		t.Fatalf("empty ring profile = %+v, want all zeros", p)
+	}
+	if len(p.Occupancy) != 0 || p.OccupancyMax != 0 {
+		t.Fatalf("empty ring produced occupancy samples: %+v", p)
+	}
+	var sb strings.Builder
+	if err := p.WriteReport(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "events profiled: 0") {
+		t.Errorf("report missing zero-count header:\n%s", out)
+	}
+	for _, absent := range []string{"eviction age", "occupancy high water"} {
+		if strings.Contains(out, absent) {
+			t.Errorf("empty-ring report includes %q section:\n%s", absent, out)
+		}
+	}
+}
+
+// TestAnalyzeEventsUnwrappedRing covers the short-run case the doc
+// comment promises: when fewer events than the capacity were recorded,
+// the profile covers the entire stream in insertion order.
+func TestAnalyzeEventsUnwrappedRing(t *testing.T) {
+	ring := obs.NewEventRing(16)
+	ring.Record(obs.Event{Kind: obs.EventMiss, Time: 5, ID: -1, Size: 200})
+	ring.Record(obs.Event{Kind: obs.EventAdd, Time: 5, ID: 4, Size: 200})
+	ring.Record(obs.Event{Kind: obs.EventHit, Time: 8, ID: 4, Size: 200, NRef: 2})
+	p := AnalyzeEvents(ring)
+	if p.Events != 3 || p.Misses != 1 || p.Adds != 1 || p.Hits != 1 || p.Evictions != 0 {
+		t.Fatalf("profile = %+v, want the full 3-event stream", p)
+	}
+	if uint64(p.Events) != ring.Total() {
+		t.Errorf("profiled %d events but ring recorded %d — unwrapped window must be the whole stream", p.Events, ring.Total())
+	}
+	if len(p.Occupancy) != 1 || p.Occupancy[0] != (OccupancySample{Time: 5, Bytes: 200}) {
+		t.Errorf("occupancy = %+v, want one +200 sample at t=5", p.Occupancy)
+	}
+	if p.OccupancyMax != 200 {
+		t.Errorf("occupancy max = %d, want 200", p.OccupancyMax)
+	}
+}
+
 func TestEventProfileWriteReport(t *testing.T) {
 	events := []obs.Event{
 		{Kind: obs.EventAdd, Time: 10, ID: 1, Size: 100},

@@ -7,6 +7,7 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // Counter is a monotonically increasing atomic counter.
@@ -174,6 +175,8 @@ type Registry struct {
 	counts map[string]*Counter
 	gauges map[string]*Gauge
 	hists  map[string]*Histogram
+	winds  map[string]*WindowedCounter
+	funcs  map[string]func() int64
 }
 
 // NewRegistry returns an empty registry.
@@ -182,6 +185,8 @@ func NewRegistry() *Registry {
 		counts: make(map[string]*Counter),
 		gauges: make(map[string]*Gauge),
 		hists:  make(map[string]*Histogram),
+		winds:  make(map[string]*WindowedCounter),
+		funcs:  make(map[string]func() int64),
 	}
 }
 
@@ -221,18 +226,54 @@ func (r *Registry) Histogram(name string) *Histogram {
 	return h
 }
 
+// Windowed returns the named windowed counter, creating it with the
+// given window geometry on first use (zero values pick the package
+// defaults). The geometry is fixed at creation: later calls return the
+// existing counter regardless of the arguments.
+func (r *Registry) Windowed(name string, window time.Duration, buckets int) *WindowedCounter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	w, ok := r.winds[name]
+	if !ok {
+		w = NewWindowedCounter(window, buckets)
+		r.winds[name] = w
+	}
+	return w
+}
+
+// GaugeFunc registers a computed gauge: fn is evaluated at every
+// snapshot/scrape rather than pushed to. Use it for values derived
+// from other state (a windowed hit rate, a queue depth) so the surface
+// is always current without a refresh ticker. Registering the same
+// name again replaces the function. fn must not call back into the
+// registry (the registry mutex is held during evaluation).
+func (r *Registry) GaugeFunc(name string, fn func() int64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.funcs[name] = fn
+}
+
 // Snapshot returns every counter and gauge as a flat name→value map;
-// gauges contribute both their value and a "name.max" high water mark.
+// gauges contribute both their value and a "name.max" high water mark,
+// windowed counters their recent-window total under the bare name
+// (lifetime totals live in the plain counters alongside them), and
+// computed gauges their function's value at snapshot time.
 func (r *Registry) Snapshot() map[string]any {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	out := make(map[string]any, len(r.counts)+2*len(r.gauges))
+	out := make(map[string]any, len(r.counts)+2*len(r.gauges)+len(r.winds)+len(r.funcs))
 	for name, c := range r.counts {
 		out[name] = c.Load()
 	}
 	for name, g := range r.gauges {
 		out[name] = g.Load()
 		out[name+".max"] = g.Max()
+	}
+	for name, w := range r.winds {
+		out[name] = w.WindowTotal()
+	}
+	for name, fn := range r.funcs {
+		out[name] = fn()
 	}
 	return out
 }

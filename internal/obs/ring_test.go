@@ -103,6 +103,49 @@ func TestEventRingConcurrentRecord(t *testing.T) {
 	}
 }
 
+// TestEventRingConcurrentWrap hammers a ring much smaller than the
+// event stream: totals and per-kind counts must be exact despite every
+// writer wrapping the buffer many times over, and the retained window
+// must hold only intact events (a torn slot would surface as a payload
+// that no writer produced).
+func TestEventRingConcurrentWrap(t *testing.T) {
+	const capacity, writers, per = 32, 8, 2000
+	r := NewEventRing(capacity)
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				seq := int64(w*per + i)
+				// Size is derived from Time, so a reader can verify a
+				// snapshot event was written atomically.
+				r.Record(Event{Kind: EventKind(i % 4), Time: seq, Size: seq * 3})
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := r.Total(); got != writers*per {
+		t.Fatalf("Total() = %d, want %d", got, writers*per)
+	}
+	if got := r.Len(); got != capacity {
+		t.Fatalf("Len() after heavy wrap = %d, want %d", got, capacity)
+	}
+	hits, misses, evicts, adds := r.Counts()
+	if hits != writers*per/4 || misses != writers*per/4 || evicts != writers*per/4 || adds != writers*per/4 {
+		t.Fatalf("Counts() = (%d,%d,%d,%d), want %d each", hits, misses, evicts, adds, writers*per/4)
+	}
+	snap := r.Snapshot()
+	if len(snap) != capacity {
+		t.Fatalf("Snapshot() len = %d, want %d", len(snap), capacity)
+	}
+	for i, ev := range snap {
+		if ev.Time < 0 || ev.Time >= writers*per || ev.Size != ev.Time*3 {
+			t.Errorf("snapshot[%d] = %+v: torn or fabricated event", i, ev)
+		}
+	}
+}
+
 func TestEventKindString(t *testing.T) {
 	cases := map[EventKind]string{
 		EventHit:   "hit",

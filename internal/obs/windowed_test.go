@@ -1,0 +1,214 @@
+package obs
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// fakeNs is a settable nanosecond clock for deterministic window tests.
+type fakeNs struct{ v atomic.Int64 }
+
+func (f *fakeNs) now() int64      { return f.v.Load() }
+func (f *fakeNs) set(ns int64)    { f.v.Store(ns) }
+func (f *fakeNs) advance(d int64) { f.v.Add(d) }
+
+func TestWindowedCounterSlidesOut(t *testing.T) {
+	clk := &fakeNs{}
+	// 10-bucket window of 100ns → 10ns buckets.
+	w := NewWindowedCounter(100, 10)
+	w.SetClock(clk.now)
+	if got := w.Window(); got != 100 {
+		t.Fatalf("Window() = %v, want 100ns", got)
+	}
+
+	w.Add(3) // bucket epoch 0
+	clk.set(55)
+	w.Add(4) // bucket epoch 5
+	if got := w.WindowTotal(); got != 7 {
+		t.Fatalf("WindowTotal with both buckets live = %d, want 7", got)
+	}
+	if got := w.Total(); got != 7 {
+		t.Fatalf("Total = %d, want 7", got)
+	}
+
+	// Advance so epoch 0 falls outside the 10-bucket window but epoch 5
+	// is still inside.
+	clk.set(105) // epoch 10; window covers epochs 1..10
+	if got := w.WindowTotal(); got != 4 {
+		t.Fatalf("WindowTotal after first bucket expired = %d, want 4", got)
+	}
+
+	// Advance past everything: window empty, lifetime intact.
+	clk.set(1000)
+	if got := w.WindowTotal(); got != 0 {
+		t.Fatalf("WindowTotal after window passed = %d, want 0", got)
+	}
+	if got := w.Total(); got != 7 {
+		t.Fatalf("Total after window passed = %d, want 7", got)
+	}
+}
+
+func TestWindowedCounterBucketReuse(t *testing.T) {
+	clk := &fakeNs{}
+	w := NewWindowedCounter(100, 10)
+	w.SetClock(clk.now)
+
+	w.Add(5) // epoch 0, slot 0
+	// Come all the way around the ring to epoch 10, which reuses slot 0:
+	// the old count must be discarded, not added to.
+	clk.set(100)
+	w.Add(2)
+	if got := w.WindowTotal(); got != 2 {
+		t.Fatalf("WindowTotal after slot reuse = %d, want 2 (stale count leaked)", got)
+	}
+	if got := w.Total(); got != 7 {
+		t.Fatalf("Total = %d, want 7", got)
+	}
+}
+
+func TestWindowedCounterDefaults(t *testing.T) {
+	w := NewWindowedCounter(0, 0)
+	if got := w.Window(); got != DefaultWindow {
+		t.Fatalf("default Window() = %v, want %v", got, DefaultWindow)
+	}
+	w.Inc()
+	if got, want := w.Total(), int64(1); got != want {
+		t.Fatalf("Total = %d, want %d", got, want)
+	}
+	if got := w.WindowTotal(); got != 1 {
+		t.Fatalf("WindowTotal immediately after Inc = %d, want 1", got)
+	}
+}
+
+func TestWindowedCounterConcurrentAdds(t *testing.T) {
+	// Under a fixed clock there is no bucket rotation, so concurrent
+	// adds must be exact in both totals.
+	clk := &fakeNs{}
+	w := NewWindowedCounter(time.Second, 4)
+	w.SetClock(clk.now)
+
+	const writers = 8
+	const perWriter = 5000
+	var wg sync.WaitGroup
+	for i := 0; i < writers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < perWriter; j++ {
+				w.Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	if got, want := w.Total(), int64(writers*perWriter); got != want {
+		t.Fatalf("Total = %d, want %d", got, want)
+	}
+	if got, want := w.WindowTotal(), int64(writers*perWriter); got != want {
+		t.Fatalf("WindowTotal = %d, want %d", got, want)
+	}
+}
+
+func TestWindowedRate(t *testing.T) {
+	clk := &fakeNs{}
+	r := NewWindowedRate(100, 10)
+	r.SetClock(clk.now)
+
+	// Three hits out of four requests in the first bucket.
+	r.Observe(true)
+	r.Observe(true)
+	r.Observe(true)
+	r.Observe(false)
+	if got := r.Rate(); math.Abs(got-0.75) > 1e-12 {
+		t.Fatalf("Rate = %v, want 0.75", got)
+	}
+	if got := r.LifetimeRate(); math.Abs(got-0.75) > 1e-12 {
+		t.Fatalf("LifetimeRate = %v, want 0.75", got)
+	}
+
+	// A later bucket of all misses drags the window down; lifetime
+	// follows a different trajectory.
+	clk.set(55)
+	r.Observe(false)
+	r.Observe(false)
+	part, whole := r.WindowCounts()
+	if part != 3 || whole != 6 {
+		t.Fatalf("WindowCounts = (%d, %d), want (3, 6)", part, whole)
+	}
+
+	// Slide the hit-heavy bucket out: the window is all misses now even
+	// though lifetime still remembers the hits.
+	clk.set(105)
+	if got := r.Rate(); got != 0 {
+		t.Fatalf("Rate after hit bucket expired = %v, want 0", got)
+	}
+	if got := r.LifetimeRate(); math.Abs(got-0.5) > 1e-12 {
+		t.Fatalf("LifetimeRate = %v, want 0.5", got)
+	}
+	lp, lw := r.LifetimeCounts()
+	if lp != 3 || lw != 6 {
+		t.Fatalf("LifetimeCounts = (%d, %d), want (3, 6)", lp, lw)
+	}
+
+	// Empty window and empty lifetime both report 0, not NaN.
+	empty := NewWindowedRate(0, 0)
+	if got := empty.Rate(); got != 0 {
+		t.Fatalf("empty Rate = %v, want 0", got)
+	}
+	if got := empty.LifetimeRate(); got != 0 {
+		t.Fatalf("empty LifetimeRate = %v, want 0", got)
+	}
+}
+
+func TestWindowedRateWeighted(t *testing.T) {
+	clk := &fakeNs{}
+	r := NewWindowedRate(time.Second, 4)
+	r.SetClock(clk.now)
+	r.Record(1000, 1000) // byte hit
+	r.Record(0, 3000)    // byte miss
+	if got := r.Rate(); math.Abs(got-0.25) > 1e-12 {
+		t.Fatalf("weighted Rate = %v, want 0.25", got)
+	}
+}
+
+func TestRegistryWindowedAndGaugeFunc(t *testing.T) {
+	reg := NewRegistry()
+	clk := &fakeNs{}
+	w := reg.Windowed("store.window_gets", 100, 10)
+	w.SetClock(clk.now)
+	if again := reg.Windowed("store.window_gets", time.Hour, 2); again != w {
+		t.Fatal("Windowed did not return the existing counter on second lookup")
+	}
+	w.Add(6)
+
+	reg.GaugeFunc("store.window_hr_bp", func() int64 { return 1234 })
+
+	snap := reg.Snapshot()
+	if got := snap["store.window_gets"]; got != int64(6) {
+		t.Fatalf("snapshot windowed value = %v, want 6", got)
+	}
+	if got := snap["store.window_hr_bp"]; got != int64(1234) {
+		t.Fatalf("snapshot gauge-func value = %v, want 1234", got)
+	}
+
+	// The window slides out of the snapshot too.
+	clk.set(1000)
+	if got := reg.Snapshot()["store.window_gets"]; got != int64(0) {
+		t.Fatalf("snapshot windowed value after expiry = %v, want 0", got)
+	}
+
+	var sb strings.Builder
+	if err := reg.WriteText(&sb); err != nil {
+		t.Fatalf("WriteText: %v", err)
+	}
+	text := sb.String()
+	if !strings.Contains(text, "store.window_gets 0") {
+		t.Fatalf("WriteText missing windowed line:\n%s", text)
+	}
+	if !strings.Contains(text, "store.window_hr_bp 1234") {
+		t.Fatalf("WriteText missing gauge-func line:\n%s", text)
+	}
+}

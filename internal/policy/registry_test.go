@@ -1,0 +1,52 @@
+package policy
+
+import "testing"
+
+func TestFactoryProducesIndependentInstances(t *testing.T) {
+	name, make, err := Factory("SIZE/NREF", 0)
+	if err != nil {
+		t.Fatalf("Factory: %v", err)
+	}
+	if name != "SIZE/NREF" {
+		t.Fatalf("canonical name = %q, want SIZE/NREF", name)
+	}
+	a, b := make(), make()
+	if a == b {
+		t.Fatal("Factory returned the same instance twice")
+	}
+	if a.Name() != name || b.Name() != name {
+		t.Fatalf("instance names %q / %q, want %q", a.Name(), b.Name(), name)
+	}
+	// Instances must not share state: filling one leaves the other empty.
+	e := NewEntry("http://a.test/x", 100, 0, 1, 1)
+	a.Add(e)
+	if a.Len() != 1 || b.Len() != 0 {
+		t.Fatalf("Len a=%d b=%d, want 1 and 0", a.Len(), b.Len())
+	}
+}
+
+func TestFactoryCanonicalizesSpellings(t *testing.T) {
+	for spec, want := range map[string]string{
+		"lru":           "LRU",
+		"LRU":           "LRU",
+		"HYPERG":        "Hyper-G",
+		"PITKOW-RECKER": "Pitkow/Recker",
+	} {
+		name, _, err := Factory(spec, 0)
+		if err != nil {
+			t.Errorf("Factory(%q): %v", spec, err)
+			continue
+		}
+		if name != want {
+			t.Errorf("Factory(%q) name = %q, want %q", spec, name, want)
+		}
+	}
+}
+
+func TestFactoryRejectsBadSpec(t *testing.T) {
+	for _, spec := range []string{"", "NOSUCH", "SIZE/NOSUCH"} {
+		if _, _, err := Factory(spec, 0); err == nil {
+			t.Errorf("Factory(%q): want error", spec)
+		}
+	}
+}

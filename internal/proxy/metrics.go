@@ -91,10 +91,24 @@ func shardHooks(reg *obs.Registry, ring *obs.EventRing, shard int32) core.CacheH
 	evictions := reg.Counter("store.evictions")
 	evictedBytes := reg.Counter("store.evicted_bytes")
 	inserts := reg.Counter("store.inserts")
+	// Windowed hit/get counts give the deployed store a recent-window
+	// hit rate alongside the lifetime ratio — the like-for-like side of
+	// the shadow fleet's regret comparison. All shards feed the same
+	// pair (atomic buckets merge for free, like the counters above);
+	// the derived rate is computed at scrape time, in basis points.
+	winHits := reg.Windowed("store.window_hits", 0, 0)
+	winGets := reg.Windowed("store.window_gets", 0, 0)
+	reg.GaugeFunc("store.window_hr_bp", func() int64 {
+		gets := winGets.WindowTotal()
+		if gets == 0 {
+			return 0
+		}
+		return int64(float64(winHits.WindowTotal())/float64(gets)*10000 + 0.5)
+	})
 	if ring == nil {
 		return core.CacheHooks{
-			OnHit:   func(*policy.Entry) { hits.Inc() },
-			OnMiss:  func(int64, int64) { misses.Inc() },
+			OnHit:   func(*policy.Entry) { hits.Inc(); winHits.Inc(); winGets.Inc() },
+			OnMiss:  func(int64, int64) { misses.Inc(); winGets.Inc() },
 			OnEvict: func(e *policy.Entry, now int64) { evictions.Inc(); evictedBytes.Add(e.Size) },
 			OnAdd:   func(*policy.Entry) { inserts.Inc() },
 		}
@@ -102,10 +116,13 @@ func shardHooks(reg *obs.Registry, ring *obs.EventRing, shard int32) core.CacheH
 	return core.CacheHooks{
 		OnHit: func(e *policy.Entry) {
 			hits.Inc()
+			winHits.Inc()
+			winGets.Inc()
 			ring.Record(obs.Event{Kind: obs.EventHit, Time: e.ATime, ID: e.ID, Size: e.Size, NRef: e.NRef, Shard: shard})
 		},
 		OnMiss: func(size, now int64) {
 			misses.Inc()
+			winGets.Inc()
 			ring.Record(obs.Event{Kind: obs.EventMiss, Time: now, ID: -1, Size: size, Shard: shard})
 		},
 		OnEvict: func(e *policy.Entry, now int64) {

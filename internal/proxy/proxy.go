@@ -52,6 +52,10 @@ type Server struct {
 	// obs.Registry (plus a per-request latency histogram) for the admin
 	// endpoint. Nil — the default — costs one branch per site.
 	Metrics *Metrics
+	// Shadow, when non-nil, receives every successful GET outcome (URL,
+	// body size, deployed hit-or-miss) for the ghost-cache fleet. The
+	// per-request cost is one non-blocking enqueue; nil costs one branch.
+	Shadow *ShadowFleet
 
 	stats struct {
 		requests, hits, revalidated, misses atomic.Int64
@@ -162,6 +166,9 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 				m.Hits.Inc()
 				m.BytesFromHit.Add(int64(len(obj.Body)))
 			}
+			if f := s.Shadow; f != nil {
+				f.Observe(key, int64(len(obj.Body)), true)
+			}
 			return
 		}
 		if s.revalidate(key, obj, target) {
@@ -171,6 +178,9 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 			if m := s.Metrics; m != nil {
 				m.Revalidated.Inc()
 				m.BytesFromHit.Add(int64(len(obj.Body)))
+			}
+			if f := s.Shadow; f != nil {
+				f.Observe(key, int64(len(obj.Body)), true)
 			}
 			return
 		}
@@ -267,6 +277,9 @@ func (s *Server) fetchAndServe(w http.ResponseWriter, r *http.Request, target *u
 		s.store.Put(key, obj)
 	}
 	s.serveObject(w, obj, "MISS")
+	if f := s.Shadow; f != nil {
+		f.Observe(key, int64(len(body)), false)
+	}
 }
 
 // countError records an error outcome and answers 502.
@@ -297,8 +310,9 @@ func (s *Server) serveObject(w http.ResponseWriter, obj *Object, verdict string)
 	}
 }
 
-// relay streams an origin response to the client without caching.
-func (s *Server) relay(w http.ResponseWriter, resp *http.Response) {
+// relay streams an origin response to the client without caching and
+// returns the body bytes written.
+func (s *Server) relay(w http.ResponseWriter, resp *http.Response) int64 {
 	h := w.Header()
 	for k, vs := range resp.Header {
 		for _, v := range vs {
@@ -312,6 +326,7 @@ func (s *Server) relay(w http.ResponseWriter, resp *http.Response) {
 	if m := s.Metrics; m != nil {
 		m.BytesServed.Add(n)
 	}
+	return n
 }
 
 // passThrough forwards an uncacheable request verbatim.
@@ -328,7 +343,13 @@ func (s *Server) passThrough(w http.ResponseWriter, r *http.Request, target *url
 		return
 	}
 	defer resp.Body.Close()
-	s.relay(w, resp)
+	n := s.relay(w, resp)
+	// Successful GETs the cache declined (CGI, query strings, client
+	// opt-out) still reach the shadows: the simulator counts dynamic
+	// requests as misses, so the fleet must see them too.
+	if f := s.Shadow; f != nil && r.Method == http.MethodGet && resp.StatusCode == http.StatusOK {
+		f.Observe(target.String(), n, false)
+	}
 }
 
 // copyHopByHopSafe copies end-to-end request headers, dropping
