@@ -61,13 +61,19 @@ func main() {
 		touchBuf = flag.Int("touch-buffer", 0, "live store touch-buffer slots (0 = synchronous hit path, the deterministic default the delta-0.00 check requires)")
 		metrics  = flag.Bool("metrics", false, "report both replays through a shared metric registry and print it")
 		shadow   = flag.String("shadow", "", "comma-separated candidate policies to run as ghost caches beside the live store; each is cross-checked exactly against a fresh simulator replay")
+		traceN   = flag.Int("trace-sample", 0, "trace every nth live request's phase timeline (0 = off)")
+		traceOut = flag.String("trace-out", "", "write the kept request span trees (plus the event ring under -metrics) as Chrome trace-event JSON to this file; implies -trace-sample 1 when unset")
 	)
 	flag.Parse()
 	var reg *obs.Registry
 	if *metrics {
 		reg = obs.NewRegistry()
 	}
-	if err := run(*wl, *scale, *polSpec, *fraction, *seed, *shards, *touchBuf, *shadow, os.Stdout, reg); err != nil {
+	sample := *traceN
+	if *traceOut != "" && sample == 0 {
+		sample = 1
+	}
+	if err := run(*wl, *scale, *polSpec, *fraction, *seed, *shards, *touchBuf, *shadow, sample, *traceOut, os.Stdout, reg); err != nil {
 		fmt.Fprintln(os.Stderr, "livebench:", err)
 		os.Exit(1)
 	}
@@ -87,8 +93,13 @@ func main() {
 // ghost-cache fleet beside the live store; each shadow's end-of-run
 // numbers are cross-checked exactly against a fresh simulator replay
 // of the same trace — live observability must agree with the paper's
-// simulator to the request.
-func run(wl string, scale float64, polSpec string, fraction float64, seed uint64, shards, touchBuf int, shadow string, out io.Writer, reg *obs.Registry) error {
+// simulator to the request. traceSample > 0 attaches an obs.Tracer to
+// the live proxy (every nth request records its phase timeline); when
+// traceOut is non-empty the kept span trees — merged with the event
+// ring under -metrics — are written there as Chrome trace-event JSON,
+// so a sampled miss renders parse → store.get → origin TTFB →
+// admission → eviction spans in Perfetto next to residency spans.
+func run(wl string, scale float64, polSpec string, fraction float64, seed uint64, shards, touchBuf int, shadow string, traceSample int, traceOut string, out io.Writer, reg *obs.Registry) error {
 	cfg, err := workload.ByName(wl, seed)
 	if err != nil {
 		return err
@@ -144,7 +155,13 @@ func run(wl string, scale float64, polSpec string, fraction float64, seed uint64
 			}
 		}
 	}
-	liveHits, liveBytesHit, liveBytes, fleet, err := replayLive(tr, polSpec, capacity, seed+2, shards, touchBuf, shadowSpecs, out, reg, ring)
+	var tracer *obs.Tracer
+	if traceSample > 0 {
+		// Real wall clock: the spans time actual HTTP work, even though
+		// the store's eviction clock is driven by simulated time.
+		tracer = obs.NewTracer(obs.TracerOptions{SampleEvery: traceSample})
+	}
+	liveHits, liveBytesHit, liveBytes, fleet, err := replayLive(tr, polSpec, capacity, seed+2, shards, touchBuf, shadowSpecs, tracer, out, reg, ring)
 	if err != nil {
 		return err
 	}
@@ -157,6 +174,26 @@ func run(wl string, scale float64, polSpec string, fraction float64, seed uint64
 	if fleet != nil {
 		if err := crossCheckShadows(tr, capacity, seed+2, fleet, out); err != nil {
 			return err
+		}
+	}
+
+	if tracer != nil {
+		st := tracer.Stats()
+		fmt.Fprintf(out, "tracing:   sampled %d, kept %d (%d flagged), discarded %d\n",
+			st.Sampled, st.Kept, st.Flagged, st.Discarded)
+		if traceOut != "" {
+			f, err := os.Create(traceOut)
+			if err != nil {
+				return err
+			}
+			if err := obs.WriteCombinedChromeTrace(f, ring, tracer); err != nil {
+				f.Close()
+				return err
+			}
+			if err := f.Close(); err != nil {
+				return err
+			}
+			fmt.Fprintf(out, "tracing:   wrote Chrome trace to %s\n", traceOut)
 		}
 	}
 
@@ -203,8 +240,9 @@ func simHooks(reg *obs.Registry) core.CacheHooks {
 // ghost-cache fleet fed off the proxy's request stream — queue sized
 // to the trace so the replay is drop-free, clock and seed shared with
 // the simulated side so the fleet's caches replay deterministically;
-// the returned fleet is already closed (fully drained).
-func replayLive(tr *trace.Trace, polSpec string, capacity int64, cacheSeed uint64, shards, touchBuf int, shadowSpecs []string, out io.Writer, reg *obs.Registry, ring *obs.EventRing) (hits, bytesHit, bytesTotal int64, fleet *proxy.ShadowFleet, err error) {
+// the returned fleet is already closed (fully drained). tracer, when
+// non-nil, records sampled requests' phase timelines.
+func replayLive(tr *trace.Trace, polSpec string, capacity int64, cacheSeed uint64, shards, touchBuf int, shadowSpecs []string, tracer *obs.Tracer, out io.Writer, reg *obs.Registry, ring *obs.EventRing) (hits, bytesHit, bytesTotal int64, fleet *proxy.ShadowFleet, err error) {
 	org := origin.FromTrace(tr)
 	originTS := httptest.NewServer(org)
 	defer originTS.Close()
@@ -236,6 +274,7 @@ func replayLive(tr *trace.Trace, polSpec string, capacity int64, cacheSeed uint6
 	store.SetClock(func() time.Time { return time.Unix(simNow, 0) })
 
 	srv := proxy.New(store)
+	srv.Tracer = tracer
 	if len(shadowSpecs) > 0 {
 		fleet, err = proxy.NewShadowFleet(proxy.ShadowOptions{
 			Policies:   shadowSpecs,

@@ -2,6 +2,8 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
+	"os"
 	"regexp"
 	"strings"
 	"testing"
@@ -18,7 +20,7 @@ func TestLiveMatchesSimulated(t *testing.T) {
 	}
 	for _, polSpec := range []string{"SIZE", "LRU", "LFU"} {
 		var out bytes.Buffer
-		if err := run("C", 0.005, polSpec, 0.10, 7, 0, 0, "", &out, nil); err != nil {
+		if err := run("C", 0.005, polSpec, 0.10, 7, 0, 0, "", 0, "", &out, nil); err != nil {
 			t.Fatalf("%s: %v", polSpec, err)
 		}
 		text := out.String()
@@ -39,7 +41,7 @@ func TestShardedOneShardMatchesSimulated(t *testing.T) {
 	}
 	for _, polSpec := range []string{"SIZE", "LRU"} {
 		var out bytes.Buffer
-		if err := run("C", 0.005, polSpec, 0.10, 7, 1, 0, "", &out, nil); err != nil {
+		if err := run("C", 0.005, polSpec, 0.10, 7, 1, 0, "", 0, "", &out, nil); err != nil {
 			t.Fatalf("%s: %v", polSpec, err)
 		}
 		text := out.String()
@@ -62,7 +64,7 @@ func TestBufferedReplayMatchesSimulated(t *testing.T) {
 	}
 	for _, polSpec := range []string{"SIZE", "LRU"} {
 		var out bytes.Buffer
-		if err := run("C", 0.005, polSpec, 0.10, 7, 0, 1<<15, "", &out, nil); err != nil {
+		if err := run("C", 0.005, polSpec, 0.10, 7, 0, 1<<15, "", 0, "", &out, nil); err != nil {
 			t.Fatalf("%s: %v", polSpec, err)
 		}
 		text := out.String()
@@ -74,10 +76,10 @@ func TestBufferedReplayMatchesSimulated(t *testing.T) {
 
 func TestRunRejectsBadInputs(t *testing.T) {
 	var out bytes.Buffer
-	if err := run("ZZ", 0.01, "SIZE", 0.1, 1, 0, 0, "", &out, nil); err == nil {
+	if err := run("ZZ", 0.01, "SIZE", 0.1, 1, 0, 0, "", 0, "", &out, nil); err == nil {
 		t.Error("unknown workload accepted")
 	}
-	if err := run("C", 0.005, "NOPE", 0.1, 1, 0, 0, "", &out, nil); err == nil {
+	if err := run("C", 0.005, "NOPE", 0.1, 1, 0, 0, "", 0, "", &out, nil); err == nil {
 		t.Error("unknown policy accepted")
 	}
 }
@@ -92,7 +94,7 @@ func TestRegistryCrossCheck(t *testing.T) {
 	}
 	reg := obs.NewRegistry()
 	var out bytes.Buffer
-	if err := run("C", 0.005, "LRU", 0.10, 7, 0, 0, "", &out, reg); err != nil {
+	if err := run("C", 0.005, "LRU", 0.10, 7, 0, 0, "", 0, "", &out, reg); err != nil {
 		t.Fatal(err)
 	}
 	pairs := map[string]string{
@@ -134,7 +136,7 @@ func TestShadowCrossCheck(t *testing.T) {
 		t.Skip("live HTTP replay in -short mode")
 	}
 	var out bytes.Buffer
-	if err := run("C", 0.005, "SIZE", 0.10, 7, 0, 0, "LRU,SIZE,LFU,SIZE/NREF", &out, nil); err != nil {
+	if err := run("C", 0.005, "SIZE", 0.10, 7, 0, 0, "LRU,SIZE,LFU,SIZE/NREF", 0, "", &out, nil); err != nil {
 		t.Fatalf("shadowed run: %v\n%s", err, out.String())
 	}
 	text := out.String()
@@ -160,12 +162,115 @@ func TestShadowCrossCheck(t *testing.T) {
 	}
 }
 
+// TestTraceExport is the tracing acceptance criterion: a livebench run
+// with -trace-sample 1 -trace-out must export Chrome trace-event JSON
+// in which a sampled miss that evicted renders its parse → store.get →
+// origin TTFB → admission → eviction spans as a correctly nested tree
+// (every child span inside its request's parent span, on the request
+// tree pid).
+func TestTraceExport(t *testing.T) {
+	if testing.Short() {
+		t.Skip("live HTTP replay in -short mode")
+	}
+	traceFile := t.TempDir() + "/trace.json"
+	var out bytes.Buffer
+	if err := run("C", 0.005, "SIZE", 0.10, 7, 0, 0, "", 1, traceFile, &out, nil); err != nil {
+		t.Fatal(err)
+	}
+	for _, pat := range []string{
+		`tracing:   sampled \d+, kept \d+ \(\d+ flagged\)`,
+		`tracing:   wrote Chrome trace to `,
+	} {
+		if !regexp.MustCompile(pat).MatchString(out.String()) {
+			t.Errorf("report missing /%s/:\n%s", pat, out.String())
+		}
+	}
+
+	raw, err := os.ReadFile(traceFile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	type ev struct {
+		Name string         `json:"name"`
+		Ph   string         `json:"ph"`
+		Ts   int64          `json:"ts"`
+		Dur  int64          `json:"dur"`
+		Pid  int            `json:"pid"`
+		Tid  int            `json:"tid"`
+		Args map[string]any `json:"args"`
+	}
+	var events []ev
+	if err := json.Unmarshal(raw, &events); err != nil {
+		t.Fatalf("trace file is not valid JSON: %v", err)
+	}
+
+	// Collect the request trees: parent "request" events and their
+	// children keyed by tid (one tid per sampled request).
+	parents := map[int]ev{}
+	children := map[int][]ev{}
+	for _, e := range events {
+		if e.Pid != 2 || e.Ph != "X" {
+			continue
+		}
+		if e.Name == "request" {
+			parents[e.Tid] = e
+		} else {
+			children[e.Tid] = append(children[e.Tid], e)
+		}
+	}
+	if len(parents) == 0 {
+		t.Fatalf("no request span trees in export:\n%s", raw)
+	}
+
+	// Every child must nest inside its parent's [ts, ts+dur] window.
+	for tid, kids := range children {
+		p, ok := parents[tid]
+		if !ok {
+			t.Fatalf("tid %d has child spans but no request parent", tid)
+		}
+		for _, k := range kids {
+			if k.Ts < p.Ts || k.Ts+k.Dur > p.Ts+p.Dur {
+				t.Errorf("span %s [%d,%d] escapes its request window [%d,%d]",
+					k.Name, k.Ts, k.Ts+k.Dur, p.Ts, p.Ts+p.Dur)
+			}
+		}
+	}
+
+	// At least one kept miss must have triggered evictions and carry the
+	// full phase chain the issue names.
+	wantPhases := []string{"parse", "store.get", "origin.ttfb", "admit", "evict"}
+	found := false
+	for tid, p := range parents {
+		if p.Args["verdict"] != "MISS" || p.Args["evictions"] == nil {
+			continue
+		}
+		have := map[string]bool{}
+		for _, k := range children[tid] {
+			have[k.Name] = true
+		}
+		complete := true
+		for _, ph := range wantPhases {
+			if !have[ph] {
+				complete = false
+				break
+			}
+		}
+		if complete {
+			found = true
+			break
+		}
+	}
+	if !found {
+		t.Errorf("no sampled miss renders the full %v chain:\n%s", wantPhases, raw)
+	}
+}
+
 func TestOutputShape(t *testing.T) {
 	if testing.Short() {
 		t.Skip("live HTTP replay in -short mode")
 	}
 	var out bytes.Buffer
-	if err := run("BL", 0.003, "SIZE", 0.10, 3, 0, 0, "", &out, nil); err != nil {
+	if err := run("BL", 0.003, "SIZE", 0.10, 3, 0, 0, "", 0, "", &out, nil); err != nil {
 		t.Fatal(err)
 	}
 	for _, pat := range []string{

@@ -15,6 +15,14 @@
 // records the shadowed side's throughput, Get quantiles, the p50
 // overhead ratio vs the baseline, and the fleet's drop count.
 //
+// With -trace-sample N > 0 a fifth side repeats the baseline store with
+// an obs.Tracer attached: every op pays the tracer's Begin/End pair and
+// the sampled ops (1 in N) additionally record their per-phase span
+// timeline through the TracedStore path — exactly the cost the serving
+// proxy pays per request with request tracing enabled. The entry
+// records the traced side's throughput, Get quantiles, and the p50
+// overhead ratio vs the baseline (trace_overhead).
+//
 // With -out, the result is appended to a trajectory file
 // (BENCH_proxy.json at the repo root — same append-only, git_rev'd
 // arrangement as BENCH_replay.json) and the whole file is
@@ -106,6 +114,16 @@ type Result struct {
 	ShadowGetP50Ns  int64   `json:"shadow_get_p50_ns,omitempty"`
 	ShadowGetP99Ns  int64   `json:"shadow_get_p99_ns,omitempty"`
 	ShadowDrops     int64   `json:"shadow_drops,omitempty"`
+
+	// The traced side (-trace-sample N > 0): the baseline store driven
+	// through the request tracer — Begin/End per op, span records on the
+	// sampled 1-in-N ops. TraceOverhead is the traced p50 over the
+	// baseline p50 (1.0 = free).
+	TraceSample     int     `json:"trace_sample,omitempty"`
+	TracedOpsPerSec float64 `json:"traced_ops_per_sec,omitempty"`
+	TraceOverhead   float64 `json:"trace_overhead,omitempty"`
+	TracedGetP50Ns  int64   `json:"traced_get_p50_ns,omitempty"`
+	TracedGetP99Ns  int64   `json:"traced_get_p99_ns,omitempty"`
 }
 
 // shadowCandidates is the fixed roster -shadow N draws from: the first
@@ -130,6 +148,7 @@ type config struct {
 	preset      string // named knob bundle; see applyPreset
 	touchBuffer int    // >0 adds the buffered sharded side with this many ring slots per shard
 	shadow      int    // >0 adds a baseline-store side shadowed by this many ghost caches
+	traceSample int    // >0 adds a baseline-store side tracing every nth op
 }
 
 // applyPreset resolves a named knob bundle. "read-mostly" is the
@@ -162,6 +181,7 @@ func main() {
 		preset     = flag.String("preset", "", "named knob bundle (read-mostly: 99% GETs)")
 		touchBuf   = flag.Int("touch-buffer", 1024, "ring slots per shard for the buffered sharded side (0 = skip that side)")
 		shadow     = flag.Int("shadow", 0, "ghost-cache policies shadowing a fourth baseline side (0 = skip that side)")
+		traceN     = flag.Int("trace-sample", 0, "trace every nth op on a fifth baseline side with the request tracer attached (0 = skip that side)")
 		out        = flag.String("out", "", "append the result to this trajectory file (schema-checked after the append)")
 		check      = flag.String("check", "", "schema-check this trajectory file and exit (no measurement)")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile of the run to this file (go tool pprof)")
@@ -181,7 +201,7 @@ func main() {
 		keys: *keys, zipfS: *zipfS, goroutines: *goroutines, shards: *shards,
 		ops: *ops, valueBytes: *valueBytes, putEvery: *putEvery,
 		polSpec: *polSpec, reps: *reps, seed: *seed,
-		preset: *preset, touchBuffer: *touchBuf, shadow: *shadow,
+		preset: *preset, touchBuffer: *touchBuf, shadow: *shadow, traceSample: *traceN,
 	}
 	if *cpuprofile != "" {
 		f, err := os.Create(*cpuprofile)
@@ -296,6 +316,7 @@ func run(cfg config, w *os.File) (*Result, error) {
 		shadowStore *proxy.ShardedStore // the shadowed side's underlying store
 		fleet       *proxy.ShadowFleet
 		shadowSpecs []string
+		shadowIdx   = -1
 	)
 	if cfg.shadow > 0 {
 		// The fourth side: the baseline store again (buffered when that
@@ -322,12 +343,38 @@ func run(cfg config, w *os.File) (*Result, error) {
 			return nil, err
 		}
 		defer fleet.Close()
+		shadowIdx = len(sides)
 		sides = append(sides, side{
 			name: fmt.Sprintf("shadowed-%d", cfg.shards),
 			store: &shadowedStore{
 				ObjectStore: shadowStore, fleet: fleet, size: int64(cfg.valueBytes),
 			},
 			hist: hreg.Histogram("get_ns.shadow"), best: 1<<63 - 1,
+		})
+	}
+	var (
+		tracedBase *proxy.ShardedStore // the traced side's underlying store
+		tracer     *obs.Tracer
+		tracedIdx  = -1
+	)
+	if cfg.traceSample > 0 {
+		// The fifth side: the baseline store again, every op driven
+		// through the request tracer — Begin/End bracketing each op, the
+		// sampled 1-in-N ops recording phase spans via the TracedStore
+		// path — the exact per-request cost the serving proxy pays with
+		// -trace-sample on.
+		tracedBase = proxy.NewShardedStore(capacity, cfg.shards, factory)
+		if cfg.touchBuffer > 0 {
+			tracedBase.SetTouchBuffer(cfg.touchBuffer)
+		}
+		tracer = obs.NewTracer(obs.TracerOptions{SampleEvery: cfg.traceSample})
+		tracedIdx = len(sides)
+		sides = append(sides, side{
+			name: fmt.Sprintf("traced-%d", cfg.shards),
+			store: &tracedStore{
+				ObjectStore: tracedBase, traced: tracedBase, tracer: tracer,
+			},
+			hist: hreg.Histogram("get_ns.traced"), best: 1<<63 - 1,
 		})
 	}
 	for i := range sides {
@@ -345,6 +392,10 @@ func run(cfg config, w *os.File) (*Result, error) {
 	if shadowStore != nil && cfg.touchBuffer > 0 {
 		shadowMaint := proxy.StartMaintenance(shadowStore, proxy.MaintOptions{})
 		defer shadowMaint.Close()
+	}
+	if tracedBase != nil && cfg.touchBuffer > 0 {
+		tracedMaint := proxy.StartMaintenance(tracedBase, proxy.MaintOptions{})
+		defer tracedMaint.Close()
 	}
 
 	// Interleave the reps so machine-load drift lands on all sides of
@@ -416,12 +467,11 @@ func run(cfg config, w *os.File) (*Result, error) {
 		if buffered != nil {
 			baseName, baseOps, baseP50 = sides[2].name, res.BufferedOpsPerSec, res.BufferedGetP50Ns
 		}
-		shIdx := len(sides) - 1
-		shadowOps := totalOps / sides[shIdx].best.Seconds()
+		shadowOps := totalOps / sides[shadowIdx].best.Seconds()
 		res.ShadowPolicies = strings.Join(shadowSpecs, ",")
 		res.ShadowOpsPerSec = shadowOps
-		res.ShadowGetP50Ns = sides[shIdx].hist.Quantile(0.50)
-		res.ShadowGetP99Ns = sides[shIdx].hist.Quantile(0.99)
+		res.ShadowGetP50Ns = sides[shadowIdx].hist.Quantile(0.50)
+		res.ShadowGetP99Ns = sides[shadowIdx].hist.Quantile(0.99)
 		res.ShadowDrops = report.Dropped
 		if baseP50 > 0 {
 			res.ShadowOverhead = float64(res.ShadowGetP50Ns) / float64(baseP50)
@@ -431,6 +481,26 @@ func run(cfg config, w *os.File) (*Result, error) {
 			time.Duration(res.ShadowGetP50Ns), time.Duration(res.ShadowGetP99Ns), report.Dropped)
 		fmt.Fprintf(w, "  shadow overhead: Get p50 %+.1f%% vs %s with %d ghost caches (%s), throughput %.2f×\n",
 			100*(res.ShadowOverhead-1), baseName, cfg.shadow, res.ShadowPolicies, shadowOps/baseOps)
+	}
+	if tracer != nil {
+		baseName, baseOps, baseP50 := sides[1].name, shardedOps, res.ShardedGetP50Ns
+		if buffered != nil {
+			baseName, baseOps, baseP50 = sides[2].name, res.BufferedOpsPerSec, res.BufferedGetP50Ns
+		}
+		tracedOps := totalOps / sides[tracedIdx].best.Seconds()
+		res.TraceSample = cfg.traceSample
+		res.TracedOpsPerSec = tracedOps
+		res.TracedGetP50Ns = sides[tracedIdx].hist.Quantile(0.50)
+		res.TracedGetP99Ns = sides[tracedIdx].hist.Quantile(0.99)
+		if baseP50 > 0 {
+			res.TraceOverhead = float64(res.TracedGetP50Ns) / float64(baseP50)
+		}
+		st := tracer.Stats()
+		fmt.Fprintf(w, "  traced-%-5d: %12.0f ops/sec  (hit rate %5.1f%%, Get p50 %s p99 %s, %d sampled %d kept)\n",
+			cfg.shards, tracedOps, 100*hitRate(tracedBase.Stats()),
+			time.Duration(res.TracedGetP50Ns), time.Duration(res.TracedGetP99Ns), st.Sampled, st.Kept)
+		fmt.Fprintf(w, "  trace overhead: Get p50 %+.1f%% vs %s sampling 1 in %d, throughput %.2f×\n",
+			100*(res.TraceOverhead-1), baseName, cfg.traceSample, tracedOps/baseOps)
 	}
 	fmt.Fprintf(w, "  speedup: sharded %.2f× vs single", res.Speedup)
 	if buffered != nil {
@@ -454,6 +524,43 @@ func (s *shadowedStore) Get(url string) (*proxy.Object, bool) {
 	obj, ok := s.ObjectStore.Get(url)
 	s.fleet.Observe(url, s.size, ok)
 	return obj, ok
+}
+
+// tracedStore is the traced side's ObjectStore: the baseline store
+// driven through the request tracer — every op calls Begin/End (the
+// unsampled cost is one atomic add) and the sampled 1-in-N ops record
+// their phase spans via the TracedStore methods, the same instruction
+// stream the serving proxy's hot path runs with -trace-sample on.
+type tracedStore struct {
+	proxy.ObjectStore
+	traced proxy.TracedStore
+	tracer *obs.Tracer
+}
+
+func (s *tracedStore) Get(url string) (*proxy.Object, bool) {
+	rt := s.tracer.Begin()
+	obj, ok := s.traced.GetTraced(url, rt)
+	if rt != nil {
+		rt.SetURL(url)
+		if ok {
+			rt.SetOutcome("HIT", 200, int64(len(obj.Body)))
+		} else {
+			rt.SetOutcome("MISS", 0, 0)
+		}
+		s.tracer.End(rt)
+	}
+	return obj, ok
+}
+
+func (s *tracedStore) Put(url string, obj *proxy.Object) bool {
+	rt := s.tracer.Begin()
+	stored := s.traced.PutTraced(url, obj, rt)
+	if rt != nil {
+		rt.SetURL(url)
+		rt.SetOutcome("PUT", 0, int64(len(obj.Body)))
+		s.tracer.End(rt)
+	}
+	return stored
 }
 
 func hitRate(st proxy.StoreStats) float64 {
@@ -649,6 +756,20 @@ func validateTrajectory(path string) error {
 				return fail("shadow_drops")
 			}
 		}
+		// Traced-side fields travel together: an entry measured with the
+		// request tracer must carry the sampling rate, its throughput, and
+		// the overhead ratio. Entries without the side stay valid.
+		if r.TraceSample != 0 || r.TracedOpsPerSec != 0 || r.TraceOverhead != 0 ||
+			r.TracedGetP50Ns != 0 || r.TracedGetP99Ns != 0 {
+			switch {
+			case r.TraceSample < 1:
+				return fail("trace_sample")
+			case r.TracedOpsPerSec <= 0:
+				return fail("traced_ops_per_sec")
+			case r.TraceOverhead <= 0:
+				return fail("trace_overhead")
+			}
+		}
 		// Latency quantiles, when present, must be ordered.
 		quantiles := []struct {
 			name     string
@@ -658,6 +779,7 @@ func validateTrajectory(path string) error {
 			{"sharded_get", r.ShardedGetP50Ns, r.ShardedGetP99Ns},
 			{"buffered_get", r.BufferedGetP50Ns, r.BufferedGetP99Ns},
 			{"shadow_get", r.ShadowGetP50Ns, r.ShadowGetP99Ns},
+			{"traced_get", r.TracedGetP50Ns, r.TracedGetP99Ns},
 		}
 		for _, q := range quantiles {
 			if q.p50 < 0 || q.p99 < 0 || (q.p99 > 0 && q.p50 > q.p99) {

@@ -148,6 +148,49 @@ func TestShadowSideWithoutBufferUsesShardedBaseline(t *testing.T) {
 	}
 }
 
+// TestTracedSideProducesValidEntry runs the five-sided harness — the
+// read-mostly preset with the buffered store and the traced baseline
+// sampling every op — and checks the trace_* fields land together and
+// survive the schema gate.
+func TestTracedSideProducesValidEntry(t *testing.T) {
+	cfg := tinyConfig()
+	cfg.preset = "read-mostly"
+	cfg.touchBuffer = 256
+	cfg.traceSample = 1
+	res, err := run(cfg, os.Stdout)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TraceSample != 1 || res.TracedOpsPerSec <= 0 || res.TraceOverhead <= 0 {
+		t.Fatalf("traced side missing from entry: %+v", res)
+	}
+	if res.TracedGetP50Ns <= 0 || res.TracedGetP99Ns <= 0 || res.TracedGetP50Ns > res.TracedGetP99Ns {
+		t.Fatalf("traced latency quantiles malformed (p50 %d, p99 %d)", res.TracedGetP50Ns, res.TracedGetP99Ns)
+	}
+	path := filepath.Join(t.TempDir(), "BENCH_proxy.json")
+	if err := appendResult(path, *res); err != nil {
+		t.Fatal(err)
+	}
+	if err := validateTrajectory(path); err != nil {
+		t.Fatalf("traced entry fails the schema: %v", err)
+	}
+}
+
+// TestTracedSideWithoutBufferUsesShardedBaseline pins that
+// -trace-sample works without the buffered side: the traced store is
+// then the plain sharded layout and the overhead is stated against it.
+func TestTracedSideWithoutBufferUsesShardedBaseline(t *testing.T) {
+	cfg := tinyConfig()
+	cfg.traceSample = 16
+	res, err := run(cfg, os.Stdout)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TraceSample != 16 || res.TracedOpsPerSec <= 0 || res.TraceOverhead <= 0 {
+		t.Fatalf("traced side missing from entry: %+v", res)
+	}
+}
+
 // TestShadowRejectsOversizedFleet pins the roster bound.
 func TestShadowRejectsOversizedFleet(t *testing.T) {
 	cfg := tinyConfig()
@@ -220,6 +263,10 @@ func TestValidateTrajectoryRejectsBadFiles(t *testing.T) {
 		"shadow-partial.json": `[{"benchmark":"b","git_rev":"r","gomaxprocs":1,"goroutines":1,"shards":1,"keys":1,"ops_per_goroutine":1,"single_mutex_ops_per_sec":1,"sharded_ops_per_sec":1,"speedup":1,"generated":"2026-01-01T00:00:00Z","shadow_ops_per_sec":1}]`,
 		// A shadow policy list without the overhead ratio.
 		"shadow-no-overhead.json": `[{"benchmark":"b","git_rev":"r","gomaxprocs":1,"goroutines":1,"shards":1,"keys":1,"ops_per_goroutine":1,"single_mutex_ops_per_sec":1,"sharded_ops_per_sec":1,"speedup":1,"generated":"2026-01-01T00:00:00Z","shadow_policies":"LRU","shadow_ops_per_sec":1}]`,
+		// A traced throughput without its sampling rate: trace fields travel together.
+		"trace-partial.json": `[{"benchmark":"b","git_rev":"r","gomaxprocs":1,"goroutines":1,"shards":1,"keys":1,"ops_per_goroutine":1,"single_mutex_ops_per_sec":1,"sharded_ops_per_sec":1,"speedup":1,"generated":"2026-01-01T00:00:00Z","traced_ops_per_sec":1}]`,
+		// A trace sampling rate without the overhead ratio.
+		"trace-no-overhead.json": `[{"benchmark":"b","git_rev":"r","gomaxprocs":1,"goroutines":1,"shards":1,"keys":1,"ops_per_goroutine":1,"single_mutex_ops_per_sec":1,"sharded_ops_per_sec":1,"speedup":1,"generated":"2026-01-01T00:00:00Z","trace_sample":1,"traced_ops_per_sec":1}]`,
 	}
 	for name, content := range bad {
 		if err := validateTrajectory(write(name, content)); err == nil {
@@ -237,5 +284,9 @@ func TestValidateTrajectoryRejectsBadFiles(t *testing.T) {
 	goodShadow := `[{"benchmark":"b","git_rev":"r","gomaxprocs":1,"goroutines":1,"shards":1,"keys":1,"ops_per_goroutine":1,"single_mutex_ops_per_sec":1,"sharded_ops_per_sec":1,"speedup":1,"generated":"2026-01-01T00:00:00Z","shadow_policies":"LRU,SIZE,LFU","shadow_ops_per_sec":1,"shadow_overhead":1.02,"shadow_get_p50_ns":110,"shadow_get_p99_ns":950,"shadow_drops":3}]`
 	if err := validateTrajectory(write("good-shadow.json", goodShadow)); err != nil {
 		t.Errorf("valid shadow trajectory rejected: %v", err)
+	}
+	goodTraced := `[{"benchmark":"b","git_rev":"r","gomaxprocs":1,"goroutines":1,"shards":1,"keys":1,"ops_per_goroutine":1,"single_mutex_ops_per_sec":1,"sharded_ops_per_sec":1,"speedup":1,"generated":"2026-01-01T00:00:00Z","trace_sample":100,"traced_ops_per_sec":1,"trace_overhead":1.01,"traced_get_p50_ns":105,"traced_get_p99_ns":920}]`
+	if err := validateTrajectory(write("good-traced.json", goodTraced)); err != nil {
+		t.Errorf("valid traced trajectory rejected: %v", err)
 	}
 }

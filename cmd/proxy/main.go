@@ -13,12 +13,15 @@
 //	proxy -listen :3128 -accesslog /var/log/webcache/access.log
 //	proxy -listen :3128 -admin :8081
 //	proxy -listen :3128 -admin :8081 -shadow "LRU,SIZE,LFU"   # ghost-cache policy comparison on /shadow
+//	proxy -listen :3128 -admin :8081 -trace-sample 100        # per-request span timelines on /requests
 //
 // GET /._webcache/stats on the listen address reports statistics. With
 // -admin, a separate introspection listener serves /metrics, /healthz,
 // /buildinfo, /events (SSE serving-stats snapshots), /trace (Chrome
-// trace-event JSON of recent cache events), /accesslog (recent sampled
-// lines) and /debug/pprof/.
+// trace-event JSON of recent cache events — and, with -trace-sample,
+// sampled request span trees), /requests (the tail-sampled slowest and
+// flagged request timelines), /accesslog (recent sampled lines) and
+// /debug/pprof/.
 package main
 
 import (
@@ -68,6 +71,15 @@ type options struct {
 	shadow      string
 	shadowQueue int
 
+	// traceSample enables request-lifecycle tracing: every nth request
+	// is recorded as a per-phase span timeline and the tail reservoir
+	// keeps the traceSlowest slowest per window plus every errored /
+	// missed / evicting request (/requests on the admin address). 0 —
+	// the default — builds no tracer; the serving path keeps its one
+	// nil check.
+	traceSample  int
+	traceSlowest int
+
 	// expectedDocs pre-sizes the store's maps and policy structures
 	// (Store.Reserve); 0 derives a hint from capacity assuming the
 	// trace-typical ~16 KiB mean document, < 0 disables reserving.
@@ -92,11 +104,12 @@ type app struct {
 	logger  *proxy.AccessLogger // nil unless -accesslog or -admin
 	mux     *http.ServeMux      // traffic listener handler
 
-	reg   *obs.Registry      // nil unless admin
-	ring  *obs.EventRing     // nil unless admin
-	admin *obs.Server        // nil unless admin; caller Starts/Closes
-	maint *proxy.Maintainer  // nil unless buffered or rebalancing
-	fleet *proxy.ShadowFleet // nil unless -shadow
+	reg    *obs.Registry      // nil unless admin
+	ring   *obs.EventRing     // nil unless admin
+	tracer *obs.Tracer        // nil unless -trace-sample > 0
+	admin  *obs.Server        // nil unless admin; caller Starts/Closes
+	maint  *proxy.Maintainer  // nil unless buffered or rebalancing
+	fleet  *proxy.ShadowFleet // nil unless -shadow
 
 	responder *proxy.ICPResponder
 	logFile   *os.File
@@ -225,6 +238,20 @@ func buildApp(o options) (*app, error) {
 			len(a.fleet.Policies()), strings.Join(a.fleet.Policies(), ", "))
 	}
 
+	// Request-lifecycle tracing: sampled per-phase span timelines with a
+	// tail reservoir (K slowest per window + every errored/missed/
+	// evicting request). Off by default; the proxy's untraced cost is
+	// one nil check per request.
+	if o.traceSample > 0 {
+		a.tracer = obs.NewTracer(obs.TracerOptions{
+			SampleEvery: o.traceSample,
+			SlowestK:    o.traceSlowest,
+		})
+		a.srv.Tracer = a.tracer
+		log.Printf("tracing 1 in %d requests (keeping %d slowest per window)",
+			o.traceSample, o.traceSlowest)
+	}
+
 	if o.admin {
 		a.reg = obs.NewRegistry()
 		a.ring = obs.NewEventRing(eventRingSize)
@@ -243,9 +270,13 @@ func buildApp(o options) (*app, error) {
 			a.fleet.RegisterMetrics(a.reg)
 			extra["/shadow"] = a.fleet.Handler()
 		}
+		if a.tracer != nil {
+			a.tracer.RegisterMetrics(a.reg, "proxy")
+		}
 		a.admin = obs.NewServer(obs.ServerOptions{
 			Registry:         a.reg,
 			Ring:             a.ring,
+			Tracer:           a.tracer,
 			Snapshot:         a.snapshot,
 			SnapshotInterval: time.Second,
 			BuildMeta: map[string]any{
@@ -364,6 +395,9 @@ func main() {
 		shadowSpec  = flag.String("shadow", "", "comma-separated candidate policies to run as ghost caches (e.g. \"LRU,SIZE,LFU\"); /shadow on the admin address reports their window HR/WHR and regret")
 		shadowQueue = flag.Int("shadow-queue", 0, "shadow fleet event-ring slots (0 = default)")
 
+		traceSample  = flag.Int("trace-sample", 0, "trace every nth request's phase timeline (0 = off); /requests on the admin address shows the kept tail")
+		traceSlowest = flag.Int("trace-slowest", 16, "keep this many slowest traced requests per window (plus every errored/missed/evicting one)")
+
 		expectedDocs = flag.Int("expected-docs", 0, "pre-size store maps and policy structures for this many resident documents (0 = capacity/16KiB, -1 = off)")
 
 		touchBuffer    = flag.Int("touch-buffer", 1024, "touch-buffer slots per shard for the read-lock-only hit path (0 = synchronous policy updates)")
@@ -399,6 +433,9 @@ func main() {
 
 		shadow:      *shadowSpec,
 		shadowQueue: *shadowQueue,
+
+		traceSample:  *traceSample,
+		traceSlowest: *traceSlowest,
 
 		expectedDocs: *expectedDocs,
 

@@ -8,9 +8,12 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"runtime"
+	"slices"
 	"strings"
 	"testing"
 	"time"
+
+	"webcache/internal/obs"
 )
 
 func TestParseBytes(t *testing.T) {
@@ -419,6 +422,155 @@ func TestShadowApp(t *testing.T) {
 	}
 	if snap.StoreWindow.Gets != 5 || snap.StoreWindow.Hits != 2 || snap.StoreWindow.HR != 0.4 {
 		t.Errorf("snapshot store_window = %+v, want 5 gets / 2 hits / 0.4", snap.StoreWindow)
+	}
+}
+
+// TestTracedApp wires the app with -trace-sample and the admin
+// surface, pushes a miss and a hit through it, and checks the tracing
+// path end to end: responses carry X-Trace-Id, /requests answers in
+// text and JSON with the sampled timelines, /metrics carries the
+// proxy.trace_* counters, the access log cross-references the trace
+// IDs, and /trace includes the pid-2 request span trees.
+func TestTracedApp(t *testing.T) {
+	origin := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/html")
+		fmt.Fprintf(w, "<html>%s</html>", r.URL.Path)
+	}))
+	defer origin.Close()
+
+	a, err := buildApp(options{
+		capacity:     1 << 20,
+		polSpec:      "SIZE",
+		freshFor:     time.Hour,
+		admin:        true,
+		traceSample:  1,
+		traceSlowest: 8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	if a.tracer == nil || a.srv.Tracer != a.tracer {
+		t.Fatal("-trace-sample did not attach a tracer to the proxy server")
+	}
+
+	traffic := httptest.NewServer(a.mux)
+	defer traffic.Close()
+	adminAddr, err := a.admin.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	adminURL := "http://" + adminAddr.String()
+
+	ids := map[string]bool{}
+	for _, path := range []string{"/a.html", "/a.html"} {
+		req, err := http.NewRequest(http.MethodGet, traffic.URL+path, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		req.Host = strings.TrimPrefix(origin.URL, "http://")
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		id := resp.Header.Get("X-Trace-Id")
+		if id == "" {
+			t.Fatalf("response for %s has no X-Trace-Id", path)
+		}
+		ids[id] = true
+	}
+	if len(ids) != 2 {
+		t.Fatalf("2 requests yielded %d distinct trace IDs", len(ids))
+	}
+
+	// /requests answers in text and JSON; both sampled requests were
+	// kept (the miss is flagged, the hit competes in the half-empty
+	// slowest reservoir) and carry their header IDs.
+	body, status := adminGet(t, adminURL+"/requests")
+	if status != http.StatusOK || !strings.Contains(body, "MISS") || !strings.Contains(body, "HIT") {
+		t.Fatalf("/requests = %d:\n%s", status, body)
+	}
+	body, status = adminGet(t, adminURL+"/requests?format=json")
+	if status != http.StatusOK {
+		t.Fatalf("/requests?format=json = %d", status)
+	}
+	var doc struct {
+		Stats    struct{ Sampled, Kept int64 }
+		Requests []struct {
+			ID      uint64
+			Verdict string
+			Spans   []struct{ Phase string }
+		}
+	}
+	if err := json.Unmarshal([]byte(body), &doc); err != nil {
+		t.Fatalf("/requests json unparsable: %v\n%s", err, body)
+	}
+	if doc.Stats.Sampled != 2 || doc.Stats.Kept != 2 || len(doc.Requests) != 2 {
+		t.Fatalf("/requests json = %+v, want 2 sampled / 2 kept", doc)
+	}
+	for _, rec := range doc.Requests {
+		if id := obs.FormatTraceID(rec.ID); !ids[id] {
+			t.Errorf("kept trace %s not among response header IDs %v", id, ids)
+		}
+		var phases []string
+		for _, sp := range rec.Spans {
+			phases = append(phases, sp.Phase)
+		}
+		switch rec.Verdict {
+		case "MISS":
+			for _, want := range []string{"parse", "store.get", "origin.ttfb", "admit"} {
+				if !slices.Contains(phases, want) {
+					t.Errorf("miss timeline missing %s: %v", want, phases)
+				}
+			}
+		case "HIT":
+			if !slices.Contains(phases, "store.get") || slices.Contains(phases, "origin.ttfb") {
+				t.Errorf("hit timeline %v, want store.get without origin phases", phases)
+			}
+		default:
+			t.Errorf("unexpected verdict %q", rec.Verdict)
+		}
+	}
+
+	// /metrics carries the tracer counters.
+	body, status = adminGet(t, adminURL+"/metrics")
+	if status != http.StatusOK {
+		t.Fatalf("metrics status = %d", status)
+	}
+	for _, want := range []string{"proxy.trace_sampled 2", "proxy.trace_kept 2", "proxy.trace_flagged 1"} {
+		if !strings.Contains(body, want) {
+			t.Errorf("metrics missing %q:\n%s", want, body)
+		}
+	}
+
+	// The access log cross-references both trace IDs.
+	body, status = adminGet(t, adminURL+"/accesslog")
+	if status != http.StatusOK {
+		t.Fatalf("accesslog status = %d", status)
+	}
+	for id := range ids {
+		if !strings.Contains(body, " trace="+id) {
+			t.Errorf("access log does not reference trace %s:\n%s", id, body)
+		}
+	}
+
+	// /trace merges the event ring (pid 1) with request spans (pid 2).
+	body, status = adminGet(t, adminURL+"/trace")
+	if status != http.StatusOK {
+		t.Fatalf("trace status = %d", status)
+	}
+	var events []struct{ Pid int }
+	if err := json.Unmarshal([]byte(body), &events); err != nil {
+		t.Fatalf("trace unparsable: %v", err)
+	}
+	pids := map[int]int{}
+	for _, ev := range events {
+		pids[ev.Pid]++
+	}
+	if pids[1] == 0 || pids[2] == 0 {
+		t.Fatalf("combined trace missing a source: pid counts %v", pids)
 	}
 }
 

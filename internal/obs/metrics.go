@@ -3,6 +3,7 @@ package obs
 import (
 	"fmt"
 	"io"
+	"math"
 	"math/bits"
 	"sort"
 	"sync"
@@ -135,10 +136,16 @@ func (h *Histogram) Quantile(q float64) int64 {
 	} else if q > 1 {
 		q = 1
 	}
-	// rank is 1-based: the rank-th smallest observation.
-	rank := int64(q * float64(n))
+	// rank is 1-based: the rank-th smallest observation, by the
+	// nearest-rank rule rank = ceil(q·n). Flooring here understates
+	// upper quantiles by one whole observation (p99 of 100 samples
+	// would read the 98th smallest instead of the 99th).
+	rank := int64(math.Ceil(q * float64(n)))
 	if rank < 1 {
 		rank = 1
+	}
+	if rank > n {
+		rank = n
 	}
 	var cum int64
 	for i := 0; i < histBuckets; i++ {

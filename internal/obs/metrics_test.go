@@ -167,6 +167,42 @@ func TestHistogramQuantileEdgeCases(t *testing.T) {
 	}
 }
 
+// TestHistogramQuantilePinned pins exact quantile values on a known
+// distribution, the regression test for the rank computation: the rank
+// is the nearest-rank ceil(q·n), not a floored index. Flooring
+// understates upper quantiles by one whole observation — with two of
+// 100 samples in the top bucket, a floored p99 reads the 98th smallest
+// and misses the tail entirely.
+func TestHistogramQuantilePinned(t *testing.T) {
+	var h Histogram
+	// 1024 observations, all in the [1024, 2048) bucket: quantiles are
+	// pure within-bucket interpolation with no bucket-walk ambiguity.
+	// p50: rank ceil(0.5·1024) = 512 → 1024 + (512-0.5)/1024·1024 = 1535.
+	// p99: rank ceil(0.99·1024) = 1014 → 1024 + 1013 = 2037.
+	for i := 0; i < 1024; i++ {
+		h.Observe(1024 + int64(i)%1024)
+	}
+	if got := h.Quantile(0.50); got != 1535 {
+		t.Errorf("p50 = %d, want 1535", got)
+	}
+	if got := h.Quantile(0.99); got != 2037 {
+		t.Errorf("p99 = %d, want 2037", got)
+	}
+
+	// The floor-vs-ceil distinguisher: 98 fast observations and 2 slow
+	// ones. The 99th smallest is slow, so p99 must land in the slow
+	// bucket; floored rank (98) would report the fast bucket.
+	var tail Histogram
+	for i := 0; i < 98; i++ {
+		tail.Observe(1)
+	}
+	tail.Observe(1 << 14)
+	tail.Observe(1 << 14)
+	if got := tail.Quantile(0.99); got < 1<<14 || got >= 1<<15 {
+		t.Errorf("p99 = %d, want within the slow bucket [%d,%d)", got, 1<<14, 1<<15)
+	}
+}
+
 func TestHistogramSnapshotHasQuantiles(t *testing.T) {
 	r := NewRegistry()
 	r.Histogram("lat").Observe(100)

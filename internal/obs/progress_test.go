@@ -1,0 +1,79 @@
+package obs
+
+import (
+	"bytes"
+	"io"
+	"regexp"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestProgressLineETA pins the ETA arithmetic (obs_test.go covers the
+// line's shape; this covers its value): with the start time backdated a
+// known amount, remaining = elapsed/done × (total-done).
+func TestProgressLineETA(t *testing.T) {
+	p := NewProgress(io.Discard, "exp1", 0)
+	p.AddTotal(3)
+	p.Done(1)
+	// One replay took 40 minutes; two remain → ETA 1h20m.
+	p.start = time.Now().Add(-40 * time.Minute)
+	line := p.Line()
+	if !strings.Contains(line, "exp1: 1/3 replays (33%)") {
+		t.Errorf("line = %q, want 1/3 at 33%%", line)
+	}
+	m := regexp.MustCompile(`eta (\S+)$`).FindStringSubmatch(line)
+	if m == nil {
+		t.Fatalf("line %q has no ETA", line)
+	}
+	eta, err := time.ParseDuration(m[1])
+	if err != nil {
+		t.Fatalf("unparseable ETA %q: %v", m[1], err)
+	}
+	// The test's own execution time sits between the backdating and the
+	// render, so allow a second of slack around the exact 1h20m.
+	want := 80 * time.Minute
+	if diff := (eta - want).Abs(); diff > time.Second {
+		t.Errorf("ETA = %s, want %s ± 1s", eta, want)
+	}
+}
+
+// TestProgressLineETAEdges pins the ETA placeholder states: "?" before
+// anything finishes, "0s" at completion, and 0s (not negative) when
+// Done overshoots the total.
+func TestProgressLineETAEdges(t *testing.T) {
+	p := NewProgress(io.Discard, "exp2", 0)
+	p.AddTotal(4)
+	if line := p.Line(); !strings.Contains(line, "eta ?") {
+		t.Errorf("zero-done line = %q, want eta ?", line)
+	}
+	p.Done(4)
+	if line := p.Line(); !strings.Contains(line, "4/4 replays (100%)") || !strings.Contains(line, "eta 0s") {
+		t.Errorf("complete line = %q, want 100%% and eta 0s", line)
+	}
+	p.Done(1) // overshoot (a retried replay) must not break the ETA
+	if line := p.Line(); !strings.Contains(line, "eta 0s") {
+		t.Errorf("overshot line = %q, want eta 0s", line)
+	}
+}
+
+// TestProgressStartGuards covers the ticker lifecycle guards: double
+// Start must not duplicate rendered lines, and Start after Stop must
+// not revive the ticker (or panic on the closed stop channel).
+func TestProgressStartGuards(t *testing.T) {
+	var buf bytes.Buffer
+	p := NewProgress(&buf, "exp3", time.Hour) // ticker never fires in-test
+	p.AddTotal(2)
+	p.Done(2)
+	p.Start()
+	p.Start() // guarded: must not leak a second ticker
+	p.Stop()
+	out := buf.String()
+	if got := strings.Count(out, "exp3: 2/2"); got != 1 {
+		t.Fatalf("final line rendered %d times, want 1:\n%s", got, out)
+	}
+	p.Start() // after Stop: no-op, no panic on the closed channel
+	if strings.Count(buf.String(), "\n") != 1 {
+		t.Fatalf("Start after Stop produced output:\n%s", buf.String())
+	}
+}

@@ -156,6 +156,14 @@ type traceEvent struct {
 // are microseconds as the format requires; each kind gets its own tid
 // track so the four event classes separate visually.
 func (r *EventRing) WriteChromeTrace(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	return enc.Encode(r.traceEvents())
+}
+
+// traceEvents renders the retained events as trace-event records, the
+// shared building block of WriteChromeTrace and the combined ring +
+// request-tracer export (WriteCombinedChromeTrace).
+func (r *EventRing) traceEvents() []traceEvent {
 	events := r.Snapshot()
 	out := make([]traceEvent, 0, len(events))
 	for _, ev := range events {
@@ -186,6 +194,5 @@ func (r *EventRing) WriteChromeTrace(w io.Writer) error {
 		}
 		out = append(out, te)
 	}
-	enc := json.NewEncoder(w)
-	return enc.Encode(out)
+	return out
 }

@@ -79,6 +79,10 @@ type ServerOptions struct {
 	Registry *Registry
 	// Ring backs /trace (Chrome trace-event JSON of recent cache events).
 	Ring *EventRing
+	// Tracer backs /requests (the tail-sampled request reservoir) and
+	// joins /trace: with both sources the export is the combined view —
+	// the ring's residency spans on pid 1, request span trees on pid 2.
+	Tracer *Tracer
 	// Events, when non-nil, is the push source for /events: every
 	// published value becomes one SSE data frame (websim publishes
 	// ReplaySnapshots as replays finish).
@@ -128,6 +132,7 @@ func NewServer(opts ServerOptions) *Server {
 	s.mux.HandleFunc("/buildinfo", s.handleBuildinfo)
 	s.mux.HandleFunc("/events", s.handleEvents)
 	s.mux.HandleFunc("/trace", s.handleTrace)
+	s.mux.HandleFunc("/requests", s.handleRequests)
 	s.mux.HandleFunc("/debug/pprof/", pprof.Index)
 	s.mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	s.mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
@@ -179,7 +184,7 @@ func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
 		http.NotFound(w, r)
 		return
 	}
-	paths := []string{"/healthz", "/metrics", "/metrics?format=json", "/buildinfo", "/events", "/trace", "/debug/pprof/"}
+	paths := []string{"/healthz", "/metrics", "/metrics?format=json", "/buildinfo", "/events", "/trace", "/requests", "/debug/pprof/"}
 	for p := range s.opts.Extra {
 		paths = append(paths, p)
 	}
@@ -249,12 +254,22 @@ func (s *Server) handleBuildinfo(w http.ResponseWriter, r *http.Request) {
 // it and load the file in Perfetto (ui.perfetto.dev) or
 // chrome://tracing.
 func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
-	if s.opts.Ring == nil {
+	if s.opts.Ring == nil && s.opts.Tracer == nil {
 		http.Error(w, "no event ring attached", http.StatusNotFound)
 		return
 	}
 	w.Header().Set("Content-Type", "application/json")
-	s.opts.Ring.WriteChromeTrace(w)
+	WriteCombinedChromeTrace(w, s.opts.Ring, s.opts.Tracer)
+}
+
+// handleRequests serves the request tracer's tail-sampled reservoir:
+// the slowest and flagged requests with their per-phase timelines.
+func (s *Server) handleRequests(w http.ResponseWriter, r *http.Request) {
+	if s.opts.Tracer == nil {
+		http.Error(w, "no request tracer attached", http.StatusNotFound)
+		return
+	}
+	s.opts.Tracer.Handler().ServeHTTP(w, r)
 }
 
 // handleEvents streams live state as server-sent events: one

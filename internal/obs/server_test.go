@@ -143,6 +143,104 @@ func TestServerTraceWithoutRing(t *testing.T) {
 	}
 }
 
+// TestServerRequests wires a tracer with one kept request into the
+// admin server and reads it back through /requests in both formats,
+// and through /trace as the combined export (ring residency on pid 1,
+// request span trees on pid 2).
+func TestServerRequests(t *testing.T) {
+	c := newTracerClock()
+	tr := NewTracer(TracerOptions{Clock: c.now})
+	rt := tr.Begin()
+	rt.SetURL("http://e.com/slow")
+	sp := rt.BeginSpan(PhaseStoreGet)
+	c.advance(3 * time.Millisecond)
+	rt.EndSpan(sp)
+	rt.SetOutcome("MISS", 200, 64)
+	tr.End(rt)
+
+	ring := NewEventRing(8)
+	ring.Record(Event{Kind: EventAdd, Time: 10, ID: 1, Size: 64})
+
+	s := NewServer(ServerOptions{Ring: ring, Tracer: tr})
+	defer s.Close()
+	srv := httptest.NewServer(s.Handler())
+	defer srv.Close()
+
+	body, status := get(t, srv.URL+"/requests")
+	if status != http.StatusOK || !strings.Contains(body, "00000001") || !strings.Contains(body, "MISS") {
+		t.Fatalf("requests table = %d %q", status, body)
+	}
+	body, status = get(t, srv.URL+"/requests?format=json")
+	if status != http.StatusOK {
+		t.Fatalf("requests json status = %d", status)
+	}
+	var doc struct {
+		Requests []map[string]any `json:"requests"`
+	}
+	if err := json.Unmarshal([]byte(body), &doc); err != nil {
+		t.Fatalf("requests json unparsable: %v\n%s", err, body)
+	}
+	if len(doc.Requests) != 1 || doc.Requests[0]["url"] != "http://e.com/slow" {
+		t.Fatalf("requests json = %v, want the one kept trace", doc.Requests)
+	}
+
+	body, status = get(t, srv.URL+"/trace")
+	if status != http.StatusOK {
+		t.Fatalf("combined trace status = %d", status)
+	}
+	var events []map[string]any
+	if err := json.Unmarshal([]byte(body), &events); err != nil {
+		t.Fatalf("combined trace unparsable: %v", err)
+	}
+	pids := map[float64]int{}
+	for _, ev := range events {
+		pids[ev["pid"].(float64)]++
+	}
+	if pids[1] == 0 || pids[2] == 0 {
+		t.Fatalf("combined trace missing a source: pid counts %v", pids)
+	}
+
+	if body, status = get(t, srv.URL+"/"); status != http.StatusOK || !strings.Contains(body, "/requests") {
+		t.Fatalf("index does not list /requests: %d\n%s", status, body)
+	}
+}
+
+// TestServerRequestsWithoutTracer mirrors TestServerTraceWithoutRing:
+// no tracer attached means 404, not an empty page.
+func TestServerRequestsWithoutTracer(t *testing.T) {
+	s := NewServer(ServerOptions{})
+	defer s.Close()
+	srv := httptest.NewServer(s.Handler())
+	defer srv.Close()
+	if _, status := get(t, srv.URL+"/requests"); status != http.StatusNotFound {
+		t.Fatalf("requests without tracer = %d, want 404", status)
+	}
+}
+
+// TestServerTraceTracerOnly pins that /trace works with only the
+// request tracer attached (no event ring): the combined writer treats
+// either source alone as exportable.
+func TestServerTraceTracerOnly(t *testing.T) {
+	c := newTracerClock()
+	tr := NewTracer(TracerOptions{Clock: c.now})
+	finish(tr, c, time.Millisecond, "HIT")
+	s := NewServer(ServerOptions{Tracer: tr})
+	defer s.Close()
+	srv := httptest.NewServer(s.Handler())
+	defer srv.Close()
+	body, status := get(t, srv.URL+"/trace")
+	if status != http.StatusOK {
+		t.Fatalf("tracer-only trace status = %d", status)
+	}
+	var events []map[string]any
+	if err := json.Unmarshal([]byte(body), &events); err != nil {
+		t.Fatalf("tracer-only trace unparsable: %v", err)
+	}
+	if len(events) == 0 || events[0]["pid"].(float64) != 2 {
+		t.Fatalf("tracer-only trace = %v, want pid-2 request spans", events)
+	}
+}
+
 func TestServerEventsWithoutSource(t *testing.T) {
 	s := NewServer(ServerOptions{})
 	defer s.Close()

@@ -8,7 +8,12 @@ import (
 // Span runs fn with the given pprof label pairs attached to the
 // goroutine, so CPU profile samples taken inside fn carry them
 // (`go tool pprof -tagfocus policy=...`). Labels must come in
-// key/value pairs. The previous label set is restored when fn returns.
+// key/value pairs. When fn returns the goroutine is unlabeled again;
+// because the labels are rooted in context.Background, a nested Span
+// replaces (not extends) the outer label set and its return clears the
+// goroutine entirely — spans wrap whole replays, which do not nest, so
+// composition would buy nothing, but the nested behavior is pinned by
+// test so a future caller is not surprised.
 //
 // A span costs two goroutine label swaps — microseconds — so it wraps
 // whole replays, never per-request work, and callers gate it on the

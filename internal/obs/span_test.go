@@ -1,0 +1,65 @@
+package obs
+
+import (
+	"bytes"
+	"runtime/pprof"
+	"strings"
+	"testing"
+)
+
+// curGoroutineLabels captures this goroutine's pprof label set via the
+// debug=1 goroutine profile: the profile groups goroutines by stack, so
+// the block containing this helper's frame is the calling goroutine's,
+// and its "# labels:" line (absent when unlabeled) is the label set.
+// (obs_test.go's goroutineLabels returns the whole profile; here the
+// nested-restoration assertions need this goroutine's labels alone.)
+func curGoroutineLabels(t *testing.T) string {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := pprof.Lookup("goroutine").WriteTo(&buf, 1); err != nil {
+		t.Fatal(err)
+	}
+	for _, block := range strings.Split(buf.String(), "\n\n") {
+		if !strings.Contains(block, "curGoroutineLabels") {
+			continue
+		}
+		for _, line := range strings.Split(block, "\n") {
+			if strings.HasPrefix(strings.TrimSpace(line), "# labels:") {
+				return strings.TrimSpace(line)
+			}
+		}
+		return ""
+	}
+	t.Fatal("test goroutine not found in goroutine profile")
+	return ""
+}
+
+// TestSpanRestoresLabelsWhenNested pins Span's documented nesting
+// semantics: the inner span's labels replace the outer set while it
+// runs (Span roots its labels in context.Background, not the current
+// goroutine set), nothing leaks past the inner span's end, and the
+// goroutine is unlabeled after the outermost span returns. Label
+// hygiene is the contract; composition is explicitly not.
+func TestSpanRestoresLabelsWhenNested(t *testing.T) {
+	var during, afterInner, afterOuter string
+	Span([]string{"outer", "a"}, func() {
+		Span([]string{"inner", "b"}, func() {
+			during = curGoroutineLabels(t)
+		})
+		afterInner = curGoroutineLabels(t)
+	})
+	afterOuter = curGoroutineLabels(t)
+
+	if !strings.Contains(during, `"inner":"b"`) {
+		t.Errorf("inner span labels missing: %q", during)
+	}
+	if strings.Contains(during, `"outer"`) {
+		t.Errorf("nested span unexpectedly composes with the outer set: %q", during)
+	}
+	if strings.Contains(afterInner, `"inner"`) {
+		t.Errorf("inner span labels leaked past its end: %q", afterInner)
+	}
+	if strings.Contains(afterOuter, `"outer"`) || strings.Contains(afterOuter, `"inner"`) {
+		t.Errorf("span labels survived Span's return: %q", afterOuter)
+	}
+}

@@ -1,0 +1,69 @@
+package origin
+
+// The proxy's miss path is dominated by the origin: connection setup,
+// the origin's think time, and the body transfer. This file turns the
+// transport's own lifecycle callbacks (net/http/httptrace) into the
+// request tracer's origin.dial and origin.ttfb spans, so a sampled
+// miss's timeline attributes its latency to the wire rather than to
+// an opaque RoundTrip blob.
+
+import (
+	"net/http"
+	"net/http/httptrace"
+	"sync"
+
+	"webcache/internal/obs"
+)
+
+// ClientTrace returns an httptrace.ClientTrace that records the
+// origin fetch's connection phases into rt:
+//
+//   - origin.dial spans ConnectStart → ConnectDone (absent entirely
+//     when the transport reuses an idle connection),
+//   - origin.ttfb spans request-written → first response byte, the
+//     origin's think time.
+//
+// The transport may fire connect callbacks from its dialing goroutine
+// (and dials two connections at once under happy-eyeballs), so the
+// span IDs are guarded; ReqTrace's own span buffer is already
+// goroutine-safe.
+func ClientTrace(rt *obs.ReqTrace) *httptrace.ClientTrace {
+	var mu sync.Mutex
+	dial, ttfb := obs.NoSpan, obs.NoSpan
+	return &httptrace.ClientTrace{
+		ConnectStart: func(network, addr string) {
+			mu.Lock()
+			if dial == obs.NoSpan {
+				dial = rt.BeginSpan(obs.PhaseDial)
+			}
+			mu.Unlock()
+		},
+		ConnectDone: func(network, addr string, err error) {
+			mu.Lock()
+			rt.EndSpan(dial)
+			mu.Unlock()
+		},
+		WroteRequest: func(httptrace.WroteRequestInfo) {
+			mu.Lock()
+			if ttfb == obs.NoSpan {
+				ttfb = rt.BeginSpan(obs.PhaseTTFB)
+			}
+			mu.Unlock()
+		},
+		GotFirstResponseByte: func() {
+			mu.Lock()
+			rt.EndSpan(ttfb)
+			mu.Unlock()
+		},
+	}
+}
+
+// TraceRequest attaches ClientTrace(rt) to req's context and returns
+// the derived request. A nil rt returns req unchanged, so callers need
+// no sampling branch of their own.
+func TraceRequest(req *http.Request, rt *obs.ReqTrace) *http.Request {
+	if rt == nil {
+		return req
+	}
+	return req.WithContext(httptrace.WithClientTrace(req.Context(), ClientTrace(rt)))
+}

@@ -159,10 +159,19 @@ func (l *AccessLogger) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	if l.every > 1 && (seq-1)%l.every != 0 {
 		return
 	}
-	line := fmt.Sprintf("%s - - [%s] \"%s %s HTTP/1.0\" %d %d\n",
+	// A request the tracer sampled carries its ID on the response
+	// (proxy.ServeHTTP sets X-Trace-Id); append it as an extended
+	// key=value field — the same extension mechanism as lastmod=, so
+	// trace.ParseCLFLine still ingests the line — and /accesslog rows
+	// cross-reference /requests entries.
+	traceField := ""
+	if id := rec.Header().Get("X-Trace-Id"); id != "" {
+		traceField = " trace=" + id
+	}
+	line := fmt.Sprintf("%s - - [%s] \"%s %s HTTP/1.0\" %d %d%s\n",
 		client,
 		l.now().UTC().Format("02/Jan/2006:15:04:05 -0700"),
-		r.Method, url, rec.status, rec.bytes)
+		r.Method, url, rec.status, rec.bytes, traceField)
 	l.lines++
 	l.recent[l.recentN%recentLines] = line
 	l.recentN++

@@ -4,6 +4,7 @@ import (
 	"time"
 
 	"webcache/internal/core"
+	"webcache/internal/obs"
 )
 
 // ObjectStore is the contract the serving path programs against: the
@@ -58,8 +59,23 @@ type ObjectStore interface {
 	FlushTouches() int
 }
 
-// Both implementations must satisfy the serving-path contract.
+// TracedStore is the optional request-tracing extension of
+// ObjectStore: Get/Put variants that record their phases (shard
+// route, touch enqueue, eviction chain) into a sampled request's span
+// timeline. The proxy type-asserts for it once at construction, so an
+// ObjectStore that lacks it is simply served untraced — the same
+// graceful-degradation shape as policy.Reserver. A nil rt must behave
+// exactly like the untraced method.
+type TracedStore interface {
+	GetTraced(url string, rt *obs.ReqTrace) (*Object, bool)
+	PutTraced(url string, obj *Object, rt *obs.ReqTrace) bool
+}
+
+// Both implementations must satisfy the serving-path contract, traced
+// extension included.
 var (
 	_ ObjectStore = (*Store)(nil)
 	_ ObjectStore = (*ShardedStore)(nil)
+	_ TracedStore = (*Store)(nil)
+	_ TracedStore = (*ShardedStore)(nil)
 )

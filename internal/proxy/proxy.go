@@ -8,6 +8,9 @@ import (
 	"strings"
 	"sync/atomic"
 	"time"
+
+	"webcache/internal/obs"
+	"webcache/internal/origin"
 )
 
 // Stats counts proxy-level outcomes.
@@ -56,6 +59,16 @@ type Server struct {
 	// body size, deployed hit-or-miss) for the ghost-cache fleet. The
 	// per-request cost is one non-blocking enqueue; nil costs one branch.
 	Shadow *ShadowFleet
+	// Tracer, when non-nil, samples requests into per-phase span
+	// timelines (parse, route, store get, origin dial/TTFB/body,
+	// admission, eviction chain) and keeps the tail worth inspecting —
+	// the /requests admin endpoint. Nil — the default — costs one
+	// branch per request; unsampled requests cost one atomic add.
+	Tracer *obs.Tracer
+
+	// traced is the store's optional tracing extension, type-asserted
+	// once here so the serving path never repeats the assertion.
+	traced TracedStore
 
 	stats struct {
 		requests, hits, revalidated, misses atomic.Int64
@@ -68,11 +81,15 @@ type Server struct {
 // New returns a caching proxy over the given store — the single-mutex
 // Store or an N-way ShardedStore, whichever the deployment picked.
 func New(store ObjectStore) *Server {
-	return &Server{
+	s := &Server{
 		store:          store,
 		FreshFor:       5 * time.Minute,
 		MaxObjectBytes: 8 << 20,
 	}
+	if ts, ok := store.(TracedStore); ok {
+		s.traced = ts
+	}
+	return s
 }
 
 // Store exposes the underlying object store.
@@ -117,6 +134,28 @@ func Cacheable(r *http.Request) bool {
 	return true
 }
 
+// storeGet routes a lookup through the store's tracing extension when
+// this request is sampled; the untraced path is the plain Get.
+func (s *Server) storeGet(key string, rt *obs.ReqTrace) (*Object, bool) {
+	if rt == nil || s.traced == nil {
+		return s.store.Get(key)
+	}
+	sp := rt.BeginSpan(obs.PhaseStoreGet)
+	obj, ok := s.traced.GetTraced(key, rt)
+	rt.EndSpan(sp)
+	return obj, ok
+}
+
+// storePut routes an admission through the store's tracing extension
+// when this request is sampled. The admit span (opened by the caller)
+// wraps it, so eviction spans recorded by the store nest correctly.
+func (s *Server) storePut(key string, obj *Object, rt *obs.ReqTrace) bool {
+	if rt == nil || s.traced == nil {
+		return s.store.Put(key, obj)
+	}
+	return s.traced.PutTraced(key, obj, rt)
+}
+
 // ServeHTTP implements the proxy.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	s.stats.requests.Add(1)
@@ -125,7 +164,15 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
 		defer func() { m.Latency.Observe(time.Since(start).Nanoseconds()) }()
 	}
+	rt := s.Tracer.Begin() // nil when untraced or unsampled; every rt method is nil-safe
+	if rt != nil {
+		// The ID goes out on the response (and into the access log), so
+		// a slow request a client reports can be found in /requests.
+		w.Header().Set("X-Trace-Id", obs.FormatTraceID(rt.ID))
+		defer s.Tracer.End(rt)
+	}
 
+	parse := rt.BeginSpan(obs.PhaseParse)
 	target := r.URL
 	if !target.IsAbs() {
 		// Accept origin-form requests too (reverse-proxy style) by
@@ -135,6 +182,9 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 			if m := s.Metrics; m != nil {
 				m.Errors.Inc()
 			}
+			rt.EndSpan(parse)
+			rt.MarkError()
+			rt.SetOutcome("ERROR", http.StatusBadRequest, 0)
 			http.Error(w, "proxy: request URL is not absolute", http.StatusBadRequest)
 			return
 		}
@@ -149,17 +199,21 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		if m := s.Metrics; m != nil {
 			m.Uncacheable.Inc()
 		}
-		s.passThrough(w, r, target)
+		rt.SetURL(target.String())
+		rt.EndSpan(parse)
+		s.passThrough(w, r, target, rt)
 		return
 	}
 
 	key := target.String()
 	noCache := strings.EqualFold(r.Header.Get("Pragma"), "no-cache")
+	rt.SetURL(key)
+	rt.EndSpan(parse)
 
-	if obj, ok := s.store.Get(key); ok && !noCache {
+	if obj, ok := s.storeGet(key, rt); ok && !noCache {
 		age := time.Since(obj.StoredAt)
 		if age <= s.FreshFor {
-			s.serveObject(w, obj, "HIT")
+			s.serveObject(w, obj, "HIT", rt)
 			s.stats.hits.Add(1)
 			s.stats.bytesFromHit.Add(int64(len(obj.Body)))
 			if m := s.Metrics; m != nil {
@@ -171,8 +225,11 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 			}
 			return
 		}
-		if s.revalidate(key, obj, target) {
-			s.serveObject(w, obj, "REVALIDATED")
+		reval := rt.BeginSpan(obs.PhaseRevalidate)
+		ok := s.revalidate(key, obj, target)
+		rt.EndSpan(reval)
+		if ok {
+			s.serveObject(w, obj, "REVALIDATED", rt)
 			s.stats.revalidated.Add(1)
 			s.stats.bytesFromHit.Add(int64(len(obj.Body)))
 			if m := s.Metrics; m != nil {
@@ -188,7 +245,7 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		// through to a fresh fetch, replacing the stale copy.
 	}
 
-	s.fetchAndServe(w, r, target, key)
+	s.fetchAndServe(w, r, target, key, rt)
 }
 
 // revalidate sends a conditional GET; true means the cached copy is
@@ -219,33 +276,37 @@ func (s *Server) revalidate(key string, obj *Object, target *url.URL) bool {
 
 // fetchAndServe fetches target from the origin (or parent proxy),
 // serves it, and caches it when eligible.
-func (s *Server) fetchAndServe(w http.ResponseWriter, r *http.Request, target *url.URL, key string) {
+func (s *Server) fetchAndServe(w http.ResponseWriter, r *http.Request, target *url.URL, key string, rt *obs.ReqTrace) {
 	s.stats.misses.Add(1)
 	if m := s.Metrics; m != nil {
 		m.Misses.Inc()
 	}
 	req, err := http.NewRequest(http.MethodGet, target.String(), nil)
 	if err != nil {
-		s.countError(w, fmt.Sprintf("proxy: building origin request: %v", err))
+		s.countError(w, rt, fmt.Sprintf("proxy: building origin request: %v", err))
 		return
 	}
 	copyHopByHopSafe(req.Header, r.Header)
+	// A sampled miss watches the transport's own lifecycle callbacks:
+	// origin.dial and origin.ttfb spans come from httptrace, so the
+	// timeline attributes origin latency to the wire, not RoundTrip.
+	req = origin.TraceRequest(req, rt)
 
 	// Ask ICP siblings before going to the origin; a hit redirects the
 	// fetch through the sibling's HTTP listener.
-	rt := s.transport()
+	tr := s.transport()
 	if sib := s.ICP.QuerySiblings(s.Siblings, key); sib != nil {
 		if sibURL, err := url.Parse(sib.Proxy); err == nil {
-			rt = &http.Transport{Proxy: http.ProxyURL(sibURL)}
+			tr = &http.Transport{Proxy: http.ProxyURL(sibURL)}
 			s.stats.siblingHits.Add(1)
 			if m := s.Metrics; m != nil {
 				m.SiblingHits.Inc()
 			}
 		}
 	}
-	resp, err := rt.RoundTrip(req)
+	resp, err := tr.RoundTrip(req)
 	if err != nil {
-		s.countError(w, fmt.Sprintf("proxy: origin fetch failed: %v", err))
+		s.countError(w, rt, fmt.Sprintf("proxy: origin fetch failed: %v", err))
 		return
 	}
 	defer resp.Body.Close()
@@ -255,12 +316,15 @@ func (s *Server) fetchAndServe(w http.ResponseWriter, r *http.Request, target *u
 
 	if resp.StatusCode != http.StatusOK {
 		// Serve non-200 responses uncached.
-		s.relay(w, resp)
+		n := s.relay(w, resp)
+		rt.SetOutcome("MISS", resp.StatusCode, n)
 		return
 	}
+	bodySpan := rt.BeginSpan(obs.PhaseBody)
 	body, err := io.ReadAll(io.LimitReader(resp.Body, s.MaxObjectBytes+1))
+	rt.EndSpanArg(bodySpan, int64(len(body)))
 	if err != nil {
-		s.countError(w, fmt.Sprintf("proxy: reading origin body: %v", err))
+		s.countError(w, rt, fmt.Sprintf("proxy: reading origin body: %v", err))
 		return
 	}
 	if m := s.Metrics; m != nil {
@@ -274,25 +338,33 @@ func (s *Server) fetchAndServe(w http.ResponseWriter, r *http.Request, target *u
 		StoredAt:     time.Now(),
 	}
 	if int64(len(body)) <= s.MaxObjectBytes {
-		s.store.Put(key, obj)
+		admit := rt.BeginSpan(obs.PhaseAdmit)
+		stored := s.storePut(key, obj, rt)
+		arg := int64(0)
+		if stored {
+			arg = 1
+		}
+		rt.EndSpanArg(admit, arg)
 	}
-	s.serveObject(w, obj, "MISS")
+	s.serveObject(w, obj, "MISS", rt)
 	if f := s.Shadow; f != nil {
 		f.Observe(key, int64(len(body)), false)
 	}
 }
 
 // countError records an error outcome and answers 502.
-func (s *Server) countError(w http.ResponseWriter, msg string) {
+func (s *Server) countError(w http.ResponseWriter, rt *obs.ReqTrace, msg string) {
 	s.stats.errors.Add(1)
 	if m := s.Metrics; m != nil {
 		m.Errors.Inc()
 	}
+	rt.MarkError()
+	rt.SetOutcome("ERROR", http.StatusBadGateway, 0)
 	http.Error(w, msg, http.StatusBadGateway)
 }
 
 // serveObject writes a cached object to the client.
-func (s *Server) serveObject(w http.ResponseWriter, obj *Object, verdict string) {
+func (s *Server) serveObject(w http.ResponseWriter, obj *Object, verdict string, rt *obs.ReqTrace) {
 	h := w.Header()
 	if obj.ContentType != "" {
 		h.Set("Content-Type", obj.ContentType)
@@ -302,8 +374,11 @@ func (s *Server) serveObject(w http.ResponseWriter, obj *Object, verdict string)
 	}
 	h.Set("Content-Length", fmt.Sprint(len(obj.Body)))
 	h.Set("X-Cache", verdict)
+	serve := rt.BeginSpan(obs.PhaseServe)
 	w.WriteHeader(http.StatusOK)
 	n, _ := w.Write(obj.Body)
+	rt.EndSpan(serve)
+	rt.SetOutcome(verdict, http.StatusOK, int64(n))
 	s.stats.bytesServed.Add(int64(n))
 	if m := s.Metrics; m != nil {
 		m.BytesServed.Add(int64(n))
@@ -330,20 +405,22 @@ func (s *Server) relay(w http.ResponseWriter, resp *http.Response) int64 {
 }
 
 // passThrough forwards an uncacheable request verbatim.
-func (s *Server) passThrough(w http.ResponseWriter, r *http.Request, target *url.URL) {
+func (s *Server) passThrough(w http.ResponseWriter, r *http.Request, target *url.URL, rt *obs.ReqTrace) {
 	req, err := http.NewRequest(r.Method, target.String(), r.Body)
 	if err != nil {
-		s.countError(w, fmt.Sprintf("proxy: building pass-through request: %v", err))
+		s.countError(w, rt, fmt.Sprintf("proxy: building pass-through request: %v", err))
 		return
 	}
 	copyHopByHopSafe(req.Header, r.Header)
+	req = origin.TraceRequest(req, rt)
 	resp, err := s.transport().RoundTrip(req)
 	if err != nil {
-		s.countError(w, fmt.Sprintf("proxy: pass-through fetch failed: %v", err))
+		s.countError(w, rt, fmt.Sprintf("proxy: pass-through fetch failed: %v", err))
 		return
 	}
 	defer resp.Body.Close()
 	n := s.relay(w, resp)
+	rt.SetOutcome("UNCACHEABLE", resp.StatusCode, n)
 	// Successful GETs the cache declined (CGI, query strings, client
 	// opt-out) still reach the shadows: the simulator counts dynamic
 	// requests as misses, so the fleet must see them too.

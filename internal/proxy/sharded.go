@@ -38,6 +38,7 @@ import (
 	"time"
 
 	"webcache/internal/core"
+	"webcache/internal/obs"
 	"webcache/internal/policy"
 )
 
@@ -115,6 +116,33 @@ func (s *ShardedStore) NumShards() int { return len(s.shards) }
 
 // Get returns the cached object for url from its shard.
 func (s *ShardedStore) Get(url string) (*Object, bool) { return s.shard(url).Get(url) }
+
+// GetTraced is Get with the request's span timeline attached: the
+// shard-route decision becomes a route span annotated with the chosen
+// shard index, and the shard's own traced hit path nests inside it.
+func (s *ShardedStore) GetTraced(url string, rt *obs.ReqTrace) (*Object, bool) {
+	if rt == nil {
+		return s.Get(url)
+	}
+	sp := rt.BeginSpan(obs.PhaseRoute)
+	idx := shardIndex(url, len(s.shards))
+	rt.EndSpanArg(sp, int64(idx))
+	rt.SetShard(idx)
+	return s.shards[idx].GetTraced(url, rt)
+}
+
+// PutTraced is Put with the request's span timeline attached — route
+// span plus the shard's admission/eviction spans.
+func (s *ShardedStore) PutTraced(url string, obj *Object, rt *obs.ReqTrace) bool {
+	if rt == nil {
+		return s.Put(url, obj)
+	}
+	sp := rt.BeginSpan(obs.PhaseRoute)
+	idx := shardIndex(url, len(s.shards))
+	rt.EndSpanArg(sp, int64(idx))
+	rt.SetShard(idx)
+	return s.shards[idx].PutTraced(url, obj, rt)
+}
 
 // Peek reports whether url is cached, without policy side effects.
 func (s *ShardedStore) Peek(url string) (*Object, bool) { return s.shard(url).Peek(url) }

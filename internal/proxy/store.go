@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"webcache/internal/core"
+	"webcache/internal/obs"
 	"webcache/internal/policy"
 	"webcache/internal/rng"
 	"webcache/internal/trace"
@@ -169,7 +170,14 @@ func (s *Store) SetTouchBuffer(slots int) {
 // Get returns the cached object for url, updating recency/frequency
 // bookkeeping on a hit — inline under the write lock in synchronous
 // mode, via the touch buffer under the read lock in buffered mode.
-func (s *Store) Get(url string) (*Object, bool) {
+func (s *Store) Get(url string) (*Object, bool) { return s.get(url, nil) }
+
+// GetTraced is Get with the request's span timeline attached: the
+// buffered hit path records a touch.enqueue span. A nil rt is exactly
+// Get (the untraced branch costs one nil check per site).
+func (s *Store) GetTraced(url string, rt *obs.ReqTrace) (*Object, bool) { return s.get(url, rt) }
+
+func (s *Store) get(url string, rt *obs.ReqTrace) (*Object, bool) {
 	buf := s.buf.Load()
 	if buf == nil {
 		return s.getSync(url)
@@ -196,7 +204,15 @@ func (s *Store) Get(url string) (*Object, bool) {
 	s.hits.Add(1)
 	// The recorded touch is applied later; if the ring just crossed
 	// half full, try to drain now without ever blocking the hit.
-	if buf.record(e, at) && s.mu.TryLock() {
+	var sp obs.SpanID
+	if rt != nil {
+		sp = rt.BeginSpan(obs.PhaseTouchEnqueue)
+	}
+	crossed := buf.record(e, at)
+	if rt != nil {
+		rt.EndSpan(sp)
+	}
+	if crossed && s.mu.TryLock() {
 		s.drainTouchesLocked()
 		s.mu.Unlock()
 	}
@@ -240,7 +256,17 @@ func (s *Store) Peek(url string) (*Object, bool) {
 // whole store are not cached; Put reports whether it stored the object.
 // Pending buffered touches are drained first, so victim selection sees
 // the recency the hit path recorded.
-func (s *Store) Put(url string, obj *Object) bool {
+func (s *Store) Put(url string, obj *Object) bool { return s.put(url, obj, nil) }
+
+// PutTraced is Put with the request's span timeline attached: each
+// victim the admission evicts becomes one evict span (annotated with
+// the victim's bytes) and bumps the trace's eviction count. A nil rt
+// is exactly Put.
+func (s *Store) PutTraced(url string, obj *Object, rt *obs.ReqTrace) bool {
+	return s.put(url, obj, rt)
+}
+
+func (s *Store) put(url string, obj *Object, rt *obs.ReqTrace) bool {
 	size := int64(len(obj.Body))
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -262,8 +288,16 @@ func (s *Store) Put(url string, obj *Object) bool {
 	}
 	now := s.now().Unix()
 	for s.stats.Used+size > s.capacity {
+		var sp obs.SpanID
+		if rt != nil {
+			sp = rt.BeginSpan(obs.PhaseEvict)
+		}
 		v := s.pol.Victim(size)
 		if v == nil {
+			if rt != nil {
+				// Arg -1: the victim search failed, admission denied.
+				rt.EndSpanArg(sp, -1)
+			}
 			if hadOld {
 				s.entries[url] = old
 				s.objects[url] = oldObj
@@ -275,6 +309,10 @@ func (s *Store) Put(url string, obj *Object) bool {
 		}
 		s.removeLocked(v)
 		s.stats.Evictions++
+		if rt != nil {
+			rt.EndSpanArg(sp, v.Size)
+			rt.CountEviction()
+		}
 		if s.hooks.OnEvict != nil {
 			s.hooks.OnEvict(v, now)
 		}
